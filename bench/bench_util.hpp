@@ -1,0 +1,44 @@
+// Shared helpers for the per-table/per-figure bench binaries.
+//
+// Every binary prints its paper artifact (the "paper" column verbatim from
+// the PDF next to the value this reproduction measures), then runs
+// google-benchmark timings for the kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.hpp"
+
+namespace twiddc::benchutil {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void print_table(const TextTable& t) { std::printf("%s", t.str().c_str()); }
+
+/// Formats a reproduced-vs-paper pair with relative deviation.
+inline std::string vs(double ours, double paper, int digits = 2) {
+  const double dev = paper != 0.0 ? 100.0 * (ours - paper) / paper : 0.0;
+  return TextTable::num(ours, digits) + " (paper " + TextTable::num(paper, digits) +
+         ", " + (dev >= 0 ? "+" : "") + TextTable::num(dev, 1) + "%)";
+}
+
+/// Standard main body: print the report, then run registered benchmarks.
+inline int run(int argc, char** argv, void (*report)()) {
+  report();
+  std::printf("\n-- kernel timings (google-benchmark) --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace twiddc::benchutil

@@ -1,0 +1,88 @@
+// Reproduces Figure 1: the DDC chain, shown as per-stage signal spectra and
+// rates for a synthetic DRM scene (the paper's block diagram, animated).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "bench/bench_util.hpp"
+#include "src/common/db.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Figure 1 -- DDC algorithm (per-stage rates and band powers)");
+  const double nco = 10.0e6;
+  const auto cfg = core::DdcConfig::reference(nco);
+  core::FixedDdc ddc(cfg, core::DatapathSpec::fpga());
+  ddc.set_tracing(true);
+
+  const std::size_t n = 2688 * 400;
+  const auto scene = dsp::make_drm_scene(nco, n, cfg.input_rate_hz);
+  // Scale into the 12-bit ADC range.
+  std::vector<double> scaled(scene);
+  for (auto& v : scaled) v *= 0.55;
+  const auto in = dsp::quantize_signal(scaled, 12);
+  const auto out = ddc.process(in);
+  const auto& tr = ddc.trace();
+
+  TextTable t;
+  t.header({"Stage", "Rate", "Samples", "In-band power", "Strongest interferer"});
+  auto add_stage = [&](const std::string& name, const std::vector<std::int64_t>& samples,
+                       double rate, double band_lo, double band_hi, double intf_lo,
+                       double intf_hi) {
+    const auto d = dsp::dequantize_signal(samples, 12);
+    const auto s = dsp::periodogram(d, rate);
+    t.row({name, TextTable::num(rate / 1e6, 3) + " MHz", std::to_string(samples.size()),
+           TextTable::num(power_db(s.band_power(band_lo, band_hi)), 1) + " dB",
+           TextTable::num(power_db(s.band_power(intf_lo, intf_hi)), 1) + " dB"});
+  };
+  // After the mixer the target band sits at DC; the 2.5 MHz interferer is
+  // still present.  Each CIC stage then strips it.
+  add_stage("mixer out", tr.mixer_i, cfg.input_rate_hz, 0.0, 12e3, 2.45e6, 2.55e6);
+  add_stage("CIC2 out", tr.cic2_i, cfg.cic2_output_rate_hz(), 0.0, 12e3, 140e3, 160e3);
+  add_stage("CIC5 out", tr.cic5_i, cfg.cic5_output_rate_hz(), 0.0, 12e3, 60e3, 90e3);
+  add_stage("FIR out", tr.fir_i, cfg.output_rate_hz(), 0.0, 11e3, 11.5e3, 12e3);
+  benchutil::print_table(t);
+
+  // Output spectrum sketch.
+  auto iq = core::to_complex(out, ddc.output_scale());
+  iq.erase(iq.begin(), iq.begin() + 16);
+  const auto s = dsp::periodogram_complex(iq, cfg.output_rate_hz());
+  benchutil::note("\noutput spectrum (complex baseband, 24 kHz):");
+  const std::size_t bins = s.power_db.size();
+  for (int b = 0; b < 16; ++b) {
+    const std::size_t lo = static_cast<std::size_t>(b) * bins / 16;
+    const std::size_t hi = (static_cast<std::size_t>(b) + 1) * bins / 16;
+    double peak = -300.0;
+    for (std::size_t i = lo; i < hi; ++i) peak = std::max(peak, s.power_db[i]);
+    const double f = (b < 8 ? static_cast<double>(lo) : static_cast<double>(lo) - bins) *
+                     s.bin_hz;
+    benchutil::note(ascii_bar(TextTable::num(f / 1e3, 1) + " kHz", peak + 120.0, 120.0, 40));
+  }
+}
+
+void BM_TracedChain(benchmark::State& state) {
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  core::FixedDdc ddc(cfg, core::DatapathSpec::fpga());
+  ddc.set_tracing(true);
+  const auto in =
+      dsp::quantize_signal(dsp::make_tone(10.003e6, cfg.input_rate_hz, 2688, 0.7), 12);
+  for (auto _ : state) {
+    ddc.reset();
+    ddc.set_tracing(true);
+    for (auto x : in) benchmark::DoNotOptimize(ddc.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_TracedChain);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,92 @@
+// Reproduces Figure 2: the CIC2 structure (two integrators, decimator, two
+// comb sections) -- shown via its impulse response, DC gain, register
+// widths, and frequency response.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/common/db.hpp"
+#include "src/dsp/cic.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Figure 2 -- CIC2 (2 integrators + decimate 16 + 2 combs)");
+
+  dsp::CicDecimator::Config cc;
+  cc.stages = 2;
+  cc.decimation = 16;
+  cc.input_bits = 12;
+  dsp::CicDecimator cic(cc);
+
+  benchutil::note("register width: " + std::to_string(cic.register_bits()) +
+                  " bits (12-bit input + " + std::to_string(cic.growth_bits()) +
+                  " growth), DC gain " + std::to_string(cic.gain()));
+
+  // Decimated impulse response (one polyphase component of boxcar^2).
+  std::vector<std::int64_t> impulse;
+  for (int i = 0; i < 16 * 6; ++i) {
+    if (auto y = cic.push(i == 0 ? 1 : 0)) impulse.push_back(*y);
+  }
+  std::string ir = "decimated impulse response:";
+  for (auto v : impulse) ir += " " + std::to_string(v);
+  benchutil::note(ir);
+
+  benchutil::note("\nmagnitude response (relative to input rate; nulls at k/16):");
+  for (double f : {0.001, 0.01, 1.0 / 32, 1.0 / 16, 1.5 / 16, 2.0 / 16, 0.25, 0.45}) {
+    const double mag = dsp::cic_magnitude(2, 16, 1, f);
+    benchutil::note(ascii_bar("f=" + TextTable::num(f, 4), amplitude_db(mag) + 100.0,
+                              100.0, 40) +
+                    " dB" + TextTable::num(amplitude_db(mag), 1));
+  }
+
+  // The wrap-around property Figure 2's hardware depends on.
+  auto narrow_cfg = cc;
+  narrow_cfg.register_bits = 20;
+  dsp::CicDecimator wrapping(narrow_cfg);
+  std::int64_t last = 0;
+  for (int i = 0; i < 16 * 64; ++i) {
+    if (auto y = wrapping.push(2047)) last = *y;
+  }
+  benchutil::note("\n20-bit registers, full-scale DC input settles to " +
+                  std::to_string(last) + " == gain*x = " + std::to_string(256 * 2047) +
+                  " despite integrator wrap-around");
+}
+
+void BM_Cic2FullRate(benchmark::State& state) {
+  dsp::CicDecimator::Config cc;
+  cc.stages = 2;
+  cc.decimation = 16;
+  cc.input_bits = 12;
+  dsp::CicDecimator cic(cc);
+  Rng rng(1);
+  const auto in = dsp::random_samples(12, 1 << 14, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(cic.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Cic2FullRate);
+
+void BM_Cic5FullRate(benchmark::State& state) {
+  dsp::CicDecimator::Config cc;
+  cc.stages = 5;
+  cc.decimation = 21;
+  cc.input_bits = 12;
+  dsp::CicDecimator cic(cc);
+  Rng rng(2);
+  const auto in = dsp::random_samples(12, 1 << 14, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(cic.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Cic5FullRate);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,79 @@
+// Reproduces Figure 3: "Polyphase FIR filter with 5 taps and a decimation
+// of 5" -- the commutator schedule, the phase decomposition, and the
+// multiply-count advantage that motivates the structure.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/dsp/fir.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Figure 3 -- polyphase FIR, 5 taps, decimation 5");
+
+  const std::vector<std::int64_t> taps{10, 20, 30, 40, 50};
+  dsp::PolyphaseFirDecimator<std::int64_t> poly(taps, 5);
+
+  benchutil::note("phase decomposition e_p[j] = h[jD + p]:");
+  const auto& phases = poly.phase_taps();
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    std::string row = "  e_" + std::to_string(p) + " = {";
+    for (std::size_t j = 0; j < phases[p].size(); ++j)
+      row += (j ? ", " : " ") + std::to_string(phases[p][j]);
+    benchutil::note(row + " }");
+  }
+
+  benchutil::note("\ncommutator: input sample n -> register (phase) fed:");
+  TextTable t;
+  t.header({"n", "phase", "output after?"});
+  for (int n = 0; n < 10; ++n) {
+    const int phase = poly.next_phase();
+    const auto y = poly.push(n + 1);
+    t.row({std::to_string(n), std::to_string(phase), y ? "yes: " + std::to_string(*y) : ""});
+  }
+  benchutil::print_table(t);
+
+  benchutil::note("\nwork comparison for the reference 125-tap, D=8 filter:");
+  dsp::FirFilter<std::int64_t> full(std::vector<std::int64_t>(125, 1));
+  dsp::PolyphaseFirDecimator<std::int64_t> poly125(std::vector<std::int64_t>(125, 1), 8);
+  benchutil::note("  plain FIR + discard 7/8: " +
+                  std::to_string(full.macs_per_input() * 8) + " MACs per output");
+  benchutil::note("  polyphase:               " + std::to_string(poly125.macs_per_output()) +
+                  " MACs per output (8x fewer)");
+}
+
+void BM_FullRateFir125(benchmark::State& state) {
+  const auto ideal = dsp::reference_fir125();
+  const auto q = dsp::quantize_coefficients(ideal, 11);
+  dsp::FirFilter<std::int64_t> fir(std::vector<std::int64_t>(q.begin(), q.end()));
+  Rng rng(3);
+  const auto in = dsp::random_samples(12, 8192, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(fir.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_FullRateFir125);
+
+void BM_PolyphaseFir125D8(benchmark::State& state) {
+  const auto ideal = dsp::reference_fir125();
+  const auto q = dsp::quantize_coefficients(ideal, 11);
+  dsp::PolyphaseFirDecimator<std::int64_t> fir(
+      std::vector<std::int64_t>(q.begin(), q.end()), 8);
+  Rng rng(4);
+  const auto in = dsp::random_samples(12, 8192, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(fir.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_PolyphaseFir125D8);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,85 @@
+// Reproduces Figure 4 (one channel of the TI GC4016) and the section 3.1.2
+// GSM operating point: 69.333 MHz in, decimation 256, 270.833 kHz out,
+// 115 mW at 80 MHz, 13.8 mW scaled to 0.13 um.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "bench/bench_util.hpp"
+#include "src/asic/gc4016.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+#include "src/energy/technology.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Figure 4 -- one GC4016 channel, GSM example (section 3.1.2)");
+
+  const auto cfg = asic::Gc4016Config::gsm_example();
+  asic::Gc4016 chip(cfg);
+  auto& channel = chip.channel(0);
+
+  TextTable t;
+  t.header({"Stage", "Rate in", "Decimation", "Rate out"});
+  const double fin = cfg.input_rate_hz;
+  const int cic = cfg.channels[0].cic_decimation;
+  t.row({"NCO + mixer", TextTable::num(fin / 1e6, 3) + " MHz", "-", "-"});
+  t.row({"CIC5", TextTable::num(fin / 1e6, 3) + " MHz", std::to_string(cic),
+         TextTable::num(fin / cic / 1e6, 3) + " MHz"});
+  t.row({"CFIR (21 taps)", TextTable::num(fin / cic / 1e6, 3) + " MHz", "2",
+         TextTable::num(fin / cic / 2 / 1e3, 1) + " kHz"});
+  t.row({"PFIR (63 taps)", TextTable::num(fin / cic / 2 / 1e3, 1) + " kHz", "2",
+         TextTable::num(fin / 256 / 1e3, 3) + " kHz"});
+  benchutil::print_table(t);
+  benchutil::note("output rate: " + benchutil::vs(fin / 256 / 1e3, 270.833, 3) + " kHz");
+
+  // Functional demonstration: select a band and measure it at the output.
+  const double offset = 40.0e3;
+  const auto analog =
+      dsp::make_tone(cfg.channels[0].nco_freq_hz + offset, fin, 256 * 600, 0.7);
+  const auto in = dsp::quantize_signal(analog, 14);
+  std::vector<std::complex<double>> iq;
+  asic::Gc4016 run_chip(cfg);
+  for (auto x : in) {
+    for (const auto& o : run_chip.push(x))
+      iq.emplace_back(static_cast<double>(o.i), -static_cast<double>(o.q));
+  }
+  iq.erase(iq.begin(), iq.begin() + 32);
+  const auto s = dsp::periodogram_complex(iq, fin / 256.0);
+  benchutil::note("tone at NCO+40 kHz comes out at " +
+                  TextTable::num(s.freq(s.peak_bin()) / 1e3, 2) + " kHz baseband");
+
+  // Power: datasheet point and the paper's technology scaling.
+  benchutil::note("\npower (one channel):");
+  asic::Gc4016Config at80 = cfg;
+  at80.input_rate_hz = 80.0e6;  // the datasheet example clocks at 80 MHz
+  at80.channels[0].nco_freq_hz = 15.0e6;
+  asic::Gc4016 chip80(at80);
+  benchutil::note("  native 0.25um/2.5V @ 80 MHz: " +
+                  benchutil::vs(chip80.power_mw_native(), 115.0, 1) + " mW");
+  benchutil::note("  scaled 0.13um/1.2V:          " +
+                  benchutil::vs(chip80.power_mw_at(energy::TechnologyNode::um130()),
+                                13.8, 1) +
+                  " mW");
+  benchutil::note("  (channel CFIR taps: " + std::to_string(channel.cfir_taps().size()) +
+                  ", PFIR taps: " + std::to_string(channel.pfir_taps().size()) +
+                  "; example used 68 of the 84 available)");
+}
+
+void BM_GsmChannel(benchmark::State& state) {
+  asic::Gc4016 chip(asic::Gc4016Config::gsm_example());
+  Rng rng(7);
+  const auto in = dsp::random_samples(14, 4096, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(chip.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_GsmChannel);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

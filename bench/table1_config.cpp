@@ -1,0 +1,58 @@
+// Reproduces Table 1: "Clock speed and decimation in a DDC".
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+
+void report() {
+  benchutil::heading("Table 1 -- Clock speed and decimation in a DDC");
+  const auto cfg = core::DdcConfig::reference();
+
+  TextTable t;
+  t.header({"Component", "Clock/sample rate", "Decimation (D)"});
+  for (const auto& row : cfg.stage_plan()) {
+    t.row({row.component,
+           row.clock_hz >= 1e6 ? TextTable::num(row.clock_hz / 1e6, 3) + " MHz"
+                               : TextTable::num(row.clock_hz / 1e3, 0) + " kHz",
+           row.decimation == 0 ? "-" : std::to_string(row.decimation)});
+  }
+  benchutil::print_table(t);
+  benchutil::note("total decimation = " + std::to_string(cfg.total_decimation()) +
+                  " (paper: 16*21*8 = 2688), output " +
+                  TextTable::num(cfg.output_rate_hz() / 1e3, 0) + " kHz (paper: 24 kHz)");
+}
+
+void BM_FixedDdcThroughput(benchmark::State& state) {
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  core::FixedDdc ddc(cfg, core::DatapathSpec::fpga());
+  const auto in =
+      dsp::quantize_signal(dsp::make_tone(10.002e6, cfg.input_rate_hz, 2688 * 4, 0.7), 12);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(ddc.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_FixedDdcThroughput);
+
+void BM_FloatDdcThroughput(benchmark::State& state) {
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  core::FloatDdc ddc(cfg);
+  const auto in = dsp::make_tone(10.002e6, cfg.input_rate_hz, 2688 * 4, 0.7);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(ddc.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_FloatDdcThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,112 @@
+// Reproduces Table 2: "Configuration of a TI Quad DDC" -- the GC4016's
+// capability envelope, exercised against the behavioral model's validation
+// and functional datapath.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/asic/gc4016.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+using namespace twiddc;
+using asic::Gc4016;
+using asic::Gc4016Config;
+using asic::Gc4016Limits;
+
+void report() {
+  benchutil::heading("Table 2 -- Configuration of a TI Quad DDC (GC4016)");
+
+  TextTable t;
+  t.header({"Parameter", "Value (model)", "Paper"});
+  t.row({"Input speed of filter",
+         "up to " + TextTable::num(Gc4016Limits::kMaxInputMsps, 0) + " MSPS",
+         "Up to 100 MSPS"});
+  t.row({"Input size of filter", "14 (4ch.) or 16-bit (3ch.)", "14 (4ch.) or 16-bit (3ch.)"});
+  t.row({"Decimation of a channel",
+         std::to_string(Gc4016Limits::kMinTotalDecimation) + " to " +
+             std::to_string(Gc4016Limits::kMaxTotalDecimation),
+         "32 to 16.384"});
+  t.row({"Output size of filter", "12,16,20 or 24-Bit", "12,16,20 or 24-Bit"});
+  t.row({"Energy for a GSM channel",
+         TextTable::num(Gc4016Limits::kGsmPowerMwPerChannel, 0) + " mW (80 MHz & 2.5 V)",
+         "115mW (80 MHz & 2.5 V)"});
+  benchutil::print_table(t);
+
+  // Demonstrate the envelope with the validator.
+  benchutil::note("\ncapability checks:");
+  auto check = [&](const std::string& what, Gc4016Config cfg) {
+    try {
+      cfg.validate();
+      benchutil::note("  accepted: " + what);
+    } catch (const std::exception& e) {
+      benchutil::note("  rejected: " + what + " -- " + e.what());
+    }
+  };
+  Gc4016Config base;
+  base.input_rate_hz = 100.0e6;
+  asic::Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = 20.0e6;
+  ch.cic_decimation = 8;
+  base.channels = {ch};
+  check("14-bit input, 100 MSPS, total decimation 32", base);
+
+  auto cfg = base;
+  cfg.channels[0].cic_decimation = 4096;
+  check("total decimation 16384", cfg);
+
+  cfg = base;
+  cfg.input_rate_hz = 120.0e6;
+  check("120 MSPS (beyond the 100 MSPS limit)", cfg);
+
+  cfg = base;
+  cfg.input_bits = 16;
+  cfg.channels.assign(4, cfg.channels[0]);
+  check("four channels at 16-bit input (only 3 exist)", cfg);
+
+  cfg = base;
+  cfg.channels[0].cic_decimation = 4;
+  check("total decimation 16 (below the minimum of 32)", cfg);
+}
+
+void BM_Gc4016OneChannel(benchmark::State& state) {
+  Gc4016Config cfg;
+  cfg.input_rate_hz = 80.0e6;
+  asic::Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = 20.0e6;
+  ch.cic_decimation = 64;
+  cfg.channels = {ch};
+  Gc4016 chip(cfg);
+  Rng rng(5);
+  const auto in = dsp::random_samples(14, 4096, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(chip.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Gc4016OneChannel);
+
+void BM_Gc4016FourChannels(benchmark::State& state) {
+  Gc4016Config cfg;
+  cfg.input_rate_hz = 80.0e6;
+  asic::Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = 20.0e6;
+  ch.cic_decimation = 64;
+  cfg.channels.assign(4, ch);
+  cfg.channels[1].nco_freq_hz = 10.0e6;
+  cfg.channels[2].nco_freq_hz = 30.0e6;
+  cfg.channels[3].nco_freq_hz = 5.0e6;
+  Gc4016 chip(cfg);
+  Rng rng(6);
+  const auto in = dsp::random_samples(14, 4096, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(chip.push(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Gc4016FourChannels);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

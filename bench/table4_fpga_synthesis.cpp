@@ -1,0 +1,76 @@
+// Reproduces Table 4: "Synthesis results for Cyclone I and II" -- resource
+// usage of the section 5 design estimated from its structural inventory.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/fpga/ddc_fpga.hpp"
+
+namespace {
+using namespace twiddc;
+
+core::DdcConfig fpga_config() {
+  auto cfg = core::DdcConfig::reference(10.0e6);
+  cfg.fir_taps = 124;
+  return cfg;
+}
+
+void report() {
+  benchutil::heading("Table 4 -- Synthesis results for Cyclone I and II");
+
+  fpga::DdcFpgaTop design(fpga_config());
+  const auto c1 = fpga::Device::ep1c3t100c6();
+  const auto c2 = fpga::Device::ep2c5t144c6();
+  const auto r1 = design.estimate_resources(c1);
+  const auto r2 = design.estimate_resources(c2);
+
+  auto pct = [](int used, int total) {
+    return std::to_string(used) + " / " + std::to_string(total) + " (" +
+           TextTable::num(100.0 * used / total, 0) + " %)";
+  };
+
+  TextTable t;
+  t.header({"", "Cyclone I EP1C3T100C6", "paper", "Cyclone II EP2C5T144C6", "paper"});
+  t.row({"Total logic elements", pct(r1.logic_elements, c1.logic_elements),
+         "1,656 / 2,910 (56 %)", pct(r2.logic_elements, c2.logic_elements),
+         "906 / 4,608 (20 %)"});
+  t.row({"Total pins", pct(r1.pins, c1.pins), "41 / 65 (63 %)", pct(r2.pins, c2.pins),
+         "41 / 89 (46 %)"});
+  t.row({"Total memory bits", pct(r1.memory_bits, c1.memory_bits), "6,780 / 59,904 (12 %)",
+         pct(r2.memory_bits, c2.memory_bits), "7,686 / 119,808 (6 %)"});
+  t.row({"Embedded 9-bit multiplier", pct(r1.multipliers9, std::max(1, c1.multipliers9)),
+         "0 / 0 (0 %)", pct(r2.multipliers9, c2.multipliers9), "8 / 26 (30 %)"});
+  t.row({"Total PLLs", "0 / " + std::to_string(c1.plls) + " (0 %)", "0 / 1 (0 %)",
+         "0 / " + std::to_string(c2.plls) + " (0 %)", "0 / 2 (0 %)"});
+  benchutil::print_table(t);
+
+  benchutil::note("\nfmax (published synthesis): Cyclone I " +
+                  TextTable::num(c1.fmax_mhz, 2) + " MHz, Cyclone II " +
+                  TextTable::num(c2.fmax_mhz, 2) +
+                  " MHz; design clock 64.512 MHz -- both meet timing");
+
+  benchutil::note("\nper-block raw inventory (before device packing):");
+  TextTable b;
+  b.header({"Block", "LEs (raw)", "memory bits", "pins"});
+  for (const auto& [name, res] : design.resource_breakdown()) {
+    b.row({name, std::to_string(res.logic_elements), std::to_string(res.memory_bits),
+           std::to_string(res.pins)});
+  }
+  benchutil::print_table(b);
+}
+
+void BM_RtlSimulation(benchmark::State& state) {
+  fpga::DdcFpgaTop design(fpga_config());
+  Rng rng(11);
+  const auto in = dsp::random_samples(12, 2688, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(design.clock(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_RtlSimulation);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

@@ -1,0 +1,78 @@
+// Reproduces Table 5: "Power consumption of Cyclone I (input toggle rate is
+// 50%)" -- the PowerPlay-style model across internal toggle rates, plus the
+// toggle rate actually *measured* from the RTL simulation with random data
+// (the paper assumed 10%).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/fpga/ddc_fpga.hpp"
+
+namespace {
+using namespace twiddc;
+
+core::DdcConfig fpga_config() {
+  auto cfg = core::DdcConfig::reference(10.0e6);
+  cfg.fir_taps = 124;
+  return cfg;
+}
+
+void report() {
+  benchutil::heading("Table 5 -- Power consumption of Cyclone I (input toggle 50%)");
+
+  const auto m1 = fpga::PowerModel::cyclone1();
+  const double paper_total[] = {120.9, 141.4, 305.3, 458.9};
+  const double paper_dyn[] = {72.9, 93.4, 257.2, 410.8};
+  const double rates[] = {5.0, 10.0, 50.0, 87.5};
+
+  TextTable t;
+  t.header({"Internal toggle rate", "5%", "10%", "50%", "87.5%"});
+  std::vector<std::string> total{"Total Thermal Power Dissipation"};
+  std::vector<std::string> dyn{"Dynamic Thermal Power Dissipation"};
+  std::vector<std::string> stat{"Static Thermal Power Dissipation"};
+  for (int i = 0; i < 4; ++i) {
+    total.push_back(benchutil::vs(m1.total_mw(rates[i]), paper_total[i], 1) + " mW");
+    dyn.push_back(benchutil::vs(m1.dynamic_mw(rates[i]), paper_dyn[i], 1) + " mW");
+    stat.push_back(benchutil::vs(m1.static_mw, 48.0, 1) + " mW");
+  }
+  t.row(total);
+  t.row(dyn);
+  t.row(stat);
+  benchutil::print_table(t);
+
+  // Measure the *actual* internal toggle rate of the design under the
+  // paper's stimulus (random data, 50% input toggle).
+  fpga::DdcFpgaTop design(fpga_config());
+  Rng rng(21);
+  design.process(dsp::random_samples(12, 2688 * 30, rng));
+  const double measured = design.toggle_summary().rate_percent();
+  benchutil::note("\nmeasured from RTL simulation with random input:");
+  benchutil::note("  input toggle rate:    " +
+                  TextTable::pct(design.input_toggle_percent(), 2) + " (paper assumes 50%)");
+  benchutil::note("  internal toggle rate: " + TextTable::pct(measured, 2) +
+                  " (paper assumes 10%)");
+  benchutil::note("  Cyclone I  power at measured toggle: " +
+                  TextTable::num(m1.total_mw(measured), 1) + " mW (paper @10%: 141.4)");
+  const auto m2 = fpga::PowerModel::cyclone2();
+  benchutil::note("  Cyclone II power at measured toggle: " +
+                  TextTable::num(m2.total_mw(measured), 1) + " mW (paper @10%: 57.98)");
+  benchutil::note("  Cyclone II dynamic (Table 7's row):  " +
+                  TextTable::num(m2.dynamic_mw(measured), 1) + " mW (paper: 31.11)");
+}
+
+void BM_ToggleCountingOverhead(benchmark::State& state) {
+  fpga::DdcFpgaTop design(fpga_config());
+  Rng rng(22);
+  const auto in = dsp::random_samples(12, 2688, rng);
+  for (auto _ : state) {
+    for (auto x : in) benchmark::DoNotOptimize(design.clock(x));
+    benchmark::DoNotOptimize(design.toggle_summary());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ToggleCountingOverhead);
+
+}  // namespace
+
+int main(int argc, char** argv) { return twiddc::benchutil::run(argc, argv, &report); }

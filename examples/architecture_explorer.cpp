@@ -1,0 +1,84 @@
+// Architecture explorer: Table 7 for *your* DDC configuration.  Change the
+// band, input rate or decimation plan and see what each of the five
+// architectures would burn.
+//
+//   $ ./architecture_explorer [nco_freq_hz] [input_rate_hz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/asic/gc4016.hpp"
+#include "src/asic/lowpower_ddc.hpp"
+#include "src/common/table.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/energy/architecture_result.hpp"
+#include "src/fpga/ddc_fpga.hpp"
+#include "src/gpp/ddc_program.hpp"
+#include "src/montium/ddc_mapping.hpp"
+
+int main(int argc, char** argv) {
+  using namespace twiddc;
+
+  auto config = core::DdcConfig::reference();
+  if (argc > 1) config.nco_freq_hz = std::atof(argv[1]);
+  if (argc > 2) config.input_rate_hz = std::atof(argv[2]);
+  config.validate();
+
+  std::printf("DDC: %.3f MHz input, band at %.4f MHz, decimation %d -> %.1f kHz output\n\n",
+              config.input_rate_hz / 1e6, config.nco_freq_hz / 1e6,
+              config.total_decimation(), config.output_rate_hz() / 1e3);
+
+  const auto um130 = energy::TechnologyNode::um130();
+  TextTable t;
+  t.header({"Architecture", "Power (native)", "Power (0.13um)", "Energy/output"});
+
+  // Customised ASIC.
+  asic::CustomLowPowerDdc lp(config);
+  energy::ArchitectureResult r;
+  r.power_mw = lp.power_mw_native();
+  t.row({"Customised low-power ASIC", TextTable::num_unit(lp.power_mw_native(), "mW"),
+         TextTable::num_unit(lp.power_mw_at(um130), "mW"),
+         TextTable::num(r.energy_per_output_nj(config.output_rate_hz()) / 1000.0, 2) + " uJ"});
+
+  // ARM9.
+  gpp::DdcProgram prog(config);
+  const std::size_t n = static_cast<std::size_t>(config.total_decimation()) * 20;
+  const auto in = dsp::quantize_signal(
+      dsp::make_tone(config.nco_freq_hz + 2.0e3, config.input_rate_hz, n, 0.7), 12);
+  const auto arm = prog.run(in);
+  r.power_mw = arm.power_mw(n, config.input_rate_hz);
+  t.row({"ARM922T @ " + TextTable::num(arm.required_clock_mhz(n, config.input_rate_hz), 0) +
+             " MHz (simulated)",
+         TextTable::num_unit(r.power_mw, "mW"), "(is 0.13um)",
+         TextTable::num(r.energy_per_output_nj(config.output_rate_hz()) / 1000.0, 2) + " uJ"});
+
+  // FPGAs: measured toggle + PowerPlay-style model.
+  auto fpga_cfg = config;
+  if (fpga_cfg.fir_taps == 125) fpga_cfg.fir_taps = 124;
+  fpga::DdcFpgaTop rtl(fpga_cfg);
+  Rng rng(3);
+  rtl.process(dsp::random_samples(12, static_cast<std::size_t>(config.total_decimation()) * 10, rng));
+  const double toggle = rtl.toggle_summary().rate_percent();
+  const auto cyc1 = fpga::PowerModel::cyclone1();
+  const auto cyc2 = fpga::PowerModel::cyclone2();
+  r.power_mw = cyc1.total_mw(toggle);
+  t.row({"Altera Cyclone I (meas. toggle " + TextTable::pct(toggle, 0) + ")",
+         TextTable::num_unit(r.power_mw, "mW"), "(is 0.13um)",
+         TextTable::num(r.energy_per_output_nj(config.output_rate_hz()) / 1000.0, 2) + " uJ"});
+  r.power_mw = cyc2.total_mw(toggle);
+  t.row({"Altera Cyclone II (meas. toggle " + TextTable::pct(toggle, 0) + ")",
+         TextTable::num_unit(r.power_mw, "mW"),
+         TextTable::num_unit(energy::scale_power_mw(r.power_mw, energy::TechnologyNode::um90(), um130), "mW"),
+         TextTable::num(r.energy_per_output_nj(config.output_rate_hz()) / 1000.0, 2) + " uJ"});
+
+  // Montium.
+  montium::DdcMapping mont(config);
+  r.power_mw = mont.power_mw();
+  t.row({"Montium TP", TextTable::num_unit(mont.power_mw(), "mW"), "(is 0.13um)",
+         TextTable::num(r.energy_per_output_nj(config.output_rate_hz()) / 1000.0, 2) + " uJ"});
+
+  std::printf("%s", t.str().c_str());
+  std::printf("\n(GC4016 omitted: its fixed CIC5+CFIR+PFIR plan only fits decimations of\n"
+              " the form 4*CIC with CIC in [8,4096]; see the table2_gc4016 bench.)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// DRM receiver front-end: the scenario the paper's introduction motivates --
+// a PDA listening to Digital Radio Mondiale.  A synthetic wideband scene
+// (DRM-like target band + strong interferers) is digitised at 64.512 MHz,
+// down-converted with the reference DDC, and the selected band is analysed.
+//
+//   $ ./drm_receiver [centre_frequency_hz]
+#include <algorithm>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/db.hpp"
+#include "src/common/table.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+int main(int argc, char** argv) {
+  using namespace twiddc;
+
+  const double center = argc > 1 ? std::atof(argv[1]) : 10.0e6;
+  const auto config = core::DdcConfig::reference(center);
+  std::printf("DRM receiver: selecting ~10 kHz around %.4f MHz out of a %.3f MHz stream\n",
+              center / 1e6, config.input_rate_hz / 1e6);
+
+  // Synthetic antenna scene: 9 DRM carriers in the target band plus
+  // interferers at +150 kHz, -220 kHz, +2.5 MHz, -7 MHz.
+  const std::size_t n = 2688 * 800;
+  auto scene = dsp::make_drm_scene(center, n, config.input_rate_hz);
+  for (auto& v : scene) v *= 0.55;  // fit the ADC range
+  const auto adc = dsp::quantize_signal(scene, 12);
+
+  core::FixedDdc ddc(config, core::DatapathSpec::fpga());
+  auto iq = core::to_complex(ddc.process(adc), ddc.output_scale());
+  iq.erase(iq.begin(), iq.begin() + 16);  // drop the settling transient
+
+  const auto spec = dsp::periodogram_complex(iq, config.output_rate_hz());
+  std::printf("\noutput spectrum at 24 kHz (two-sided):\n");
+  const std::size_t bins = spec.power_db.size();
+  for (int b = 0; b < 24; ++b) {
+    const std::size_t lo = static_cast<std::size_t>(b) * bins / 24;
+    const std::size_t hi = (static_cast<std::size_t>(b) + 1) * bins / 24;
+    double peak = -300.0;
+    for (std::size_t i = lo; i < hi; ++i) peak = std::max(peak, spec.power_db[i]);
+    const double f = (b < 12 ? static_cast<double>(lo) : static_cast<double>(lo) - bins) *
+                     spec.bin_hz;
+    std::printf("%s\n",
+                ascii_bar(TextTable::num(f / 1e3, 1) + " kHz", peak + 110.0, 110.0, 44).c_str());
+  }
+
+  // Selectivity: in-band power vs what is left of the interferers.
+  const double in_band = spec.band_power(0.0, 5.5e3) + spec.band_power(-5.5e3 + 24e3, 24e3);
+  double out_band = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double f = i < bins / 2 ? spec.freq(i) : spec.freq(i) - 24e3;
+    if (std::abs(f) > 7.0e3) out_band += db_to_power(spec.power_db[i]);
+  }
+  std::printf("\nband selection: in-band/out-of-band power = %.1f dB\n",
+              power_db(in_band / (out_band + 1e-30)));
+
+  // Fidelity vs the float golden chain.
+  core::FloatDdc golden(config);
+  auto gold = golden.process(dsp::dequantize_signal(adc, 12));
+  gold.erase(gold.begin(), gold.begin() + 16);
+  const auto stats = core::compare_streams(gold, iq);
+  std::printf("12-bit datapath SNR vs float golden: %.1f dB (gain %.4f)\n", stats.snr_db,
+              stats.gain);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build the paper's reference DDC, push one millisecond of
+// signal, and print what comes out.
+//
+//   $ ./quickstart
+//
+// The chain is Figure 1 of the paper: NCO-driven complex mixer, CIC2 (D=16),
+// CIC5 (D=21), 125-tap polyphase FIR (D=8); 64.512 MHz in, 24 kHz out.
+#include <cstdio>
+
+#include "src/core/analysis.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/dsp/signal.hpp"
+
+int main() {
+  using namespace twiddc;
+
+  // 1. Pick the band to receive: centre the NCO on it.
+  const double nco_freq = 10.0e6;  // Hz
+  const auto config = core::DdcConfig::reference(nco_freq);
+
+  // 2. Pick a datapath (the FPGA's 12-bit busses here) and build the DDC.
+  core::FixedDdc ddc(config, core::DatapathSpec::fpga());
+
+  // 3. Make one millisecond of "antenna" signal: a tone 3 kHz above the
+  //    carrier, digitised to 12 bits.
+  const std::size_t n = static_cast<std::size_t>(config.input_rate_hz * 1e-3);
+  const auto samples = dsp::quantize_signal(
+      dsp::make_tone(nco_freq + 3.0e3, config.input_rate_hz, n, 0.8), 12);
+
+  // 4. Push samples; collect the 24 kHz I/Q output.
+  const auto out = ddc.process(samples);
+
+  std::printf("pushed %zu samples at %.3f MHz, received %zu I/Q samples at %.0f kHz\n",
+              samples.size(), config.input_rate_hz / 1e6, out.size(),
+              config.output_rate_hz() / 1e3);
+  std::printf("decimation: %d (16 * 21 * 8)\n\n", config.total_decimation());
+
+  std::printf("first outputs (12-bit I, Q):\n");
+  for (std::size_t i = 0; i < out.size() && i < 8; ++i)
+    std::printf("  y[%zu] = (%5lld, %5lld)\n", i, static_cast<long long>(out[i].i),
+                static_cast<long long>(out[i].q));
+
+  // 5. The tone reappears at +3 kHz in the complex baseband.
+  const auto iq = core::to_complex(out, ddc.output_scale());
+  double best_mag = 0.0;
+  for (const auto& v : iq) best_mag = std::max(best_mag, std::abs(v));
+  std::printf("\npeak output magnitude: %.3f of full scale\n", best_mag);
+  return 0;
+}

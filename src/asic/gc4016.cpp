@@ -1,0 +1,235 @@
+#include "src/asic/gc4016.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::asic {
+namespace {
+
+// Internal datapath widths of the channel model: 16-bit words after the
+// mixer (the chip's internal precision class), Q1.15 coefficients, 40-bit
+// accumulators.
+constexpr int kInternalBits = 16;
+constexpr int kNcoBits = 16;
+constexpr int kCoeffFrac = 15;
+
+std::vector<std::int64_t> widen(const std::vector<std::int32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+void Gc4016Config::validate() const {
+  if (input_bits != 14 && input_bits != 16)
+    throw ConfigError("Gc4016: input width must be 14 or 16 bits (Table 2), got " +
+                      std::to_string(input_bits));
+  if (input_rate_hz <= 0.0 || input_rate_hz > Gc4016Limits::kMaxInputMsps * 1e6)
+    throw ConfigError("Gc4016: input rate must be in (0, 100] MSPS, got " +
+                      std::to_string(input_rate_hz / 1e6) + " MSPS");
+  if (channels.empty())
+    throw ConfigError("Gc4016: at least one channel must be configured");
+  if (static_cast<int>(channels.size()) > max_channels())
+    throw ConfigError("Gc4016: " + std::to_string(channels.size()) +
+                      " channels configured but only " + std::to_string(max_channels()) +
+                      " available at " + std::to_string(input_bits) + "-bit input");
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const auto& ch = channels[c];
+    if (!ch.enabled) continue;
+    if (ch.cic_decimation < Gc4016Limits::kMinCicDecimation ||
+        ch.cic_decimation > Gc4016Limits::kMaxCicDecimation)
+      throw ConfigError("Gc4016 channel " + std::to_string(c) +
+                        ": CIC decimation must be in [8,4096], got " +
+                        std::to_string(ch.cic_decimation));
+    const int total = ch.cic_decimation * 4;
+    if (total < Gc4016Limits::kMinTotalDecimation ||
+        total > Gc4016Limits::kMaxTotalDecimation)
+      throw ConfigError("Gc4016 channel " + std::to_string(c) +
+                        ": total decimation out of [32,16384]");
+    if (ch.output_bits != 12 && ch.output_bits != 16 && ch.output_bits != 20 &&
+        ch.output_bits != 24)
+      throw ConfigError("Gc4016 channel " + std::to_string(c) +
+                        ": output width must be 12, 16, 20 or 24 bits");
+    if (ch.nco_freq_hz < 0.0 || ch.nco_freq_hz >= input_rate_hz / 2.0)
+      throw ConfigError("Gc4016 channel " + std::to_string(c) +
+                        ": NCO frequency out of [0, input_rate/2)");
+    if (!ch.pfir_coeffs.empty() &&
+        ch.pfir_coeffs.size() != static_cast<std::size_t>(Gc4016Limits::kPfirTaps))
+      throw ConfigError("Gc4016 channel " + std::to_string(c) + ": PFIR needs exactly " +
+                        std::to_string(Gc4016Limits::kPfirTaps) + " coefficients");
+  }
+}
+
+Gc4016Config Gc4016Config::gsm_example() {
+  Gc4016Config cfg;
+  cfg.input_rate_hz = 69.333e6;
+  cfg.input_bits = 14;
+  Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = 15.0e6;   // representative carrier
+  ch.cic_decimation = 64;    // 64 * 2 * 2 = 256 -> 270.833 kHz out
+  ch.output_bits = 16;
+  cfg.channels = {ch};
+  return cfg;
+}
+
+Gc4016Channel::Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz,
+                             int input_bits)
+    : cfg_(config),
+      nco_([&] {
+        dsp::Nco::Config nc;
+        nc.freq_hz = config.nco_freq_hz;
+        nc.sample_rate_hz = input_rate_hz;
+        nc.amplitude_bits = kNcoBits;
+        nc.table_bits = 10;
+        return dsp::Nco(nc);
+      }()),
+      mixer_([&] {
+        dsp::ComplexMixer::Config mc;
+        mc.input_bits = input_bits;
+        mc.nco_amplitude_bits = kNcoBits;
+        mc.output_bits = kInternalBits;
+        return dsp::ComplexMixer(mc);
+      }()) {
+  // CFIR: the droop compensator for the CIC5 that runs at cic_decimation
+  // times this filter's rate.  Passband up to 80% of the post-CFIR Nyquist.
+  const auto cfir_ideal = dsp::design_cic_compensator(
+      Gc4016Limits::kCfirTaps, 0.8 * 0.25, 5, config.cic_decimation);
+  cfir_taps_ = widen(dsp::quantize_coefficients(cfir_ideal, kCoeffFrac));
+  if (config.pfir_coeffs.empty()) {
+    const auto pfir_ideal =
+        dsp::design_lowpass(Gc4016Limits::kPfirTaps, 0.8 * 0.25, dsp::Window::kBlackman);
+    pfir_taps_ = widen(dsp::quantize_coefficients(pfir_ideal, kCoeffFrac));
+  } else {
+    pfir_taps_ = widen(config.pfir_coeffs);
+  }
+
+  dsp::CicDecimator::Config cic_cfg;
+  cic_cfg.stages = 5;
+  cic_cfg.decimation = config.cic_decimation;
+  cic_cfg.input_bits = kInternalBits;
+  // Large decimations grow past a 63-bit register (5*log2(4096) = 60 bits of
+  // growth on a 16-bit input).  Real silicon prunes LSBs through the
+  // integrator cascade (Hogenauer); distribute the required discard over the
+  // stages, weighting the later stages (whose noise is least amplified).
+  const int growth = fixed::cic_bit_growth(cic_cfg.stages, cic_cfg.decimation);
+  int prune_total = std::max(0, kInternalBits + growth - 63);
+  if (prune_total > 0) {
+    std::vector<int> shifts(5, 0);
+    for (int s = 4; prune_total > 0; s = s == 0 ? 4 : s - 1) {
+      ++shifts[static_cast<std::size_t>(s)];
+      --prune_total;
+    }
+    cic_cfg.prune_shifts = shifts;
+  }
+  int pruned_bits = 0;
+  for (int s : cic_cfg.prune_shifts) pruned_bits += s;
+  cic_cfg.register_bits = kInternalBits + growth - pruned_bits;
+  for (int r = 0; r < 2; ++r) {
+    rails_.push_back(Rail{dsp::CicDecimator(cic_cfg),
+                          dsp::FirDecimator<std::int64_t>(cfir_taps_, 2),
+                          dsp::FirDecimator<std::int64_t>(pfir_taps_, 2)});
+  }
+  cic_shift_ = growth - pruned_bits;
+}
+
+void Gc4016Channel::reset() {
+  nco_.reset();
+  for (auto& rail : rails_) {
+    rail.cic.reset();
+    rail.cfir.reset();
+    rail.pfir.reset();
+  }
+}
+
+double Gc4016Channel::output_scale() const {
+  return 1.0 / static_cast<double>(std::int64_t{1} << (cfg_.output_bits - 1));
+}
+
+std::optional<Gc4016Output> Gc4016Channel::push(std::int64_t x) {
+  const dsp::SinCos sc = nco_.next();
+  const dsp::Iq mixed = mixer_.mix(x, sc.cos, sc.sin);
+
+  std::array<std::optional<std::int64_t>, 2> outs{};
+  const std::array<std::int64_t, 2> ins{mixed.i, mixed.q};
+  for (int r = 0; r < 2; ++r) {
+    auto& rail = rails_[static_cast<std::size_t>(r)];
+    auto cic_out = rail.cic.push(ins[static_cast<std::size_t>(r)]);
+    if (!cic_out) continue;
+    const std::int64_t v = fixed::narrow(
+        fixed::shift_right(*cic_out, cic_shift_, fixed::Rounding::kNearest),
+        kInternalBits, fixed::Overflow::kSaturate);
+    auto cfir_out = rail.cfir.push(v);
+    if (!cfir_out) continue;
+    const std::int64_t w = fixed::narrow(
+        fixed::shift_right(*cfir_out, kCoeffFrac, fixed::Rounding::kNearest),
+        kInternalBits, fixed::Overflow::kSaturate);
+    auto pfir_out = rail.pfir.push(w);
+    if (!pfir_out) continue;
+    // Final requantisation to the configured output width.
+    const int out_shift = kCoeffFrac + (kInternalBits - cfg_.output_bits);
+    outs[static_cast<std::size_t>(r)] = fixed::narrow(
+        fixed::shift_right(*pfir_out, out_shift, fixed::Rounding::kNearest),
+        cfg_.output_bits, fixed::Overflow::kSaturate);
+  }
+  if (outs[0].has_value() != outs[1].has_value())
+    throw SimulationError("Gc4016Channel: I/Q rails lost rate lock");
+  if (!outs[0]) return std::nullopt;
+  return Gc4016Output{channel_index_, *outs[0], *outs[1]};
+}
+
+Gc4016::Gc4016(const Gc4016Config& config) : config_(config) {
+  config.validate();
+  for (std::size_t c = 0; c < config.channels.size(); ++c) {
+    channels_.emplace_back(config.channels[c], config.input_rate_hz, config.input_bits);
+    channels_.back().channel_index_ = static_cast<int>(c);
+  }
+}
+
+int Gc4016::enabled_channels() const {
+  int n = 0;
+  for (const auto& ch : config_.channels)
+    if (ch.enabled) ++n;
+  return n;
+}
+
+void Gc4016::reset() {
+  for (auto& ch : channels_) ch.reset();
+}
+
+std::vector<Gc4016Output> Gc4016::push(std::int64_t x) {
+  if (!fixed::fits_bits(x, config_.input_bits))
+    throw SimulationError("Gc4016::push: input does not fit " +
+                          std::to_string(config_.input_bits) + " bits");
+  std::vector<Gc4016Output> outs;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (!config_.channels[c].enabled) continue;
+    if (auto y = channels_[c].push(x)) outs.push_back(*y);
+  }
+  if (config_.combine == Gc4016Config::Combine::kAdd && outs.size() > 1) {
+    Gc4016Output sum{-1, 0, 0};
+    for (const auto& o : outs) {
+      sum.i += o.i;
+      sum.q += o.q;
+    }
+    return {sum};
+  }
+  return outs;
+}
+
+double Gc4016::power_mw_native() const {
+  // Datasheet operating point: 115 mW per active channel at 80 MHz.  The
+  // chip is clocked at the input sample rate, and dynamic power scales
+  // linearly with clock (section 3.1.2's model).
+  const double f_mhz = config_.input_rate_hz / 1e6;
+  return Gc4016Limits::kGsmPowerMwPerChannel * (f_mhz / Gc4016Limits::kGsmClockMhz) *
+         enabled_channels();
+}
+
+double Gc4016::power_mw_at(const energy::TechnologyNode& node) const {
+  return energy::scale_power_mw(power_mw_native(), native_node(), node);
+}
+
+}  // namespace twiddc::asic

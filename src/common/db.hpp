@@ -1,0 +1,28 @@
+// twiddc -- decibel conversion helpers.
+#pragma once
+
+#include <cmath>
+
+namespace twiddc {
+
+/// Power ratio -> dB.  Clamps to -300 dB for non-positive ratios so spectral
+/// plots of exact zeros stay finite.
+inline double power_db(double ratio) {
+  if (ratio <= 0.0) return -300.0;
+  return 10.0 * std::log10(ratio);
+}
+
+/// Amplitude ratio -> dB of its magnitude (a sign flip is 0 dB).
+inline double amplitude_db(double ratio) {
+  const double mag = std::abs(ratio);
+  if (mag <= 0.0) return -300.0;
+  return 20.0 * std::log10(mag);
+}
+
+/// dB -> power ratio.
+inline double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+
+/// dB -> amplitude ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+}  // namespace twiddc

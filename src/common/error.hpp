@@ -1,0 +1,24 @@
+// twiddc -- error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace twiddc {
+
+/// Thrown when a user-supplied configuration is invalid (bad decimation
+/// factor, unsupported bit width, out-of-range frequency, ...).  The message
+/// always names the offending parameter and the accepted range.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulator is driven outside its contract (e.g. reading an
+/// output before any input was pushed, or addressing a missing memory).
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace twiddc

@@ -1,0 +1,92 @@
+// twiddc -- deterministic random number generation.
+//
+// All stochastic stimuli in tests and benches use this xoshiro128++ generator
+// so that every run of the reproduction is bit-for-bit repeatable.  The
+// generator satisfies std::uniform_random_bit_generator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace twiddc {
+
+/// xoshiro128++ 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedu) {
+    // splitmix64 expansion of the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    state_[0] = static_cast<std::uint32_t>(a);
+    state_[1] = static_cast<std::uint32_t>(a >> 32);
+    state_[2] = static_cast<std::uint32_t>(b);
+    state_[3] = static_cast<std::uint32_t>(b >> 32);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()() {
+    const std::uint32_t result = rotl(state_[0] + state_[3], 7) + state_[0];
+    const std::uint32_t t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)()) * 0x1p-32; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    const std::uint64_t wide =
+        (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+    return lo + static_cast<std::int64_t>(wide % span);
+  }
+
+  /// Standard normal via Box-Muller.
+  double gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-12);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    spare_ = r * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return r * std::cos(kTwoPi * u2);
+  }
+
+ private:
+  static constexpr std::uint32_t rotl(std::uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+  }
+
+  std::uint32_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace twiddc

@@ -1,0 +1,79 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace twiddc {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) { body_.push_back(std::move(cells)); }
+
+void TextTable::rule() { body_.emplace_back(); }
+
+std::string TextTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::num_unit(double value, const std::string& unit, int digits) {
+  return num(value, digits) + " " + unit;
+}
+
+std::string TextTable::pct(double value, int digits) {
+  return num(value, digits) + " %";
+}
+
+std::string TextTable::str() const {
+  // Column widths across header + body.
+  std::vector<std::size_t> width;
+  auto absorb = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  absorb(header_);
+  for (const auto& r : body_) absorb(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << (i == 0 ? "| " : " | ") << cell
+          << std::string(width[i] - cell.size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < width.size(); ++i)
+      out << (i == 0 ? "|-" : "-|-") << std::string(width[i], '-');
+    out << "-|\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& r : body_) {
+    if (r.empty())
+      emit_rule();
+    else
+      emit(r);
+  }
+  return out.str();
+}
+
+std::string ascii_bar(const std::string& label, double value, double max_value,
+                      int width) {
+  const double frac = max_value > 0.0 ? std::clamp(value / max_value, 0.0, 1.0) : 0.0;
+  const int fill = static_cast<int>(frac * width + 0.5);
+  std::ostringstream out;
+  out << label << " |";
+  for (int i = 0; i < width; ++i) out << (i < fill ? '#' : ' ');
+  out << "| " << TextTable::num(value, 2);
+  return out.str();
+}
+
+}  // namespace twiddc

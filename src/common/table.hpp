@@ -1,0 +1,52 @@
+// twiddc -- plain-text table rendering.
+//
+// Every bench binary reproduces one of the paper's tables/figures; TextTable
+// renders the "paper value | reproduced value" rows with aligned columns so
+// the console output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twiddc {
+
+/// A simple aligned text table.  Columns are sized to the widest cell; the
+/// first row added with `header()` is separated from the body by a rule.
+class TextTable {
+ public:
+  /// Sets the header row.  May be called once, before any body rows.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a body row.  Rows may have differing cell counts; missing cells
+  /// render empty.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule between body rows.
+  void rule();
+
+  /// Renders the table.  Every line is terminated with '\n'.
+  [[nodiscard]] std::string str() const;
+
+  /// Number of body rows added so far.
+  [[nodiscard]] std::size_t rows() const { return body_.size(); }
+
+  /// Formats a double with `digits` decimals (locale-independent).
+  static std::string num(double value, int digits = 2);
+
+  /// Formats "value unit", e.g. num_unit(38.7, "mW").
+  static std::string num_unit(double value, const std::string& unit, int digits = 1);
+
+  /// Formats a percentage, e.g. pct(6.25) -> "6.25 %".
+  static std::string pct(double value, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> body_;  // empty vector encodes a rule
+};
+
+/// Renders a horizontal ASCII bar chart line: `label |#####   | value`.
+/// Used by the figure benches to sketch spectra and schedules.
+std::string ascii_bar(const std::string& label, double value, double max_value,
+                      int width = 50);
+
+}  // namespace twiddc

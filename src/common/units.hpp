@@ -1,0 +1,21 @@
+// twiddc -- frequency/size unit helpers used throughout the library.
+//
+// Frequencies are plain `double` hertz; these helpers exist so that paper
+// constants read the way the paper writes them (64.512_MHz, 24_kHz).
+#pragma once
+
+namespace twiddc {
+
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+/// The paper's reference input sample rate (Table 1).
+constexpr double kReferenceInputRateHz = 64.512e6;
+/// The paper's reference output sample rate (Table 1).
+constexpr double kReferenceOutputRateHz = 24.0e3;
+
+}  // namespace twiddc

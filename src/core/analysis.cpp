@@ -1,0 +1,56 @@
+#include "src/core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+
+std::vector<std::complex<double>> to_complex(const std::vector<IqSample>& samples,
+                                             double output_scale) {
+  std::vector<std::complex<double>> out;
+  out.reserve(samples.size());
+  // The paper's rails compute I = x*cos and Q = x*sin.  The standard complex
+  // baseband (mixing by e^{-j w t}) is I - jQ, so a tone *above* the NCO
+  // frequency comes out at *positive* baseband frequency.
+  for (const IqSample& s : samples)
+    out.emplace_back(static_cast<double>(s.i) * output_scale,
+                     -static_cast<double>(s.q) * output_scale);
+  return out;
+}
+
+ErrorStats compare_streams(const std::vector<std::complex<double>>& golden,
+                           const std::vector<std::complex<double>>& test) {
+  if (golden.size() != test.size() || golden.empty())
+    throw ConfigError("compare_streams: streams must be equal-sized and non-empty");
+  // Least-squares real gain g minimising sum |golden - g*test|^2.
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    num += golden[i].real() * test[i].real() + golden[i].imag() * test[i].imag();
+    den += std::norm(test[i]);
+  }
+  const double g = den > 0.0 ? num / den : 1.0;
+
+  double sig = 0.0;
+  double err = 0.0;
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    sig += std::norm(golden[i]);
+    const double e = std::abs(golden[i] - g * test[i]);
+    err += e * e;
+    max_err = std::max(max_err, e);
+  }
+  ErrorStats stats;
+  stats.gain = g;
+  stats.max_abs_error = max_err;
+  stats.count = golden.size();
+  stats.snr_db = err > 0.0 ? power_db(sig / err) : 300.0;
+  return stats;
+}
+
+double quantization_snr_db(int bits) { return 6.0206 * bits + 1.7609; }
+
+}  // namespace twiddc::core

@@ -1,0 +1,37 @@
+// twiddc::core -- error analysis between DDC implementations.
+//
+// Used by tests (SNR thresholds per datapath) and EXPERIMENTS.md generation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/fixed_ddc.hpp"
+
+namespace twiddc::core {
+
+/// Converts raw fixed outputs into normalised complex doubles using the
+/// datapath's output scale.
+std::vector<std::complex<double>> to_complex(const std::vector<IqSample>& samples,
+                                             double output_scale);
+
+struct ErrorStats {
+  double snr_db = 0.0;        ///< after optimal (least-squares) gain fit
+  double gain = 1.0;          ///< fitted gain test -> golden
+  double max_abs_error = 0.0; ///< after gain fit
+  std::size_t count = 0;
+};
+
+/// Compares a test stream against a golden stream of the same length.  A
+/// single real least-squares gain is fitted first, because fixed datapaths
+/// carry known small gain offsets (coefficient quantisation, (2^a-1)/2^a NCO
+/// amplitude) that are not noise.
+ErrorStats compare_streams(const std::vector<std::complex<double>>& golden,
+                           const std::vector<std::complex<double>>& test);
+
+/// Theoretical SNR limit of quantising an ideal chain output to `bits`
+/// (6.02*bits + 1.76 dB, full-scale sine).
+double quantization_snr_db(int bits);
+
+}  // namespace twiddc::core

@@ -1,0 +1,84 @@
+#include "src/core/datapath_spec.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+
+DatapathSpec DatapathSpec::fpga() {
+  DatapathSpec s;
+  s.name = "fpga-12bit";
+  s.input_bits = 12;
+  s.nco_amplitude_bits = 12;
+  s.nco_table_bits = 10;
+  s.mixer_out_bits = 12;
+  s.interstage_bits = 12;
+  s.fir_coeff_frac_bits = 11;  // 12-bit coefficients
+  s.fir_acc_bits = 31;         // section 5.2.1: 31-bit intermediate result
+  s.output_bits = 12;
+  return s;
+}
+
+DatapathSpec DatapathSpec::wide16() {
+  DatapathSpec s;
+  s.name = "wide-16bit";
+  s.input_bits = 12;
+  s.nco_amplitude_bits = 16;
+  s.nco_table_bits = 10;
+  s.mixer_out_bits = 16;
+  s.interstage_bits = 16;
+  s.fir_coeff_frac_bits = 15;  // Q1.15
+  s.fir_acc_bits = 40;
+  s.output_bits = 16;
+  return s;
+}
+
+DatapathSpec DatapathSpec::ideal() {
+  DatapathSpec s;
+  s.name = "ideal-fullwidth";
+  s.input_bits = 12;
+  s.nco_amplitude_bits = 24;
+  s.nco_table_bits = 14;
+  s.mixer_out_bits = 32;
+  s.interstage_bits = 32;
+  s.fir_coeff_frac_bits = 23;
+  s.fir_acc_bits = 63;
+  s.output_bits = 32;
+  return s;
+}
+
+void DatapathSpec::validate(int fir_taps) const {
+  auto in_range = [](int v, int lo, int hi) { return v >= lo && v <= hi; };
+  if (!in_range(input_bits, 2, 32))
+    throw ConfigError("DatapathSpec: input_bits must be in [2,32]");
+  if (!in_range(nco_amplitude_bits, 2, 24))
+    throw ConfigError("DatapathSpec: nco_amplitude_bits must be in [2,24]");
+  if (!in_range(nco_table_bits, 2, 16))
+    throw ConfigError("DatapathSpec: nco_table_bits must be in [2,16]");
+  if (!in_range(mixer_out_bits, 2, 48))
+    throw ConfigError("DatapathSpec: mixer_out_bits must be in [2,48]");
+  if (mixer_out_bits > input_bits + nco_amplitude_bits - 1)
+    throw ConfigError("DatapathSpec: mixer_out_bits exceeds the mixer product width");
+  if (!in_range(interstage_bits, 2, 48))
+    throw ConfigError("DatapathSpec: interstage_bits must be in [2,48]");
+  if (!in_range(fir_coeff_frac_bits, 1, 30))
+    throw ConfigError("DatapathSpec: fir_coeff_frac_bits must be in [1,30]");
+  if (!in_range(output_bits, 2, 48))
+    throw ConfigError("DatapathSpec: output_bits must be in [2,48]");
+  // Worst-case FIR accumulation: every product at full magnitude.
+  // product bits = interstage + (coeff_frac+1) - 1; summing `taps` products
+  // adds ceil(log2(taps)) bits.
+  const int product_bits = interstage_bits + fir_coeff_frac_bits;
+  const int growth = fixed::ceil_log2(fir_taps);
+  if (fir_acc_bits < product_bits + growth)
+    throw ConfigError("DatapathSpec '" + name + "': fir_acc_bits=" +
+                      std::to_string(fir_acc_bits) + " cannot hold " +
+                      std::to_string(fir_taps) + " products of " +
+                      std::to_string(product_bits) + " bits (need >= " +
+                      std::to_string(product_bits + growth) + ")");
+  if (fir_acc_bits > 63)
+    throw ConfigError("DatapathSpec: fir_acc_bits must be <= 63");
+}
+
+}  // namespace twiddc::core

@@ -1,0 +1,43 @@
+// twiddc::core -- fixed-point datapath policies for the DDC chain.
+//
+// The five architectures in the paper implement the *same* rate plan with
+// *different* word widths.  DatapathSpec captures those choices so one
+// functional model (FixedDdc) can be the bit-exact twin of each hardware
+// simulator:
+//   - fpga():    12-bit busses between parts, 31-bit FIR accumulator,
+//                saturating 12-bit output quantiser (paper section 5.2.1);
+//   - wide16():  16-bit words (Montium datapath / int-based C on the ARM),
+//                Q1.15 coefficients, 40-bit MAC;
+//   - ideal():   full-width everywhere, for quantisation-noise baselines.
+#pragma once
+
+#include <string>
+
+#include "src/dsp/nco.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::core {
+
+struct DatapathSpec {
+  std::string name = "custom";
+  int input_bits = 12;          ///< AD-converter word width
+  int nco_amplitude_bits = 12;  ///< sin/cos precision
+  int nco_table_bits = 10;      ///< quarter-wave LUT address bits
+  dsp::Nco::Mode nco_mode = dsp::Nco::Mode::kLookupTable;
+  int mixer_out_bits = 12;      ///< bus width after the mixer
+  int interstage_bits = 12;     ///< bus width after each CIC stage
+  int fir_coeff_frac_bits = 11; ///< FIR coefficients in Q1.<frac>
+  int fir_acc_bits = 31;        ///< FIR accumulator width
+  int output_bits = 12;         ///< final output word width
+  fixed::Rounding rounding = fixed::Rounding::kTruncate;
+
+  static DatapathSpec fpga();
+  static DatapathSpec wide16();
+  static DatapathSpec ideal();
+
+  /// Throws ConfigError if widths are inconsistent (e.g. accumulator too
+  /// narrow for worst-case FIR growth).
+  void validate(int fir_taps) const;
+};
+
+}  // namespace twiddc::core

@@ -1,0 +1,46 @@
+#include "src/core/ddc_config.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+
+DdcConfig DdcConfig::reference(double nco_freq_hz) {
+  DdcConfig c;
+  c.nco_freq_hz = nco_freq_hz;
+  c.validate();
+  return c;
+}
+
+std::vector<StagePlan> DdcConfig::stage_plan() const {
+  return {
+      {"NCO", input_rate_hz, 0},
+      {"CIC" + std::to_string(cic2_stages), input_rate_hz, cic2_decimation},
+      {"CIC" + std::to_string(cic5_stages), cic2_output_rate_hz(), cic5_decimation},
+      {std::to_string(fir_taps) + " taps FIR", cic5_output_rate_hz(), fir_decimation},
+      {"Output", output_rate_hz(), 0},
+  };
+}
+
+void DdcConfig::validate() const {
+  if (input_rate_hz <= 0.0)
+    throw ConfigError("DdcConfig: input_rate_hz must be positive");
+  if (nco_freq_hz < 0.0 || nco_freq_hz >= input_rate_hz / 2.0)
+    throw ConfigError("DdcConfig: nco_freq_hz must be in [0, input_rate/2), got " +
+                      std::to_string(nco_freq_hz));
+  if (cic2_stages < 1 || cic2_stages > 8)
+    throw ConfigError("DdcConfig: cic2_stages must be in [1,8]");
+  if (cic5_stages < 1 || cic5_stages > 8)
+    throw ConfigError("DdcConfig: cic5_stages must be in [1,8]");
+  if (cic2_decimation < 1 || cic2_decimation > 4096)
+    throw ConfigError("DdcConfig: cic2_decimation must be in [1,4096]");
+  if (cic5_decimation < 1 || cic5_decimation > 4096)
+    throw ConfigError("DdcConfig: cic5_decimation must be in [1,4096]");
+  if (fir_decimation < 1 || fir_decimation > 64)
+    throw ConfigError("DdcConfig: fir_decimation must be in [1,64]");
+  if (fir_taps < 1 || fir_taps > 4096)
+    throw ConfigError("DdcConfig: fir_taps must be in [1,4096]");
+}
+
+}  // namespace twiddc::core

@@ -1,0 +1,55 @@
+// twiddc::core -- the DDC chain configuration (paper Table 1 / Figure 1).
+//
+// A DDC is an NCO-driven complex mixer followed by CIC2 -> CIC5 -> FIR
+// stages, each decimating.  This struct captures the rate plan; the
+// arithmetic details live in DatapathSpec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twiddc::core {
+
+/// One row of Table 1: a component, the rate it runs at, its decimation.
+struct StagePlan {
+  std::string component;
+  double clock_hz = 0.0;  ///< clock/sample rate at the stage input
+  int decimation = 0;     ///< 0 renders as "-" (NCO / output rows)
+};
+
+struct DdcConfig {
+  double input_rate_hz = 64.512e6;  ///< AD-converter sample rate
+  double nco_freq_hz = 10.0e6;      ///< centre of the selected band
+  int cic2_stages = 2;
+  int cic2_decimation = 16;
+  int cic5_stages = 5;
+  int cic5_decimation = 21;
+  int fir_taps = 125;
+  int fir_decimation = 8;
+
+  /// The paper's reference configuration (Table 1), selecting a band around
+  /// `nco_freq_hz`.
+  static DdcConfig reference(double nco_freq_hz = 10.0e6);
+
+  [[nodiscard]] int total_decimation() const {
+    return cic2_decimation * cic5_decimation * fir_decimation;
+  }
+  [[nodiscard]] double output_rate_hz() const {
+    return input_rate_hz / total_decimation();
+  }
+  [[nodiscard]] double cic2_output_rate_hz() const {
+    return input_rate_hz / cic2_decimation;
+  }
+  [[nodiscard]] double cic5_output_rate_hz() const {
+    return cic2_output_rate_hz() / cic5_decimation;
+  }
+
+  /// Rows of Table 1 for this configuration.
+  [[nodiscard]] std::vector<StagePlan> stage_plan() const;
+
+  /// Throws ConfigError when a parameter is out of the supported range.
+  void validate() const;
+};
+
+}  // namespace twiddc::core

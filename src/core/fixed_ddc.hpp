@@ -1,0 +1,103 @@
+// twiddc::core -- the fixed-point reference DDC (paper Figure 1).
+//
+// One NCO drives two identical rails (in-phase and quadrature):
+//
+//   x --*--> [x * cos] --> CIC2 (D=16) --> CIC5 (D=21) --> FIR125 (D=8) --> I
+//       \--> [x * sin] --> CIC2 (D=16) --> CIC5 (D=21) --> FIR125 (D=8) --> Q
+//
+// All word widths come from a DatapathSpec, which makes this class the
+// bit-exact functional twin of the FPGA RTL model (fpga()), the Montium
+// mapping and the GPP program (wide16()).  One output I/Q pair is produced
+// every total_decimation() == 2688 input samples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/datapath_spec.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/dsp/cic.hpp"
+#include "src/dsp/fir.hpp"
+#include "src/dsp/mixer.hpp"
+#include "src/dsp/nco.hpp"
+
+namespace twiddc::core {
+
+/// One complex output sample (raw integers in spec.output_bits).
+struct IqSample {
+  std::int64_t i = 0;
+  std::int64_t q = 0;
+  friend bool operator==(const IqSample&, const IqSample&) = default;
+};
+
+/// Optional per-stage observation points, filled when tracing is enabled;
+/// used by the Figure 1 bench to plot the spectrum after every stage.
+struct StageTrace {
+  std::vector<std::int64_t> mixer_i;  ///< mixer output, full input rate
+  std::vector<std::int64_t> cic2_i;   ///< CIC2 output (normalised), 4.032 MHz
+  std::vector<std::int64_t> cic5_i;   ///< CIC5 output (normalised), 192 kHz
+  std::vector<std::int64_t> fir_i;    ///< final output, 24 kHz
+};
+
+class FixedDdc {
+ public:
+  FixedDdc(const DdcConfig& config, const DatapathSpec& spec);
+
+  /// Pushes one raw input sample (must fit spec.input_bits; checked) and
+  /// returns an output every total_decimation() inputs.
+  std::optional<IqSample> push(std::int64_t x);
+
+  /// Feeds a whole block; returns the produced outputs.
+  std::vector<IqSample> process(const std::vector<std::int64_t>& in);
+
+  void reset();
+
+  /// Enables (or disables) stage tracing for the in-phase rail.
+  void set_tracing(bool enabled);
+  [[nodiscard]] const StageTrace& trace() const { return trace_; }
+
+  [[nodiscard]] const DdcConfig& config() const { return config_; }
+  [[nodiscard]] const DatapathSpec& spec() const { return spec_; }
+  /// The quantised FIR coefficients in Q1.<fir_coeff_frac_bits>.
+  [[nodiscard]] const std::vector<std::int64_t>& fir_taps() const { return fir_taps_; }
+  /// The ideal (double) coefficients the quantised taps were derived from.
+  [[nodiscard]] const std::vector<double>& fir_taps_ideal() const { return fir_ideal_; }
+  [[nodiscard]] std::uint64_t samples_in() const { return samples_in_; }
+  [[nodiscard]] std::uint64_t samples_out() const { return samples_out_; }
+  /// Multiplies full-rate raw output values into normalised doubles
+  /// (divide by 2^(output_bits-1)).
+  [[nodiscard]] double output_scale() const;
+
+  /// Retunes the NCO (runtime-adjustable, as on every paper architecture).
+  void set_nco_frequency(double freq_hz);
+
+ private:
+  struct Rail {
+    dsp::CicDecimator cic2;
+    dsp::CicDecimator cic5;
+    dsp::PolyphaseFirDecimator<std::int64_t> fir;
+    std::optional<std::int64_t> last_out;
+  };
+
+  /// Runs one mixed sample through a rail; returns FIR output when produced.
+  std::optional<std::int64_t> advance_rail(Rail& rail, std::int64_t mixed,
+                                           bool trace_this_rail);
+
+  DdcConfig config_;
+  DatapathSpec spec_;
+  dsp::Nco nco_;
+  dsp::ComplexMixer mixer_;
+  std::vector<std::int64_t> fir_taps_;
+  std::vector<double> fir_ideal_;
+  std::vector<Rail> rails_;  // [0]=I, [1]=Q
+  int cic2_shift_ = 0;
+  int cic5_shift_ = 0;
+  int fir_shift_ = 0;
+  bool tracing_ = false;
+  StageTrace trace_;
+  std::uint64_t samples_in_ = 0;
+  std::uint64_t samples_out_ = 0;
+};
+
+}  // namespace twiddc::core

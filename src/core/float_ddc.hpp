@@ -1,0 +1,55 @@
+// twiddc::core -- double-precision golden DDC.
+//
+// Mirrors FixedDdc's topology and scaling decisions exactly (the CIC gain is
+// normalised by 2^growth, as a shift would) but keeps every value in double
+// and uses exact sin/cos and unquantised FIR coefficients.  Comparing a
+// FixedDdc output stream against this chain isolates the architecture's
+// quantisation noise -- the per-datapath SNR reported in EXPERIMENTS.md.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/ddc_config.hpp"
+#include "src/dsp/fir.hpp"
+#include "src/dsp/moving_average.hpp"
+
+namespace twiddc::core {
+
+class FloatDdc {
+ public:
+  explicit FloatDdc(const DdcConfig& config);
+
+  /// Pushes one input sample in [-1, 1]; returns an I/Q pair every
+  /// total_decimation() inputs.
+  std::optional<std::complex<double>> push(double x);
+
+  std::vector<std::complex<double>> process(const std::vector<double>& in);
+
+  void reset();
+
+  [[nodiscard]] const DdcConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<double>& fir_taps() const { return fir_taps_; }
+
+ private:
+  struct Rail {
+    dsp::MovingAverageCascade<double> cic2;
+    dsp::MovingAverageCascade<double> cic5;
+    dsp::PolyphaseFirDecimator<double> fir;
+  };
+
+  std::optional<double> advance_rail(Rail& rail, double mixed);
+
+  DdcConfig config_;
+  std::vector<double> fir_taps_;
+  std::vector<Rail> rails_;
+  double phase_ = 0.0;
+  double phase_step_ = 0.0;
+  double cic2_norm_ = 1.0;
+  double cic5_norm_ = 1.0;
+  std::uint64_t samples_in_ = 0;
+};
+
+}  // namespace twiddc::core

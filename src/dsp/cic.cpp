@@ -1,0 +1,100 @@
+#include "src/dsp/cic.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::dsp {
+
+CicDecimator::CicDecimator(const Config& config) : config_(config) {
+  if (config.stages < 1 || config.stages > 8)
+    throw ConfigError("CicDecimator: stages must be in [1,8], got " +
+                      std::to_string(config.stages));
+  if (config.decimation < 1)
+    throw ConfigError("CicDecimator: decimation must be >= 1, got " +
+                      std::to_string(config.decimation));
+  if (config.diff_delay < 1 || config.diff_delay > 2)
+    throw ConfigError("CicDecimator: diff_delay must be 1 or 2");
+  if (config.input_bits < 1 || config.input_bits > 32)
+    throw ConfigError("CicDecimator: input_bits must be in [1,32]");
+  if (!config.prune_shifts.empty() &&
+      config.prune_shifts.size() != static_cast<std::size_t>(config.stages))
+    throw ConfigError("CicDecimator: prune_shifts must be empty or one per stage");
+  for (int s : config.prune_shifts)
+    if (s < 0 || s > 32) throw ConfigError("CicDecimator: prune shift out of range");
+
+  const int full = config.input_bits + growth_bits();
+  register_bits_ = config.register_bits == 0 ? full : config.register_bits;
+  if (register_bits_ < 2 || register_bits_ > 63)
+    throw ConfigError("CicDecimator: register width " + std::to_string(register_bits_) +
+                      " not representable (need 2..63 bits)");
+
+  integrators_.assign(static_cast<std::size_t>(config.stages), 0);
+  comb_delays_.assign(static_cast<std::size_t>(config.stages * config.diff_delay), 0);
+}
+
+void CicDecimator::reset() {
+  integrators_.assign(integrators_.size(), 0);
+  comb_delays_.assign(comb_delays_.size(), 0);
+  decim_count_ = 0;
+  samples_in_ = 0;
+  samples_out_ = 0;
+}
+
+std::int64_t CicDecimator::gain() const {
+  return fixed::cic_gain(config_.stages, config_.decimation, config_.diff_delay);
+}
+
+int CicDecimator::growth_bits() const {
+  return fixed::cic_bit_growth(config_.stages, config_.decimation, config_.diff_delay);
+}
+
+std::int64_t CicDecimator::output_bound() const {
+  // A full-scale input of magnitude 2^(input_bits-1) emerges with at most
+  // gain() times that magnitude (DC gain is the filter's max gain).
+  std::int64_t prune_scale = 0;
+  for (int s : config_.prune_shifts) prune_scale += s;
+  return (gain() >> prune_scale) * (std::int64_t{1} << (config_.input_bits - 1));
+}
+
+std::optional<std::int64_t> CicDecimator::push(std::int64_t x) {
+  ++samples_in_;
+  // Integrator chain at the input rate.  Wrap-around arithmetic: this is the
+  // hardware behaviour the algorithm depends on.
+  std::int64_t v = x;
+  for (int s = 0; s < config_.stages; ++s) {
+    if (!config_.prune_shifts.empty())
+      v = fixed::shift_right(v, config_.prune_shifts[static_cast<std::size_t>(s)],
+                             fixed::Rounding::kTruncate);
+    auto& acc = integrators_[static_cast<std::size_t>(s)];
+    acc = fixed::wrap_add(acc, v, register_bits_);
+    v = acc;
+  }
+  // Decimator: 1 of every R integrator outputs reaches the combs.
+  if (++decim_count_ < config_.decimation) return std::nullopt;
+  decim_count_ = 0;
+  // Comb chain at the output rate: y = v - z^-M.
+  for (int s = 0; s < config_.stages; ++s) {
+    const std::size_t base = static_cast<std::size_t>(s * config_.diff_delay);
+    const std::int64_t delayed = comb_delays_[base + static_cast<std::size_t>(config_.diff_delay - 1)];
+    for (int d = config_.diff_delay - 1; d > 0; --d)
+      comb_delays_[base + static_cast<std::size_t>(d)] =
+          comb_delays_[base + static_cast<std::size_t>(d - 1)];
+    comb_delays_[base] = v;
+    v = fixed::wrap_sub(v, delayed, register_bits_);
+  }
+  ++samples_out_;
+  return v;
+}
+
+std::vector<std::int64_t> CicDecimator::process(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / static_cast<std::size_t>(config_.decimation) + 1);
+  for (std::int64_t x : in) {
+    if (auto y = push(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+}  // namespace twiddc::dsp

@@ -1,0 +1,68 @@
+// twiddc::dsp -- Cascaded Integrator-Comb decimator (paper section 2.1, Fig 2).
+//
+// N integrators run at the input rate; a decimator passes 1 of every R
+// samples to N comb (first-difference) sections.  Registers use
+// two's-complement wrap-around arithmetic at the Hogenauer width
+// W_in + ceil(N*log2(R*M)); overflow in the integrators is intentional and
+// cancels in the combs.  Optional per-stage pruning (discarding LSBs) models
+// narrow datapaths; the injected noise is bounded per Hogenauer (1981).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace twiddc::dsp {
+
+class CicDecimator {
+ public:
+  struct Config {
+    int stages = 2;          ///< N: number of integrator+comb pairs
+    int decimation = 16;     ///< R
+    int diff_delay = 1;      ///< M (the paper uses 1 throughout)
+    int input_bits = 12;     ///< width of the input samples
+    int register_bits = 0;   ///< 0 = automatic Hogenauer full width
+    /// Right-shift applied at the input of each integrator stage (size must
+    /// equal `stages` if non-empty).  Models Hogenauer pruning.
+    std::vector<int> prune_shifts;
+  };
+
+  explicit CicDecimator(const Config& config);
+
+  /// Pushes one input sample; returns an output sample every `decimation`
+  /// inputs (full register width, gain (R*M)^N / 2^sum(prune_shifts), not
+  /// yet normalised -- callers shift by growth_bits() or divide by gain()).
+  std::optional<std::int64_t> push(std::int64_t x);
+
+  /// Block helper: feeds all of `in`, appends produced outputs to a vector.
+  std::vector<std::int64_t> process(const std::vector<std::int64_t>& in);
+
+  void reset();
+
+  /// DC gain (R*M)^N before any pruning shifts.
+  [[nodiscard]] std::int64_t gain() const;
+  /// Hogenauer bit growth ceil(N*log2(R*M)).
+  [[nodiscard]] int growth_bits() const;
+  /// Actual register width used.
+  [[nodiscard]] int register_bits() const { return register_bits_; }
+  /// Number of inputs consumed since construction/reset.
+  [[nodiscard]] std::uint64_t samples_in() const { return samples_in_; }
+  /// Number of outputs produced since construction/reset.
+  [[nodiscard]] std::uint64_t samples_out() const { return samples_out_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Worst-case output magnitude bound for a full-scale input, used by tests
+  /// to prove the chosen register width cannot mis-wrap.
+  [[nodiscard]] std::int64_t output_bound() const;
+
+ private:
+  Config config_;
+  int register_bits_ = 0;
+  std::vector<std::int64_t> integrators_;
+  std::vector<std::int64_t> comb_delays_;  // stages * diff_delay entries
+  int decim_count_ = 0;
+  std::uint64_t samples_in_ = 0;
+  std::uint64_t samples_out_ = 0;
+};
+
+}  // namespace twiddc::dsp

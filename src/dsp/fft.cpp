@@ -1,0 +1,58 @@
+#include "src/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kPi = 3.14159265358979323846264338327950288;
+
+void bit_reverse_permute(std::vector<cplx>& a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void transform(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n))
+    throw ConfigError("fft: size must be a power of two, got " + std::to_string(n));
+  bit_reverse_permute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : a) v *= inv;
+  }
+}
+}  // namespace
+
+void fft_inplace(std::vector<cplx>& data) { transform(data, /*inverse=*/false); }
+
+void ifft_inplace(std::vector<cplx>& data) { transform(data, /*inverse=*/true); }
+
+std::vector<cplx> fft_real(const std::vector<double>& x) {
+  std::vector<cplx> data(x.begin(), x.end());
+  fft_inplace(data);
+  return data;
+}
+
+}  // namespace twiddc::dsp

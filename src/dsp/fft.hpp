@@ -1,0 +1,26 @@
+// twiddc::dsp -- radix-2 FFT used for spectral verification.
+//
+// Built from scratch (no external dependency): iterative in-place
+// decimation-in-time with precomputed twiddles.  Sizes must be powers of two.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace twiddc::dsp {
+
+using cplx = std::complex<double>;
+
+/// In-place forward FFT.  `data.size()` must be a power of two >= 1.
+void fft_inplace(std::vector<cplx>& data);
+
+/// In-place inverse FFT (includes the 1/N normalisation).
+void ifft_inplace(std::vector<cplx>& data);
+
+/// Convenience: forward FFT of a real signal, returning N complex bins.
+std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace twiddc::dsp

@@ -1,0 +1,141 @@
+#include "src/dsp/fir.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+void check_taps(std::size_t taps) {
+  if (taps == 0) throw ConfigError("FIR: tap vector must not be empty");
+}
+void check_decimation(int d) {
+  if (d < 1) throw ConfigError("FIR: decimation must be >= 1, got " + std::to_string(d));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- FirFilter
+
+template <typename T>
+FirFilter<T>::FirFilter(std::vector<T> taps) : taps_(std::move(taps)) {
+  check_taps(taps_.size());
+  history_.assign(taps_.size(), T{});
+}
+
+template <typename T>
+void FirFilter<T>::reset() {
+  history_.assign(history_.size(), T{});
+  head_ = 0;
+}
+
+template <typename T>
+T FirFilter<T>::push(T x) {
+  // head_ points at the slot for the newest sample.
+  history_[head_] = x;
+  T acc{};
+  std::size_t idx = head_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * history_[idx];
+    idx = idx == 0 ? history_.size() - 1 : idx - 1;
+  }
+  head_ = head_ + 1 == history_.size() ? 0 : head_ + 1;
+  return acc;
+}
+
+// ------------------------------------------------------------- FirDecimator
+
+template <typename T>
+FirDecimator<T>::FirDecimator(std::vector<T> taps, int decimation)
+    : taps_(std::move(taps)), decimation_(decimation) {
+  check_taps(taps_.size());
+  check_decimation(decimation);
+  history_.assign(taps_.size(), T{});
+}
+
+template <typename T>
+void FirDecimator<T>::reset() {
+  history_.assign(history_.size(), T{});
+  head_ = 0;
+  phase_ = 0;
+}
+
+template <typename T>
+std::optional<T> FirDecimator<T>::push(T x) {
+  history_[head_] = x;
+  const std::size_t newest = head_;
+  head_ = head_ + 1 == history_.size() ? 0 : head_ + 1;
+  if (++phase_ < decimation_) return std::nullopt;
+  phase_ = 0;
+  T acc{};
+  std::size_t idx = newest;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * history_[idx];
+    idx = idx == 0 ? history_.size() - 1 : idx - 1;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------- PolyphaseFirDecimator
+
+template <typename T>
+PolyphaseFirDecimator<T>::PolyphaseFirDecimator(std::vector<T> taps, int decimation)
+    : decimation_(decimation), total_taps_(taps.size()) {
+  check_taps(taps.size());
+  check_decimation(decimation);
+  phases_.resize(static_cast<std::size_t>(decimation));
+  for (std::size_t k = 0; k < taps.size(); ++k)
+    phases_[k % static_cast<std::size_t>(decimation)].push_back(taps[k]);
+  histories_.resize(phases_.size());
+  heads_.assign(phases_.size(), 0);
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    // Delay lines never shrink below one slot so empty subfilters stay benign.
+    histories_[p].assign(std::max<std::size_t>(phases_[p].size(), 1), T{});
+  }
+}
+
+template <typename T>
+void PolyphaseFirDecimator<T>::reset() {
+  for (std::size_t p = 0; p < histories_.size(); ++p) {
+    histories_[p].assign(histories_[p].size(), T{});
+    heads_[p] = 0;
+  }
+  rotor_ = 0;
+}
+
+template <typename T>
+std::optional<T> PolyphaseFirDecimator<T>::push(T x) {
+  // Sample with input-index residue r feeds subfilter p = D-1-r, so that the
+  // revolution completes exactly when y[m] = sum_k h[k] x[mD + D-1 - k] is
+  // computable (matching FirDecimator's output instants).
+  const auto p = static_cast<std::size_t>(decimation_ - 1 - rotor_);
+  auto& hist = histories_[p];
+  auto& head = heads_[p];
+  hist[head] = x;
+  const std::size_t newest = head;
+  head = head + 1 == hist.size() ? 0 : head + 1;
+
+  if (++rotor_ < decimation_) return std::nullopt;
+  rotor_ = 0;
+  T acc{};
+  for (std::size_t q = 0; q < phases_.size(); ++q) {
+    const auto& e = phases_[q];
+    const auto& h = histories_[q];
+    // Newest element of phase q: for q == p it is `newest`; for the others it
+    // is one behind their head pointer.
+    std::size_t idx = q == p ? newest : (heads_[q] == 0 ? h.size() - 1 : heads_[q] - 1);
+    for (std::size_t j = 0; j < e.size(); ++j) {
+      acc += e[j] * h[idx];
+      idx = idx == 0 ? h.size() - 1 : idx - 1;
+    }
+  }
+  return acc;
+}
+
+template class FirFilter<double>;
+template class FirFilter<std::int64_t>;
+template class FirDecimator<double>;
+template class FirDecimator<std::int64_t>;
+template class PolyphaseFirDecimator<double>;
+template class PolyphaseFirDecimator<std::int64_t>;
+
+}  // namespace twiddc::dsp

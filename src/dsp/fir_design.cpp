@@ -1,0 +1,123 @@
+#include "src/dsp/fir_design.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "src/common/error.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kPi = 3.14159265358979323846264338327950288;
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+void normalize_dc(std::vector<double>& h) {
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  if (sum == 0.0) throw ConfigError("FIR design produced zero DC gain");
+  for (double& v : h) v /= sum;
+}
+
+void check_design_args(int taps, double cutoff) {
+  if (taps < 1) throw ConfigError("FIR design: taps must be >= 1, got " + std::to_string(taps));
+  if (!(cutoff > 0.0 && cutoff < 0.5))
+    throw ConfigError("FIR design: cutoff must be in (0, 0.5), got " + std::to_string(cutoff));
+}
+}  // namespace
+
+std::vector<double> design_lowpass(int taps, double cutoff, Window window,
+                                   double kaiser_beta) {
+  check_design_args(taps, cutoff);
+  const std::vector<double> w = window_values(window, taps, kaiser_beta);
+  std::vector<double> h(static_cast<std::size_t>(taps));
+  const double center = (taps - 1) / 2.0;
+  for (int k = 0; k < taps; ++k) {
+    const double t = k - center;
+    h[static_cast<std::size_t>(k)] =
+        2.0 * cutoff * sinc(2.0 * cutoff * t) * w[static_cast<std::size_t>(k)];
+  }
+  normalize_dc(h);
+  return h;
+}
+
+double cic_magnitude(int stages, int decimation, int diff_delay, double f) {
+  const double rm = static_cast<double>(decimation) * diff_delay;
+  if (std::abs(f) < 1e-12) return 1.0;
+  const double num = std::sin(kPi * f * rm);
+  const double den = rm * std::sin(kPi * f);
+  if (std::abs(den) < 1e-300) return 1.0;
+  return std::pow(std::abs(num / den), stages);
+}
+
+std::vector<double> design_cic_compensator(int taps, double cutoff, int cic_stages,
+                                           int cic_decimation, Window window) {
+  check_design_args(taps, cutoff);
+  if (cic_stages < 1 || cic_decimation < 1)
+    throw ConfigError("design_cic_compensator: CIC parameters must be >= 1");
+  // Frequency sampling on a fine grid: desired response is the inverse CIC
+  // droop inside the passband (evaluated at the CIC's *input* rate, i.e. at
+  // f/decimation relative to this filter's input rate), zero in the stopband,
+  // with a raised-cosine transition of one grid cell.
+  const int grid = 16 * taps;
+  std::vector<double> h(static_cast<std::size_t>(taps), 0.0);
+  const double center = (taps - 1) / 2.0;
+  for (int k = 0; k < taps; ++k) {
+    const double t = k - center;
+    double acc = 0.0;
+    // Inverse DFT of the (real, zero-phase) desired response.
+    for (int g = 0; g <= grid / 2; ++g) {
+      const double f = static_cast<double>(g) / grid;  // 0 .. 0.5
+      double desired = 0.0;
+      if (f <= cutoff) {
+        const double droop =
+            cic_magnitude(cic_stages, cic_decimation, 1, f / cic_decimation);
+        desired = droop > 1e-6 ? 1.0 / droop : 0.0;
+      }
+      const double weight = (g == 0 || g == grid / 2) ? 1.0 : 2.0;
+      acc += weight * desired * std::cos(2.0 * kPi * f * t);
+    }
+    h[static_cast<std::size_t>(k)] = acc / grid;
+  }
+  const std::vector<double> w = window_values(window, taps);
+  for (int k = 0; k < taps; ++k) h[static_cast<std::size_t>(k)] *= w[static_cast<std::size_t>(k)];
+  normalize_dc(h);
+  return h;
+}
+
+std::vector<std::int32_t> quantize_coefficients(const std::vector<double>& coeffs,
+                                                int frac_bits) {
+  if (frac_bits < 1 || frac_bits > 30)
+    throw ConfigError("quantize_coefficients: frac_bits must be in [1,30]");
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  std::vector<std::int32_t> out;
+  out.reserve(coeffs.size());
+  for (double c : coeffs) {
+    const double scaled = c * scale;
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    out.push_back(static_cast<std::int32_t>(
+        fixed::saturate(static_cast<std::int64_t>(rounded), frac_bits + 1)));
+  }
+  return out;
+}
+
+double fir_magnitude(const std::vector<double>& coeffs, double f) {
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    const double phase = -2.0 * kPi * f * static_cast<double>(k);
+    acc += coeffs[k] * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return std::abs(acc);
+}
+
+std::vector<double> reference_fir125() {
+  // 192 kHz input rate, 24 kHz output rate -> Nyquist of the output is
+  // 12 kHz; place the cutoff a little below it to keep aliasing out of the
+  // selected DRM band.  125 taps as in Table 1.
+  return design_lowpass(125, 10.0e3 / 192.0e3, Window::kBlackman);
+}
+
+}  // namespace twiddc::dsp

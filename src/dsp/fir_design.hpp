@@ -1,0 +1,57 @@
+// twiddc::dsp -- FIR coefficient design.
+//
+// The paper's reference DDC needs a 125-tap lowpass for the final
+// decimate-by-8 stage (Table 1).  The paper does not publish its
+// coefficients, so we design an equivalent filter from the stated
+// requirements: passband = the selected DRM band (~12 kHz at the 192 kHz
+// stage rate), enough stopband rejection to allow decimation by 8.  A CIC
+// droop compensator variant is provided because the paper notes the CIC's
+// "sub-optimal frequency attenuation" is the reason the FIR exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dsp/window.hpp"
+
+namespace twiddc::dsp {
+
+/// Windowed-sinc linear-phase lowpass.
+///
+/// `taps`     number of coefficients (odd gives a type-I filter).
+/// `cutoff`   normalised cutoff in cycles/sample at the filter's input rate
+///            (0 < cutoff < 0.5).
+/// The result is normalised to unity DC gain.
+std::vector<double> design_lowpass(int taps, double cutoff, Window window = Window::kHamming,
+                                   double kaiser_beta = 8.6);
+
+/// Windowed-sinc lowpass whose passband additionally equalises the droop of
+/// an N-stage CIC that ran earlier in the chain at `cic_decimation` relative
+/// to this filter's input rate.  Classic "CFIR" style compensation
+/// (cf. the GC4016's CFIR block): the ideal response is
+///   H(f) = 1/Hcic(f)  for f <= cutoff, 0 beyond,
+/// realised by frequency sampling + windowing.  Unity DC gain.
+std::vector<double> design_cic_compensator(int taps, double cutoff, int cic_stages,
+                                           int cic_decimation,
+                                           Window window = Window::kHamming);
+
+/// Quantises coefficients to `frac_bits` fractional bits (round to nearest,
+/// saturating at the signed (frac_bits+1)-bit range).  Returns raw integers.
+std::vector<std::int32_t> quantize_coefficients(const std::vector<double>& coeffs,
+                                                int frac_bits);
+
+/// Frequency response magnitude |H(e^{j2\pi f})| of a real FIR at normalised
+/// frequency `f` (cycles/sample).
+double fir_magnitude(const std::vector<double>& coeffs, double f);
+
+/// Magnitude response of an N-stage CIC decimator at normalised input
+/// frequency `f`, normalised to unity at DC:
+///   |sin(pi f R M) / (R M sin(pi f))|^N
+double cic_magnitude(int stages, int decimation, int diff_delay, double f);
+
+/// The reference 125-tap filter of the paper's Table 1 chain: lowpass at the
+/// 192 kHz stage rate with 12 kHz passband edge, Blackman window (gives
+/// > 70 dB stopband, adequate for the 12-bit FPGA datapath).
+std::vector<double> reference_fir125();
+
+}  // namespace twiddc::dsp

@@ -1,0 +1,66 @@
+// twiddc::dsp -- complex mixer (the multiplier pair after the NCO, Fig. 1).
+//
+// I[n] = x[n]*cos[n], Q[n] = x[n]*sin[n], each product scaled back from the
+// NCO's amplitude format and narrowed to the downstream bus width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::dsp {
+
+/// One I/Q pair leaving the mixer.
+struct Iq {
+  std::int64_t i;
+  std::int64_t q;
+};
+
+/// Stateless mixer; kept as a class so the datapath parameters are fixed at
+/// construction and shared by both rails.
+class ComplexMixer {
+ public:
+  struct Config {
+    int input_bits = 12;          ///< width of the sample input
+    int nco_amplitude_bits = 16;  ///< scale of the sin/cos inputs
+    int output_bits = 16;         ///< downstream bus width
+    fixed::Rounding rounding = fixed::Rounding::kTruncate;
+    fixed::Overflow overflow = fixed::Overflow::kSaturate;
+  };
+
+  explicit ComplexMixer(const Config& config)
+      : config_(config),
+        // A full-scale input (2^(in-1)) times a full-scale NCO value
+        // (2^(a-1)) must land at the output's full scale (2^(out-1)); the
+        // remaining product bits are shifted away.  This keeps the signal in
+        // the top of the downstream bus instead of at the input's scale --
+        // essential when the bus is wider than the input (16-bit Montium
+        // datapath fed from a 12-bit ADC).
+        shift_(config.input_bits + config.nco_amplitude_bits - 1 - config.output_bits) {
+    if (shift_ < 0)
+      throw ConfigError("ComplexMixer: output_bits " + std::to_string(config.output_bits) +
+                        " exceeds the product width of a " +
+                        std::to_string(config.input_bits) + "-bit input and " +
+                        std::to_string(config.nco_amplitude_bits) + "-bit NCO");
+  }
+
+  /// Mixes one input sample with the NCO pair.
+  [[nodiscard]] Iq mix(std::int64_t x, std::int32_t cos_v, std::int32_t sin_v) const {
+    const std::int64_t i_wide = fixed::shift_right(x * cos_v, shift_, config_.rounding);
+    const std::int64_t q_wide = fixed::shift_right(x * sin_v, shift_, config_.rounding);
+    return Iq{fixed::narrow(i_wide, config_.output_bits, config_.overflow),
+              fixed::narrow(q_wide, config_.output_bits, config_.overflow)};
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// Right shift applied to the raw product.
+  [[nodiscard]] int product_shift() const { return shift_; }
+
+ private:
+  Config config_;
+  int shift_;
+};
+
+}  // namespace twiddc::dsp

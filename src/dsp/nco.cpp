@@ -1,0 +1,105 @@
+#include "src/dsp/nco.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kPi = 3.14159265358979323846264338327950288;
+constexpr double kTwoPi = 2.0 * kPi;
+}  // namespace
+
+std::uint32_t PhaseAccumulator::tuning_word(double freq_hz, double fs_hz) {
+  if (fs_hz <= 0.0) throw ConfigError("PhaseAccumulator: sample rate must be positive");
+  double cycles = freq_hz / fs_hz;
+  cycles -= std::floor(cycles);  // wrap into [0, 1)
+  return static_cast<std::uint32_t>(std::llround(cycles * 4294967296.0) & 0xffffffffll);
+}
+
+double PhaseAccumulator::resolution_hz(double fs_hz) { return fs_hz / 4294967296.0; }
+
+std::vector<std::int32_t> make_quarter_sine_table(int table_bits, int amplitude_bits) {
+  if (table_bits < 2 || table_bits > 16)
+    throw ConfigError("make_quarter_sine_table: table_bits must be in [2,16]");
+  if (amplitude_bits < 2 || amplitude_bits > 24)
+    throw ConfigError("make_quarter_sine_table: amplitude_bits must be in [2,24]");
+  const int n = 1 << table_bits;
+  const double amp = static_cast<double>((std::int64_t{1} << (amplitude_bits - 1)) - 1);
+  std::vector<std::int32_t> table(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Mid-point sampling keeps the quadrant mirroring exact: the table value
+    // for address i represents phase (i + 0.5)/n * pi/2.
+    const double theta = (static_cast<double>(i) + 0.5) / n * (kPi / 2.0);
+    table[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(std::llround(std::sin(theta) * amp));
+  }
+  return table;
+}
+
+SinCos lut_sincos(std::uint32_t phase, const std::vector<std::int32_t>& table,
+                  int table_bits) {
+  const auto n = std::size_t{1} << table_bits;
+  if (table.size() != n)
+    throw ConfigError("lut_sincos: table size does not match table_bits");
+  const std::uint32_t quadrant = phase >> 30;
+  const std::uint32_t index = (phase >> (30 - table_bits)) & (n - 1);
+  const std::int32_t fwd = table[index];
+  const std::int32_t mir = table[n - 1 - index];
+  SinCos out{};
+  switch (quadrant) {
+    case 0: out.sin = fwd;  out.cos = mir;  break;
+    case 1: out.sin = mir;  out.cos = -fwd; break;
+    case 2: out.sin = -fwd; out.cos = -mir; break;
+    default: out.sin = -mir; out.cos = fwd; break;
+  }
+  return out;
+}
+
+SinCos taylor_sincos(std::uint32_t phase, int amplitude_bits) {
+  const double amp = static_cast<double>((std::int64_t{1} << (amplitude_bits - 1)) - 1);
+  // Range-reduce to x in [-pi/4, pi/4) around the nearest multiple of pi/2,
+  // then evaluate the order-5/order-4 Taylor polynomials.  This mirrors what
+  // the paper suggests a software NCO would do instead of a table.
+  const double turns = static_cast<double>(phase) * 0x1p-32;  // [0, 1)
+  const double octant = std::floor(turns * 4.0 + 0.5);        // nearest quarter
+  const double x = (turns - octant / 4.0) * kTwoPi;           // [-pi/4, pi/4)
+  const double x2 = x * x;
+  // Orders 7 and 6: on |x| <= pi/4 the truncation error is ~1e-7 relative,
+  // well under the 16-bit amplitude quantisation.
+  const double sin_x = x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+  const double cos_x = 1.0 - x2 / 2.0 * (1.0 - x2 / 12.0 * (1.0 - x2 / 30.0));
+  double s = 0.0;
+  double c = 0.0;
+  switch (static_cast<int>(octant) & 3) {
+    case 0: s = sin_x;  c = cos_x;  break;
+    case 1: s = cos_x;  c = -sin_x; break;
+    case 2: s = -sin_x; c = -cos_x; break;
+    default: s = -cos_x; c = sin_x; break;
+  }
+  SinCos out{};
+  out.sin = static_cast<std::int32_t>(std::llround(s * amp));
+  out.cos = static_cast<std::int32_t>(std::llround(c * amp));
+  return out;
+}
+
+Nco::Nco(const Config& config)
+    : config_(config),
+      acc_(PhaseAccumulator::tuning_word(config.freq_hz, config.sample_rate_hz)) {
+  if (config.mode == Mode::kLookupTable)
+    table_ = make_quarter_sine_table(config.table_bits, config.amplitude_bits);
+}
+
+SinCos Nco::next() {
+  const std::uint32_t phase = acc_.next();
+  if (config_.mode == Mode::kLookupTable)
+    return lut_sincos(phase, table_, config_.table_bits);
+  return taylor_sincos(phase, config_.amplitude_bits);
+}
+
+void Nco::set_frequency(double freq_hz) {
+  config_.freq_hz = freq_hz;
+  acc_.set_step(PhaseAccumulator::tuning_word(freq_hz, config_.sample_rate_hz));
+}
+
+}  // namespace twiddc::dsp

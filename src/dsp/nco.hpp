@@ -1,0 +1,99 @@
+// twiddc::dsp -- Numerically Controlled Oscillator (paper section 2.1).
+//
+// A 32-bit phase accumulator advances by a tuning word each input sample;
+// the top bits address either a quarter-wave sine look-up table or a Taylor
+// series evaluator (the two generation methods the paper names).  Outputs
+// are raw signed integers with `amplitude_bits` precision so that the same
+// table can back the functional model, the GPP program, the FPGA RTL and the
+// Montium mapping (they must agree bit-for-bit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace twiddc::dsp {
+
+/// 32-bit phase accumulator.
+class PhaseAccumulator {
+ public:
+  /// Tuning word for mixing frequency `freq_hz` at sample rate `fs_hz`
+  /// (rounded to the nearest representable frequency).
+  static std::uint32_t tuning_word(double freq_hz, double fs_hz);
+
+  /// Frequency resolution (Hz per tuning-word LSB) at `fs_hz`.
+  static double resolution_hz(double fs_hz);
+
+  explicit PhaseAccumulator(std::uint32_t tuning_word = 0) : step_(tuning_word) {}
+
+  /// Current phase, then advance.  Phase covers [0, 2^32) == [0, 2*pi).
+  std::uint32_t next() {
+    const std::uint32_t p = phase_;
+    phase_ += step_;
+    return p;
+  }
+
+  [[nodiscard]] std::uint32_t phase() const { return phase_; }
+  [[nodiscard]] std::uint32_t step() const { return step_; }
+  void set_step(std::uint32_t step) { step_ = step; }
+  void reset(std::uint32_t phase = 0) { phase_ = phase; }
+
+ private:
+  std::uint32_t phase_ = 0;
+  std::uint32_t step_ = 0;
+};
+
+/// Quarter-wave sine table: 2^table_bits entries of sin evaluated at
+/// mid-points of [0, pi/2), scaled to (2^(amplitude_bits-1) - 1).
+/// Shared by every architecture model.
+std::vector<std::int32_t> make_quarter_sine_table(int table_bits, int amplitude_bits);
+
+/// A sine/cosine pair produced by the NCO for one phase value.
+struct SinCos {
+  std::int32_t sin;
+  std::int32_t cos;
+};
+
+/// Pure function: quarter-wave LUT lookup for a 32-bit phase.  `table` must
+/// come from make_quarter_sine_table with matching `table_bits`.
+SinCos lut_sincos(std::uint32_t phase, const std::vector<std::int32_t>& table,
+                  int table_bits);
+
+/// Pure function: Taylor-series (5th order, range-reduced) evaluation,
+/// quantised to amplitude_bits.
+SinCos taylor_sincos(std::uint32_t phase, int amplitude_bits);
+
+/// The NCO block: phase accumulator + selectable generation method.
+class Nco {
+ public:
+  enum class Mode { kLookupTable, kTaylor };
+
+  struct Config {
+    double freq_hz = 0.0;       ///< mixing frequency
+    double sample_rate_hz = 1.0;
+    int amplitude_bits = 16;    ///< output precision (12 on the FPGA's bus)
+    int table_bits = 10;        ///< LUT address bits (kLookupTable only)
+    Mode mode = Mode::kLookupTable;
+  };
+
+  explicit Nco(const Config& config);
+
+  /// Produces the sin/cos pair for the current sample and advances phase.
+  SinCos next();
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const std::vector<std::int32_t>& table() const { return table_; }
+  [[nodiscard]] std::uint32_t tuning_word() const { return acc_.step(); }
+  void reset() { acc_.reset(); }
+
+  /// Retune without resetting phase (the paper's Montium mapping generates
+  /// LUT addresses in an ALU precisely so frequency can change during
+  /// execution).
+  void set_frequency(double freq_hz);
+
+ private:
+  Config config_;
+  PhaseAccumulator acc_;
+  std::vector<std::int32_t> table_;
+};
+
+}  // namespace twiddc::dsp

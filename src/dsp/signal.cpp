@@ -1,0 +1,98 @@
+#include "src/dsp/signal.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+}
+
+ToneGenerator::ToneGenerator(double freq_hz, double sample_rate_hz, double amplitude,
+                             double phase_rad)
+    : phase_(phase_rad), step_(kTwoPi * freq_hz / sample_rate_hz), amplitude_(amplitude) {
+  if (sample_rate_hz <= 0.0) throw ConfigError("ToneGenerator: sample rate must be positive");
+}
+
+double ToneGenerator::next() {
+  const double v = amplitude_ * std::sin(phase_);
+  phase_ += step_;
+  if (phase_ > kTwoPi) phase_ -= kTwoPi;
+  return v;
+}
+
+std::vector<double> make_scene(const std::vector<Component>& components,
+                               double sample_rate_hz, std::size_t n, double noise_rms,
+                               std::uint64_t seed) {
+  if (sample_rate_hz <= 0.0) throw ConfigError("make_scene: sample rate must be positive");
+  std::vector<double> out(n, 0.0);
+  for (const Component& c : components) {
+    const double step = kTwoPi * c.freq_hz / sample_rate_hz;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] += c.amplitude * std::sin(step * static_cast<double>(i) + c.phase_rad);
+  }
+  if (noise_rms > 0.0) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) out[i] += noise_rms * rng.gaussian();
+  }
+  return out;
+}
+
+std::vector<double> make_tone(double freq_hz, double sample_rate_hz, std::size_t n,
+                              double amplitude, double phase_rad) {
+  return make_scene({{freq_hz, amplitude, phase_rad}}, sample_rate_hz, n);
+}
+
+std::vector<std::int64_t> quantize_signal(const std::vector<double>& x, int bits) {
+  if (bits < 2 || bits > 32) throw ConfigError("quantize_signal: bits must be in [2,32]");
+  const double scale = static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+  std::vector<std::int64_t> out;
+  out.reserve(x.size());
+  for (double v : x) {
+    const double scaled = v * scale;
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    out.push_back(fixed::saturate(static_cast<std::int64_t>(rounded), bits));
+  }
+  return out;
+}
+
+std::vector<double> dequantize_signal(const std::vector<std::int64_t>& x, int bits) {
+  const double scale = static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (std::int64_t v : x) out.push_back(static_cast<double>(v) / scale);
+  return out;
+}
+
+std::vector<std::int64_t> random_samples(int bits, std::size_t n, Rng& rng) {
+  if (bits < 1 || bits > 32) throw ConfigError("random_samples: bits must be in [1,32]");
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(fixed::wrap(static_cast<std::int64_t>(rng()), bits));
+  return out;
+}
+
+std::vector<double> make_drm_scene(double center_hz, std::size_t n, double sample_rate_hz,
+                                   int carriers, std::uint64_t seed) {
+  if (carriers < 1) throw ConfigError("make_drm_scene: carriers must be >= 1");
+  Rng rng(seed);
+  std::vector<Component> comps;
+  // Target band: `carriers` tones across ~9 kHz, DRM-ish occupancy.
+  const double band_width = 9.0e3;
+  for (int c = 0; c < carriers; ++c) {
+    const double offset =
+        band_width * (static_cast<double>(c) / (carriers - 1 > 0 ? carriers - 1 : 1) - 0.5);
+    comps.push_back({center_hz + offset, 0.08, rng.uniform(0.0, kTwoPi)});
+  }
+  // Interferers: strong neighbours the filter chain must reject.
+  comps.push_back({center_hz + 150.0e3, 0.35, rng.uniform(0.0, kTwoPi)});
+  comps.push_back({center_hz - 220.0e3, 0.35, rng.uniform(0.0, kTwoPi)});
+  comps.push_back({center_hz + 2.5e6, 0.5, rng.uniform(0.0, kTwoPi)});
+  comps.push_back({center_hz - 7.0e6, 0.5, rng.uniform(0.0, kTwoPi)});
+  return make_scene(comps, sample_rate_hz, n, /*noise_rms=*/0.002, seed);
+}
+
+}  // namespace twiddc::dsp

@@ -1,0 +1,64 @@
+// twiddc::dsp -- deterministic test/stimulus signal generation.
+//
+// Substitutes for the paper's missing AD-converter input: tones, multi-tone
+// scenes (a DRM-like target band plus interferers), white noise, and the
+// "random data, 50 % toggle rate" stimulus the paper uses for FPGA power
+// estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace twiddc::dsp {
+
+/// One spectral component of a synthetic scene.
+struct Component {
+  double freq_hz = 0.0;
+  double amplitude = 1.0;  ///< linear, relative to full scale
+  double phase_rad = 0.0;
+};
+
+/// Streaming single tone.
+class ToneGenerator {
+ public:
+  ToneGenerator(double freq_hz, double sample_rate_hz, double amplitude = 1.0,
+                double phase_rad = 0.0);
+  double next();
+
+ private:
+  double phase_;
+  double step_;
+  double amplitude_;
+};
+
+/// n samples of sum of components (+ optional white Gaussian noise of the
+/// given RMS), as doubles in [-1, 1] (not clipped; keep total amplitude < 1).
+std::vector<double> make_scene(const std::vector<Component>& components,
+                               double sample_rate_hz, std::size_t n,
+                               double noise_rms = 0.0, std::uint64_t seed = 0x5eed);
+
+/// Single tone convenience wrapper.
+std::vector<double> make_tone(double freq_hz, double sample_rate_hz, std::size_t n,
+                              double amplitude = 1.0, double phase_rad = 0.0);
+
+/// Quantises [-1,1] doubles to signed `bits`-wide integers at full scale
+/// (round to nearest, saturating).
+std::vector<std::int64_t> quantize_signal(const std::vector<double>& x, int bits);
+
+/// Back-converts raw integers to doubles with the scale of `bits`.
+std::vector<double> dequantize_signal(const std::vector<std::int64_t>& x, int bits);
+
+/// Uniformly random full-range `bits`-wide integers: the 50 %-toggle stimulus
+/// used for the paper's FPGA power estimation.
+std::vector<std::int64_t> random_samples(int bits, std::size_t n, Rng& rng);
+
+/// A DRM-like scene at the paper's 64.512 MHz input rate: a target band of
+/// `carriers` closely spaced tones centred on `center_hz` (~10 kHz wide, like
+/// a DRM channel), plus strong out-of-band interferers the DDC must reject.
+std::vector<double> make_drm_scene(double center_hz, std::size_t n,
+                                   double sample_rate_hz = 64.512e6,
+                                   int carriers = 9, std::uint64_t seed = 0x5eed);
+
+}  // namespace twiddc::dsp

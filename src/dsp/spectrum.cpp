@@ -1,0 +1,131 @@
+#include "src/dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+std::size_t floor_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+Spectrum finish(std::vector<cplx> bins, double sample_rate_hz, double coherent_gain,
+                bool one_sided) {
+  const std::size_t n = bins.size();
+  Spectrum s;
+  s.sample_rate_hz = sample_rate_hz;
+  s.bin_hz = sample_rate_hz / static_cast<double>(n);
+  const std::size_t out_bins = one_sided ? n / 2 + 1 : n;
+  s.power_db.resize(out_bins);
+  // Normalise so a full-scale (amplitude 1.0) sine reads ~0 dB: its two-sided
+  // line height is N*coherent_gain/2 per bin (for a real signal).
+  const double ref = static_cast<double>(n) * coherent_gain / (one_sided ? 2.0 : 1.0);
+  for (std::size_t i = 0; i < out_bins; ++i) {
+    const double mag = std::abs(bins[i]) / ref;
+    s.power_db[i] = power_db(mag * mag);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::size_t Spectrum::bin_of(double f) const {
+  if (power_db.empty() || bin_hz <= 0.0) return 0;
+  const auto idx = static_cast<std::int64_t>(std::llround(f / bin_hz));
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(power_db.size()) - 1));
+}
+
+std::size_t Spectrum::peak_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(power_db.begin(), power_db.end()) - power_db.begin());
+}
+
+double Spectrum::band_power(double f_lo, double f_hi) const {
+  double total = 0.0;
+  for (std::size_t i = bin_of(f_lo); i <= bin_of(f_hi) && i < power_db.size(); ++i)
+    total += db_to_power(power_db[i]);
+  return total;
+}
+
+Spectrum periodogram(const std::vector<double>& x, double sample_rate_hz, Window window) {
+  if (x.size() < 2) throw ConfigError("periodogram: need at least 2 samples");
+  const std::size_t n = floor_pow2(x.size());
+  const std::vector<double> w = window_values(window, static_cast<int>(n));
+  double wsum = 0.0;
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = cplx(x[i] * w[i], 0.0);
+    wsum += w[i];
+  }
+  fft_inplace(data);
+  return finish(std::move(data), sample_rate_hz, wsum / static_cast<double>(n),
+                /*one_sided=*/true);
+}
+
+Spectrum periodogram_complex(const std::vector<std::complex<double>>& x,
+                             double sample_rate_hz, Window window) {
+  if (x.size() < 2) throw ConfigError("periodogram: need at least 2 samples");
+  const std::size_t n = floor_pow2(x.size());
+  const std::vector<double> w = window_values(window, static_cast<int>(n));
+  double wsum = 0.0;
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = x[i] * w[i];
+    wsum += w[i];
+  }
+  fft_inplace(data);
+  // For complex signals a full-scale tone occupies a single bin at height
+  // N*coherent_gain, so use the two-sided reference.
+  return finish(std::move(data), sample_rate_hz, wsum / static_cast<double>(n),
+                /*one_sided=*/false);
+}
+
+double sfdr_db(const Spectrum& s, int exclude_bins) {
+  const std::size_t peak = s.peak_bin();
+  double best = -400.0;
+  for (std::size_t i = 0; i < s.power_db.size(); ++i) {
+    if (i + static_cast<std::size_t>(exclude_bins) >= peak &&
+        i <= peak + static_cast<std::size_t>(exclude_bins))
+      continue;
+    best = std::max(best, s.power_db[i]);
+  }
+  return s.power_db[peak] - best;
+}
+
+double sinad_db(const Spectrum& s, int exclude_bins) {
+  const std::size_t peak = s.peak_bin();
+  double signal = 0.0;
+  double rest = 0.0;
+  for (std::size_t i = 0; i < s.power_db.size(); ++i) {
+    const double p = db_to_power(s.power_db[i]);
+    const bool in_peak = i + static_cast<std::size_t>(exclude_bins) >= peak &&
+                         i <= peak + static_cast<std::size_t>(exclude_bins);
+    (in_peak ? signal : rest) += p;
+  }
+  if (rest <= 0.0) return 300.0;
+  return power_db(signal / rest);
+}
+
+double snr_db(const std::vector<double>& golden, const std::vector<double>& test) {
+  if (golden.size() != test.size() || golden.empty())
+    throw ConfigError("snr_db: inputs must be equal-sized and non-empty");
+  double sig = 0.0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    sig += golden[i] * golden[i];
+    const double e = test[i] - golden[i];
+    err += e * e;
+  }
+  if (err <= 0.0) return 300.0;
+  if (sig <= 0.0) return -300.0;
+  return power_db(sig / err);
+}
+
+}  // namespace twiddc::dsp

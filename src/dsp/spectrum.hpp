@@ -1,0 +1,55 @@
+// twiddc::dsp -- spectral measurements on real or complex sample blocks.
+//
+// Used by the verification tests (does the DDC actually select the band?)
+// and by the figure benches (per-stage spectra for Figure 1).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/dsp/fft.hpp"
+#include "src/dsp/window.hpp"
+
+namespace twiddc::dsp {
+
+/// One-sided power spectrum estimate of a real signal.
+struct Spectrum {
+  std::vector<double> power_db;  ///< bin power in dBFS-ish (relative) units
+  double bin_hz = 0.0;           ///< frequency resolution
+  double sample_rate_hz = 0.0;
+
+  /// Frequency of bin `i` in Hz.
+  [[nodiscard]] double freq(std::size_t i) const { return static_cast<double>(i) * bin_hz; }
+  /// Bin index nearest to `f` Hz (clamped).
+  [[nodiscard]] std::size_t bin_of(double f) const;
+  /// Peak bin index.
+  [[nodiscard]] std::size_t peak_bin() const;
+  /// Total power (linear) in [f_lo, f_hi] Hz.
+  [[nodiscard]] double band_power(double f_lo, double f_hi) const;
+};
+
+/// Windowed periodogram of a real signal (size truncated to the largest
+/// power of two).  Power is normalised so that a full-scale sine reads
+/// ~0 dB regardless of the window.
+Spectrum periodogram(const std::vector<double>& x, double sample_rate_hz,
+                     Window window = Window::kBlackmanHarris);
+
+/// Complex-input variant; returns a two-sided spectrum of size N where bin i
+/// covers frequency i*fs/N for i < N/2 and (i-N)*fs/N above.
+Spectrum periodogram_complex(const std::vector<std::complex<double>>& x,
+                             double sample_rate_hz,
+                             Window window = Window::kBlackmanHarris);
+
+/// Spurious-free dynamic range: distance in dB between the largest bin and
+/// the largest bin outside +-`exclude_bins` around it.
+double sfdr_db(const Spectrum& s, int exclude_bins = 3);
+
+/// Signal-to-noise-and-distortion: ratio of the peak's power (+-exclude_bins)
+/// to everything else, in dB.
+double sinad_db(const Spectrum& s, int exclude_bins = 3);
+
+/// SNR of `test` against a `golden` reference of the same length:
+/// 10*log10(sum(golden^2)/sum((test-golden)^2)).
+double snr_db(const std::vector<double>& golden, const std::vector<double>& test);
+
+}  // namespace twiddc::dsp

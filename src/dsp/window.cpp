@@ -1,0 +1,96 @@
+#include "src/dsp/window.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kPi = 3.14159265358979323846264338327950288;
+}
+
+double bessel_i0(double x) {
+  // Power series: I0(x) = sum ((x/2)^k / k!)^2.  Converges quickly for the
+  // beta range used in filter design (|x| < 30).
+  const double half = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half / k) * (half / k);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+double kaiser_beta_for_attenuation(double atten_db) {
+  if (atten_db > 50.0) return 0.1102 * (atten_db - 8.7);
+  if (atten_db >= 21.0)
+    return 0.5842 * std::pow(atten_db - 21.0, 0.4) + 0.07886 * (atten_db - 21.0);
+  return 0.0;
+}
+
+std::vector<double> window_values(Window window, int n, double kaiser_beta) {
+  if (n <= 0) throw ConfigError("window_values: n must be positive, got " + std::to_string(n));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (int k = 0; k < n; ++k) {
+    const double x = static_cast<double>(k) / denom;  // 0..1
+    double v = 1.0;
+    switch (window) {
+      case Window::kRectangular:
+        v = 1.0;
+        break;
+      case Window::kHann:
+        v = 0.5 - 0.5 * std::cos(2.0 * kPi * x);
+        break;
+      case Window::kHamming:
+        v = 0.54 - 0.46 * std::cos(2.0 * kPi * x);
+        break;
+      case Window::kBlackman:
+        v = 0.42 - 0.5 * std::cos(2.0 * kPi * x) + 0.08 * std::cos(4.0 * kPi * x);
+        break;
+      case Window::kBlackmanHarris:
+        v = 0.35875 - 0.48829 * std::cos(2.0 * kPi * x) +
+            0.14128 * std::cos(4.0 * kPi * x) - 0.01168 * std::cos(6.0 * kPi * x);
+        break;
+      case Window::kKaiser: {
+        const double t = 2.0 * x - 1.0;  // -1..1
+        v = bessel_i0(kaiser_beta * std::sqrt(std::max(0.0, 1.0 - t * t))) /
+            bessel_i0(kaiser_beta);
+        break;
+      }
+    }
+    w[static_cast<std::size_t>(k)] = v;
+  }
+  return w;
+}
+
+std::string window_name(Window window) {
+  switch (window) {
+    case Window::kRectangular: return "rectangular";
+    case Window::kHann: return "hann";
+    case Window::kHamming: return "hamming";
+    case Window::kBlackman: return "blackman";
+    case Window::kBlackmanHarris: return "blackman-harris";
+    case Window::kKaiser: return "kaiser";
+  }
+  return "unknown";
+}
+
+double window_enbw(const std::vector<double>& w) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : w) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum == 0.0) return 0.0;
+  return static_cast<double>(w.size()) * sum_sq / (sum * sum);
+}
+
+}  // namespace twiddc::dsp

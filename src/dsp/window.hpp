@@ -1,0 +1,36 @@
+// twiddc::dsp -- window functions for FIR design and spectral estimation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twiddc::dsp {
+
+enum class Window {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,  ///< 4-term, -92 dB sidelobes
+  kKaiser,          ///< beta selectable via window_values(..., beta)
+};
+
+/// Returns the window's n sample values.  Symmetric ("filter design")
+/// convention: w[k] == w[n-1-k].  `kaiser_beta` is used only for kKaiser.
+std::vector<double> window_values(Window window, int n, double kaiser_beta = 8.6);
+
+/// Human-readable window name ("hamming", ...).
+std::string window_name(Window window);
+
+/// Equivalent noise bandwidth of the window in bins (used to normalise
+/// periodogram power estimates).
+double window_enbw(const std::vector<double>& w);
+
+/// Kaiser beta for a target stopband attenuation in dB (Kaiser's formula).
+double kaiser_beta_for_attenuation(double atten_db);
+
+/// Modified Bessel function of the first kind, order zero (series expansion);
+/// exposed for tests of the Kaiser window.
+double bessel_i0(double x);
+
+}  // namespace twiddc::dsp

@@ -1,0 +1,36 @@
+// twiddc::energy -- the cross-architecture comparison rows (paper Table 7).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/energy/technology.hpp"
+
+namespace twiddc::energy {
+
+/// One row of Table 7: an architecture running the reference DDC.
+struct ArchitectureResult {
+  std::string solution;        ///< e.g. "Montium TP"
+  TechnologyNode technology;
+  double freq_mhz = 0.0;       ///< clock required to sustain the DDC
+  double power_mw = 0.0;
+  std::optional<double> area_mm2;  ///< n.a. for most rows
+  bool estimated = false;      ///< true for technology-scaled rows
+
+  /// Derived: energy per output sample at the paper's 24 kHz output rate,
+  /// in nanojoule (a metric the paper implies but never prints).
+  [[nodiscard]] double energy_per_output_nj(double output_rate_hz = 24.0e3) const {
+    // mW -> W is 1e-3, J -> nJ is 1e9: net 1e6 / rate.
+    return power_mw * 1e6 / output_rate_hz;
+  }
+
+  /// A scaled copy of this row at technology `to` (marked estimated).
+  [[nodiscard]] ArchitectureResult scaled_to(const TechnologyNode& to) const;
+};
+
+/// The paper's published Table 7 rows, used by the benches to print
+/// paper-vs-reproduced comparisons.
+std::vector<ArchitectureResult> paper_table7();
+
+}  // namespace twiddc::energy

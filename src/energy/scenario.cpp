@@ -1,0 +1,52 @@
+#include "src/energy/scenario.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::energy {
+
+ScenarioResult evaluate_scenario(const DutyCycleModel& model, double duty_cycle,
+                                 int activations_per_day) {
+  if (duty_cycle < 0.0 || duty_cycle > 1.0)
+    throw ConfigError("evaluate_scenario: duty_cycle must be in [0,1]");
+  if (activations_per_day < 0)
+    throw ConfigError("evaluate_scenario: activations_per_day must be >= 0");
+
+  constexpr double kSecondsPerDay = 86400.0;
+  const double active_s = duty_cycle * kSecondsPerDay;
+  const double idle_s = kSecondsPerDay - active_s;
+
+  const double reconfig_s_each =
+      model.reconfig_bandwidth_mbps > 0.0
+          ? (model.reconfig_bytes * 8.0) / (model.reconfig_bandwidth_mbps * 1e6)
+          : 0.0;
+  const double reconfig_s = reconfig_s_each * activations_per_day;
+
+  double energy_mj = model.active_power_mw * active_s +
+                     model.reconfig_power_mw * reconfig_s;
+  if (!model.reusable_when_idle) energy_mj += model.idle_power_mw * idle_s;
+
+  ScenarioResult r;
+  r.name = model.name;
+  r.energy_per_day_j = energy_mj / 1e3;
+  r.reconfig_seconds_per_day = reconfig_s;
+  r.idle_time_reusable = model.reusable_when_idle;
+  return r;
+}
+
+std::vector<ScenarioResult> rank_architectures(const std::vector<DutyCycleModel>& models,
+                                               double duty_cycle,
+                                               int activations_per_day) {
+  std::vector<ScenarioResult> results;
+  results.reserve(models.size());
+  for (const auto& m : models)
+    results.push_back(evaluate_scenario(m, duty_cycle, activations_per_day));
+  std::sort(results.begin(), results.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.energy_per_day_j < b.energy_per_day_j;
+            });
+  return results;
+}
+
+}  // namespace twiddc::energy

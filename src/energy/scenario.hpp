@@ -1,0 +1,47 @@
+// twiddc::energy -- the conclusion's two deployment scenarios, quantified.
+//
+// Section 7 argues qualitatively: ASICs win when the DDC runs full-time
+// (static scenario); reconfigurable fabric wins when the DDC is only needed
+// part-time because the idle silicon can do other work (reconfigurable
+// scenario).  This model turns that argument into numbers: energy per day
+// for a given duty cycle, counting idle/standby power and reconfiguration
+// overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twiddc::energy {
+
+/// How one architecture behaves in a duty-cycled deployment.
+struct DutyCycleModel {
+  std::string name;
+  double active_power_mw = 0.0;   ///< running the DDC
+  double idle_power_mw = 0.0;     ///< DDC not needed (standby leakage)
+  bool reusable_when_idle = false;///< fabric can host other tasks while idle
+  double reconfig_bytes = 0.0;    ///< configuration size loaded on activation
+  double reconfig_bandwidth_mbps = 100.0;  ///< config-load rate
+  double reconfig_power_mw = 0.0; ///< power while (re)configuring
+};
+
+struct ScenarioResult {
+  std::string name;
+  double energy_per_day_j = 0.0;     ///< energy charged to the DDC function
+  double reconfig_seconds_per_day = 0.0;
+  bool idle_time_reusable = false;
+};
+
+/// Energy per day for a DDC needed `duty_cycle` (0..1) of the time, with
+/// `activations_per_day` on/off transitions.  If the fabric is reusable when
+/// idle, idle power is *not* charged to the DDC (the fabric is doing other
+/// useful work); otherwise idle/standby power is charged.
+ScenarioResult evaluate_scenario(const DutyCycleModel& model, double duty_cycle,
+                                 int activations_per_day);
+
+/// Convenience: evaluates several models under the same duty cycle and sorts
+/// ascending by energy.
+std::vector<ScenarioResult> rank_architectures(const std::vector<DutyCycleModel>& models,
+                                               double duty_cycle,
+                                               int activations_per_day);
+
+}  // namespace twiddc::energy

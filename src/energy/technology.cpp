@@ -1,0 +1,33 @@
+#include "src/energy/technology.hpp"
+
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::energy {
+
+std::string TechnologyNode::label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fum @ %.2fV", feature_um, vdd);
+  return buf;
+}
+
+double scale_power_mw(double power_mw, const TechnologyNode& from,
+                      const TechnologyNode& to) {
+  if (from.feature_um <= 0.0 || to.feature_um <= 0.0 || from.vdd <= 0.0 || to.vdd <= 0.0)
+    throw ConfigError("scale_power_mw: technology parameters must be positive");
+  if (power_mw < 0.0) throw ConfigError("scale_power_mw: power must be non-negative");
+  const double voltage_ratio = to.vdd / from.vdd;
+  const double cap_ratio = to.feature_um / from.feature_um;
+  return power_mw * voltage_ratio * voltage_ratio * cap_ratio;
+}
+
+double dynamic_power_mw(double activity, double capacitance_nf, double vdd,
+                        double freq_mhz) {
+  if (activity < 0.0 || capacitance_nf < 0.0 || vdd < 0.0 || freq_mhz < 0.0)
+    throw ConfigError("dynamic_power_mw: arguments must be non-negative");
+  // P = a * C * V^2 * f;  nF * V^2 * MHz = 1e-9 * 1e6 W = mW.
+  return activity * capacitance_nf * vdd * vdd * freq_mhz;
+}
+
+}  // namespace twiddc::energy

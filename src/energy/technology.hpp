@@ -1,0 +1,42 @@
+// twiddc::energy -- CMOS technology nodes and the paper's power scaling law.
+//
+// Section 3.1.2: "the dynamic power consumption ... is linear related to the
+// total capacitance and frequency and quadratic related to the voltage.
+// With reduction from 0.25um to 0.13um the capacity goes down with a factor
+// 0.25/0.13.  The same goes for the voltage that drops with a factor
+// 2.5/1.2."  So P2 = P1 * (V2/V1)^2 * (L2/L1).
+#pragma once
+
+#include <string>
+
+namespace twiddc::energy {
+
+/// A manufacturing technology operating point.
+struct TechnologyNode {
+  double feature_um = 0.13;  ///< feature size in micrometres
+  double vdd = 1.2;          ///< supply voltage in volts
+
+  [[nodiscard]] std::string label() const;
+
+  /// The nodes named in the paper.
+  static TechnologyNode um250() { return {0.25, 2.5}; }   // TI GC4016
+  static TechnologyNode um180() { return {0.18, 1.8}; }   // custom ASIC
+  static TechnologyNode um130() { return {0.13, 1.2}; }   // reference node
+  static TechnologyNode um130_arm() { return {0.13, 1.08}; }  // ARM922T row
+  static TechnologyNode um130_cyclone1() { return {0.13, 1.5}; }
+  static TechnologyNode um90() { return {0.09, 1.2}; }    // Cyclone II
+};
+
+/// Scales a dynamic power figure from technology `from` to `to`:
+/// P_to = P_from * (V_to/V_from)^2 * (L_to/L_from).
+/// Throws ConfigError on non-physical nodes.
+double scale_power_mw(double power_mw, const TechnologyNode& from,
+                      const TechnologyNode& to);
+
+/// Dynamic CMOS power in mW from first principles:
+/// P = alpha * C_eff[nF] * Vdd^2 * f[MHz]  (alpha = activity factor).
+/// Used by the custom-ASIC gate-activity estimator.
+double dynamic_power_mw(double activity, double capacitance_nf, double vdd,
+                        double freq_mhz);
+
+}  // namespace twiddc::energy

@@ -1,0 +1,116 @@
+// twiddc::fixed -- a typed Q-format fixed-point value.
+//
+// FixedPoint<Rep, FracBits> stores a signed two's-complement number with
+// FracBits fractional bits in the integer type Rep.  All arithmetic widens
+// to 64 bits internally; narrowing back to Rep saturates by default (the
+// behaviour of every datapath in the paper except the CIC integrators,
+// which use raw wrap-around arithmetic -- see qformat.hpp).
+//
+// The DSP blocks use q15 for NCO outputs and FIR coefficients, q11-in-int16
+// for the FPGA's 12-bit busses, and raw int64 for CIC internals.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::fixed {
+
+template <typename Rep, int FracBits>
+class FixedPoint {
+  static_assert(std::is_integral_v<Rep> && std::is_signed_v<Rep>,
+                "Rep must be a signed integer type");
+  static_assert(FracBits >= 0 && FracBits < static_cast<int>(sizeof(Rep) * 8),
+                "FracBits must leave room for the sign bit");
+
+ public:
+  using rep_type = Rep;
+  static constexpr int kFracBits = FracBits;
+  static constexpr int kTotalBits = static_cast<int>(sizeof(Rep) * 8);
+  static constexpr double kScale = static_cast<double>(std::int64_t{1} << FracBits);
+
+  constexpr FixedPoint() = default;
+
+  /// Constructs from a raw integer representation (no scaling).
+  static constexpr FixedPoint from_raw(Rep raw) {
+    FixedPoint v;
+    v.raw_ = raw;
+    return v;
+  }
+
+  /// Constructs from a real value, rounding to nearest and saturating.
+  static constexpr FixedPoint from_double(double value) {
+    const double scaled = value * kScale;
+    // round-half-away-from-zero, then saturate into Rep.
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    const std::int64_t clamped =
+        saturate(static_cast<std::int64_t>(rounded), kTotalBits);
+    FixedPoint v;
+    v.raw_ = static_cast<Rep>(clamped);
+    return v;
+  }
+
+  /// The most positive representable value.
+  static constexpr FixedPoint max() {
+    return from_raw(std::numeric_limits<Rep>::max());
+  }
+  /// The most negative representable value.
+  static constexpr FixedPoint min() {
+    return from_raw(std::numeric_limits<Rep>::min());
+  }
+  /// One least-significant-bit step.
+  static constexpr double lsb() { return 1.0 / kScale; }
+
+  [[nodiscard]] constexpr Rep raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  /// Saturating addition.
+  friend constexpr FixedPoint operator+(FixedPoint a, FixedPoint b) {
+    const std::int64_t sum = std::int64_t{a.raw_} + b.raw_;
+    return from_raw(static_cast<Rep>(saturate(sum, kTotalBits)));
+  }
+  /// Saturating subtraction.
+  friend constexpr FixedPoint operator-(FixedPoint a, FixedPoint b) {
+    const std::int64_t diff = std::int64_t{a.raw_} - b.raw_;
+    return from_raw(static_cast<Rep>(saturate(diff, kTotalBits)));
+  }
+  /// Saturating negation (negating min() yields max()).
+  constexpr FixedPoint operator-() const {
+    return from_raw(static_cast<Rep>(saturate(-std::int64_t{raw_}, kTotalBits)));
+  }
+
+  /// Saturating Q-format multiplication with round-to-nearest: the 2*FracBits
+  /// product is shifted back to FracBits.
+  friend constexpr FixedPoint operator*(FixedPoint a, FixedPoint b) {
+    const std::int64_t wide = std::int64_t{a.raw_} * b.raw_;
+    const std::int64_t shifted = shift_right(wide, FracBits, Rounding::kNearest);
+    return from_raw(static_cast<Rep>(saturate(shifted, kTotalBits)));
+  }
+
+  constexpr auto operator<=>(const FixedPoint&) const = default;
+
+ private:
+  Rep raw_ = 0;
+};
+
+/// Q1.15: the NCO/coefficient format used by the Montium's 16-bit datapath.
+using q15 = FixedPoint<std::int16_t, 15>;
+/// Q1.11 stored in int16: the FPGA's 12-bit bus format (sign + 11 fraction).
+using q11 = FixedPoint<std::int16_t, 11>;
+/// Q1.31: double-width accumulation format.
+using q31 = FixedPoint<std::int32_t, 31>;
+
+/// Widening multiply of two fixed-point values into a raw 64-bit integer with
+/// FracA+FracB fractional bits.  Used where an explicit accumulator carries
+/// the full product (FPGA FIR's 24-bit product into a 31-bit accumulator).
+template <typename RepA, int FracA, typename RepB, int FracB>
+constexpr std::int64_t wide_mul(FixedPoint<RepA, FracA> a, FixedPoint<RepB, FracB> b) {
+  return std::int64_t{a.raw()} * std::int64_t{b.raw()};
+}
+
+}  // namespace twiddc::fixed

@@ -1,0 +1,370 @@
+#include "src/fpga/ddc_fpga.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/nco.hpp"
+
+namespace twiddc::fpga {
+namespace {
+constexpr int kBus = 12;          // the section 5.2.1 data bus width
+constexpr int kNcoTableBits = 8;  // 256-entry quarter-wave ROM (M4K budget)
+constexpr int kAccBits = 31;      // the FIR's 31-bit intermediate result
+
+// Raw LE inventory heuristics: one LE per bit of an adder/subtractor with
+// its packed register, one per standalone register bit, plus small control
+// overheads.  Device-level packing is applied in estimate_resources().
+int adder_le(int width) { return width; }
+int register_le(int width) { return width; }
+constexpr int kSoftMultiplierLe = 187;  // 12x12 in Cyclone I fabric
+}  // namespace
+
+// ------------------------------------------------------------------ CicRtl
+
+CicRtl::CicRtl(const std::string& name, int stages, int decimation, int input_bits,
+               int output_bits)
+    : stages_(stages),
+      decimation_(decimation),
+      reg_bits_(input_bits + fixed::cic_bit_growth(stages, decimation)),
+      shift_(fixed::cic_bit_growth(stages, decimation)),
+      output_bits_(output_bits),
+      counter_(name + ".cnt", fixed::ceil_log2(decimation) + 1),
+      out_bus_(name + ".out", output_bits) {
+  if (reg_bits_ > 63) throw ConfigError("CicRtl: register growth exceeds 63 bits");
+  for (int s = 0; s < stages; ++s) {
+    integrators_.emplace_back(name + ".int" + std::to_string(s), reg_bits_);
+    comb_delays_.emplace_back(name + ".dly" + std::to_string(s), reg_bits_);
+  }
+}
+
+std::optional<std::int64_t> CicRtl::clock(std::int64_t x) {
+  // Integrator chain: each stage adds the previous stage's *new* value, as
+  // a ripple of adders in front of the registers would.
+  std::int64_t v = x;
+  for (auto& integ : integrators_) {
+    v = fixed::wrap(integ.get() + v, reg_bits_);
+    integ.set(v);
+    integ.tick();
+  }
+  const std::int64_t count = counter_.get();
+  const bool fire = count + 1 >= decimation_;
+  counter_.set(fire ? 0 : count + 1);
+  counter_.tick();
+  if (!fire) return std::nullopt;
+  // Comb chain at the decimated rate.
+  for (auto& delay : comb_delays_) {
+    const std::int64_t delayed = delay.get();
+    delay.set(v);
+    delay.tick();
+    v = fixed::wrap(v - delayed, reg_bits_);
+  }
+  const std::int64_t out =
+      fixed::narrow(fixed::shift_right(v, shift_, fixed::Rounding::kTruncate),
+                    output_bits_, fixed::Overflow::kSaturate);
+  out_bus_.set(out);
+  out_bus_.tick();
+  return out;
+}
+
+void CicRtl::collect(std::vector<Reg*>& regs) {
+  for (auto& r : integrators_) regs.push_back(&r);
+  for (auto& r : comb_delays_) regs.push_back(&r);
+  regs.push_back(&counter_);
+  regs.push_back(&out_bus_);
+}
+
+Resources CicRtl::raw_resources() const {
+  Resources r;
+  // Integrators: adder + packed register per stage; combs: subtractor +
+  // separate delay register per stage; counter + compare; output register.
+  r.logic_elements += stages_ * adder_le(reg_bits_);
+  r.logic_elements += stages_ * (adder_le(reg_bits_) + register_le(reg_bits_));
+  r.logic_elements += counter_.width() + 4;
+  r.logic_elements += register_le(output_bits_);
+  return r;
+}
+
+// ---------------------------------------------------------------- SeqFirRtl
+
+SeqFirRtl::SeqFirRtl(const std::string& name, std::vector<std::int64_t> taps,
+                     int decimation, int data_bits, int acc_bits, int output_bits)
+    : taps_(std::move(taps)),
+      decimation_(decimation),
+      data_bits_(data_bits),
+      acc_bits_(acc_bits),
+      output_bits_(output_bits),
+      out_shift_(data_bits - 1),  // product Q(2(data-1)) -> output Q(data-1)
+      ram_(128, 0),
+      // Address registers carry one headroom bit: Reg wraps *signed*, and
+      // the 0..127 addresses must stay non-negative.
+      waddr_(name + ".waddr", 8),
+      input_count_(name + ".incnt", fixed::ceil_log2(decimation) + 1),
+      busy_(name + ".busy", 1),
+      k_(name + ".k", 8),
+      newest_(name + ".newest", 8),
+      acc_(name + ".acc", acc_bits),
+      ram_bus_(name + ".ram_q", data_bits),
+      rom_bus_(name + ".rom_q", data_bits),
+      out_bus_(name + ".out", output_bits) {
+  if (taps_.empty() || taps_.size() > 128)
+    throw ConfigError("SeqFirRtl: tap count must be in [1,128]");
+}
+
+std::optional<std::int64_t> SeqFirRtl::clock(bool sample_valid, std::int64_t sample) {
+  std::optional<std::int64_t> result;
+
+  if (sample_valid) {
+    // Figure 5: "when valid, the new input is stored at the correct
+    // position in the RAM".
+    const auto w = static_cast<std::size_t>(waddr_.get());
+    ram_[w] = sample;
+    ram_bus_.set(sample);
+    ram_bus_.tick();
+    waddr_.set((waddr_.get() + 1) & 127);
+    waddr_.tick();
+    const std::int64_t count = input_count_.get();
+    const bool start = count + 1 >= decimation_;
+    input_count_.set(start ? 0 : count + 1);
+    input_count_.tick();
+    if (start) {
+      busy_.set(1);
+      busy_.tick();
+      k_.set(0);
+      k_.tick();
+      newest_.set(static_cast<std::int64_t>(w));  // slot just written
+      newest_.tick();
+      acc_.set(0);
+      acc_.tick();
+    }
+    return result;
+  }
+
+  if (busy_.get() != 0) {
+    const auto k = static_cast<std::size_t>(k_.get());
+    const std::size_t idx =
+        static_cast<std::size_t>((newest_.get() - static_cast<std::int64_t>(k)) & 127);
+    const std::int64_t samp = ram_[idx];
+    const std::int64_t coeff = taps_[k];
+    ram_bus_.set(samp);
+    ram_bus_.tick();
+    rom_bus_.set(coeff);
+    rom_bus_.tick();
+    acc_.set(acc_.get() + samp * coeff);
+    acc_.tick();
+    if (k + 1 >= taps_.size()) {
+      busy_.set(0);
+      busy_.tick();
+      // "The result consists of the 11 least significant bits ... and a sign
+      // bit.  In case of saturation, the maximum or the minimum value is
+      // returned."
+      const std::int64_t out = fixed::narrow(
+          fixed::shift_right(acc_.get(), out_shift_, fixed::Rounding::kTruncate),
+          output_bits_, fixed::Overflow::kSaturate);
+      out_bus_.set(out);
+      out_bus_.tick();
+      result = out;
+    } else {
+      k_.set(static_cast<std::int64_t>(k) + 1);
+      k_.tick();
+    }
+  }
+  return result;
+}
+
+void SeqFirRtl::collect(std::vector<Reg*>& regs) {
+  for (Reg* r : {&waddr_, &input_count_, &busy_, &k_, &newest_, &acc_, &ram_bus_,
+                 &rom_bus_, &out_bus_})
+    regs.push_back(r);
+}
+
+Resources SeqFirRtl::raw_resources() const {
+  Resources r;
+  // Control registers/counters, accumulator adder+register, quantiser mux,
+  // output register.  The multiplier is added at device level (soft LEs on
+  // Cyclone I, embedded 9-bit blocks on Cyclone II).
+  r.logic_elements += waddr_.width() + input_count_.width() + 1 + k_.width() +
+                      newest_.width() + 8 /*addr mux/compare*/;
+  r.logic_elements += adder_le(acc_bits_);
+  r.logic_elements += 16 /*saturating quantiser*/ + register_le(output_bits_);
+  // Sample RAM (128 words) and its half of the shared coefficient ROM.
+  r.memory_bits += 128 * data_bits_;
+  r.memory_bits += static_cast<int>(taps_.size()) * data_bits_ / 2;
+  return r;
+}
+
+// --------------------------------------------------------------- DdcFpgaTop
+
+core::DatapathSpec DdcFpgaTop::spec() {
+  auto s = core::DatapathSpec::fpga();
+  s.nco_table_bits = kNcoTableBits;
+  return s;
+}
+
+DdcFpgaTop::DdcFpgaTop(const core::DdcConfig& config)
+    : config_(config),
+      nco_table_(dsp::make_quarter_sine_table(kNcoTableBits, kBus)),
+      tuning_word_(
+          dsp::PhaseAccumulator::tuning_word(config.nco_freq_hz, config.input_rate_hz)),
+      input_bus_("in", kBus),
+      phase_("nco.phase", 32),
+      cos_bus_("nco.cos", kBus),
+      sin_bus_("nco.sin", kBus),
+      mix_i_bus_("mix.i", kBus),
+      mix_q_bus_("mix.q", kBus),
+      cic2_i_("cic2.i", config.cic2_stages, config.cic2_decimation, kBus, kBus),
+      cic2_q_("cic2.q", config.cic2_stages, config.cic2_decimation, kBus, kBus),
+      cic5_i_("cic5.i", config.cic5_stages, config.cic5_decimation, kBus, kBus),
+      cic5_q_("cic5.q", config.cic5_stages, config.cic5_decimation, kBus, kBus),
+      fir_i_("fir.i",
+             [&] {
+               core::FixedDdc twin(config, spec());
+               return twin.fir_taps();
+             }(),
+             config.fir_decimation, kBus, kAccBits, kBus),
+      fir_q_("fir.q",
+             [&] {
+               core::FixedDdc twin(config, spec());
+               return twin.fir_taps();
+             }(),
+             config.fir_decimation, kBus, kAccBits, kBus) {
+  config.validate();
+  core::FixedDdc twin(config, spec());
+  fir_taps_ = twin.fir_taps();
+  all_regs_.push_back(&input_bus_);
+  all_regs_.push_back(&phase_);
+  all_regs_.push_back(&cos_bus_);
+  all_regs_.push_back(&sin_bus_);
+  all_regs_.push_back(&mix_i_bus_);
+  all_regs_.push_back(&mix_q_bus_);
+  cic2_i_.collect(all_regs_);
+  cic2_q_.collect(all_regs_);
+  cic5_i_.collect(all_regs_);
+  cic5_q_.collect(all_regs_);
+  fir_i_.collect(all_regs_);
+  fir_q_.collect(all_regs_);
+}
+
+std::optional<core::IqSample> DdcFpgaTop::clock(std::int64_t x) {
+  if (!fixed::fits_bits(x, kBus))
+    throw SimulationError("DdcFpgaTop: input does not fit the 12-bit bus");
+  input_bus_.set(x);
+  input_bus_.tick();
+
+  // NCO: quarter-wave ROM lookup for the current phase, then advance.
+  const dsp::SinCos sc =
+      dsp::lut_sincos(static_cast<std::uint32_t>(phase_.get()), nco_table_, kNcoTableBits);
+  phase_.set(fixed::wrap(phase_.get() + static_cast<std::int64_t>(tuning_word_), 32));
+  phase_.tick();
+  cos_bus_.set(sc.cos);
+  cos_bus_.tick();
+  sin_bus_.set(sc.sin);
+  sin_bus_.tick();
+
+  // Mixer: 12x12 products scaled back to the 12-bit bus.
+  const int mix_shift = kBus + kBus - 1 - kBus;  // == 11
+  const std::int64_t mi = fixed::narrow(
+      fixed::shift_right(x * sc.cos, mix_shift, fixed::Rounding::kTruncate), kBus,
+      fixed::Overflow::kSaturate);
+  const std::int64_t mq = fixed::narrow(
+      fixed::shift_right(x * sc.sin, mix_shift, fixed::Rounding::kTruncate), kBus,
+      fixed::Overflow::kSaturate);
+  mix_i_bus_.set(mi);
+  mix_i_bus_.tick();
+  mix_q_bus_.set(mq);
+  mix_q_bus_.tick();
+
+  // CIC chain with valid-line cadence.
+  const auto c2i = cic2_i_.clock(mi);
+  const auto c2q = cic2_q_.clock(mq);
+  std::optional<std::int64_t> c5i;
+  std::optional<std::int64_t> c5q;
+  if (c2i) {
+    c5i = cic5_i_.clock(*c2i);
+    c5q = cic5_q_.clock(*c2q);
+  }
+
+  // Sequential FIR: consumes a sample when the CIC5 fires, otherwise spends
+  // the cycle on its MAC schedule.
+  const auto yi = fir_i_.clock(c5i.has_value(), c5i.value_or(0));
+  const auto yq = fir_q_.clock(c5q.has_value(), c5q.value_or(0));
+  if (yi.has_value() != yq.has_value())
+    throw SimulationError("DdcFpgaTop: I/Q rails lost rate lock");
+  if (!yi) return std::nullopt;
+  return core::IqSample{*yi, *yq};
+}
+
+std::vector<core::IqSample> DdcFpgaTop::process(const std::vector<std::int64_t>& in) {
+  std::vector<core::IqSample> out;
+  for (std::int64_t x : in) {
+    if (auto y = clock(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+ToggleSummary DdcFpgaTop::toggle_summary() const {
+  ToggleSummary s;
+  for (const Reg* r : all_regs_) s.absorb(*r);
+  return s;
+}
+
+double DdcFpgaTop::input_toggle_percent() const {
+  return 100.0 * input_bus_.stats().rate();
+}
+
+std::vector<std::pair<std::string, Resources>> DdcFpgaTop::resource_breakdown() const {
+  std::vector<std::pair<std::string, Resources>> out;
+  Resources nco;
+  nco.logic_elements = adder_le(32) /*phase acc*/ + 14 /*quadrant logic*/ +
+                       register_le(kBus) * 2 /*sin+cos buses*/;
+  nco.memory_bits = (1 << kNcoTableBits) * kBus;  // quarter-wave ROM
+  out.emplace_back("NCO", nco);
+
+  Resources mixer;
+  mixer.logic_elements = register_le(kBus) * 2;  // product registers
+  // Multipliers are device-mapped in estimate_resources().
+  out.emplace_back("mixer (2x 12x12 mult)", mixer);
+
+  out.emplace_back("CIC2 I", cic2_i_.raw_resources());
+  out.emplace_back("CIC2 Q", cic2_q_.raw_resources());
+  out.emplace_back("CIC5 I", cic5_i_.raw_resources());
+  out.emplace_back("CIC5 Q", cic5_q_.raw_resources());
+  out.emplace_back("FIR I (seq, 1x mult)", fir_i_.raw_resources());
+  out.emplace_back("FIR Q (seq, 1x mult)", fir_q_.raw_resources());
+
+  Resources io;
+  io.pins = kBus /*in*/ + 2 * kBus /*I+Q out*/ + 5 /*clk, rst, valids, enable*/;
+  io.logic_elements = 10;  // top-level glue
+  out.emplace_back("top/IO", io);
+  return out;
+}
+
+int DdcFpgaTop::critical_adder_bits() const {
+  const int cic2 = kBus + fixed::cic_bit_growth(config_.cic2_stages, config_.cic2_decimation);
+  const int cic5 = kBus + fixed::cic_bit_growth(config_.cic5_stages, config_.cic5_decimation);
+  return std::max({cic2, cic5, kAccBits});
+}
+
+Resources DdcFpgaTop::estimate_resources(const Device& device) const {
+  Resources total;
+  for (const auto& [name, r] : resource_breakdown()) total += r;
+  // Four 12x12 multipliers: embedded blocks on Cyclone II (two 9-bit
+  // elements each), soft logic on Cyclone I.
+  constexpr int kMultipliers = 4;
+  if (device.has_embedded_multipliers) {
+    total.multipliers9 += kMultipliers * 2;
+  } else {
+    total.logic_elements += kMultipliers * kSoftMultiplierLe;
+  }
+  // Synthesis packing/optimisation factor, calibrated once against the
+  // paper's Table 4 totals for the reference design (Quartus packs comb
+  // delay registers into adder LEs, trims constant MSBs, etc.).
+  const double packing = device.has_embedded_multipliers ? 0.55 : 0.69;
+  total.logic_elements = static_cast<int>(total.logic_elements * packing + 0.5);
+  if (total.logic_elements > device.logic_elements)
+    throw ConfigError("DdcFpgaTop: design does not fit " + device.name);
+  return total;
+}
+
+}  // namespace twiddc::fpga

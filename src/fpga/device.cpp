@@ -1,0 +1,73 @@
+#include "src/fpga/device.hpp"
+
+#include "src/common/error.hpp"
+
+namespace twiddc::fpga {
+
+Device Device::ep1c3t100c6() {
+  Device d;
+  d.name = "Cyclone I EP1C3T100C6";
+  d.technology = energy::TechnologyNode::um130_cyclone1();
+  d.logic_elements = 2910;
+  d.memory_bits = 59904;   // 13 M4K blocks
+  d.multipliers9 = 0;
+  d.pins = 65;
+  d.plls = 1;
+  d.has_embedded_multipliers = false;
+  d.fmax_mhz = 66.08;  // section 5.2.1 synthesis result
+  // 34-bit CIC5 adder: 34 * 0.36 + 2.89 = 15.13 ns -> 66.08 MHz.
+  d.carry_ns_per_bit = 0.36;
+  d.path_overhead_ns = 2.89;
+  return d;
+}
+
+Device Device::ep2c5t144c6() {
+  Device d;
+  d.name = "Cyclone II EP2C5T144C6";
+  d.technology = energy::TechnologyNode::um90();
+  d.logic_elements = 4608;
+  d.memory_bits = 119808;  // 26 M4K blocks
+  d.multipliers9 = 26;
+  d.pins = 89;
+  d.plls = 2;
+  d.has_embedded_multipliers = true;
+  d.fmax_mhz = 80.87;  // section 5.2.1 synthesis result
+  // 34 * 0.29 + 2.50 = 12.36 ns -> 80.89 MHz.
+  d.carry_ns_per_bit = 0.29;
+  d.path_overhead_ns = 2.50;
+  return d;
+}
+
+double PowerModel::dynamic_mw(double internal_toggle_pct, double input_toggle_pct) const {
+  if (internal_toggle_pct < 0.0 || internal_toggle_pct > 100.0)
+    throw ConfigError("PowerModel: internal toggle rate must be in [0,100] percent");
+  if (input_toggle_pct < 0.0 || input_toggle_pct > 100.0)
+    throw ConfigError("PowerModel: input toggle rate must be in [0,100] percent");
+  // The clock tree runs regardless; the IO half of the toggle-independent
+  // term scales with the input's activity relative to the 50 % reference.
+  const double io_scale = 0.5 + 0.5 * (input_toggle_pct / 50.0);
+  return clock_io_mw * io_scale + per_toggle_pct_mw * internal_toggle_pct;
+}
+
+PowerModel PowerModel::cyclone1() {
+  // Exact linear fit of Table 5: dynamic = 52.4 + 4.096 * toggle%.
+  PowerModel m;
+  m.static_mw = 48.0;
+  m.clock_io_mw = 52.4;
+  m.per_toggle_pct_mw = 4.096;
+  return m;
+}
+
+PowerModel PowerModel::cyclone2() {
+  PowerModel m;
+  m.static_mw = 26.86;
+  // Technology factor 0.13um/1.5V -> 0.09um/1.2V applied to the Cyclone I
+  // slope: (1.2/1.5)^2 * (0.09/0.13) = 0.443.
+  m.per_toggle_pct_mw = 4.096 * 0.443;
+  // Anchor the single published point: 31.11 mW dynamic at 10 % internal
+  // toggle, 50 % input toggle.
+  m.clock_io_mw = 31.11 - m.per_toggle_pct_mw * 10.0;
+  return m;
+}
+
+}  // namespace twiddc::fpga

@@ -1,0 +1,63 @@
+// twiddc::fpga -- Altera Cyclone device descriptors and the PowerPlay-style
+// power model (paper sections 5.1 / 5.2.2, Tables 4 and 5).
+#pragma once
+
+#include <string>
+
+#include "src/energy/technology.hpp"
+#include "src/fpga/rtl.hpp"
+
+namespace twiddc::fpga {
+
+/// Capacity of a specific device (Table 4's denominators).
+struct Device {
+  std::string name;
+  energy::TechnologyNode technology;
+  int logic_elements = 0;
+  int memory_bits = 0;
+  int multipliers9 = 0;
+  int pins = 0;
+  int plls = 0;
+  bool has_embedded_multipliers = false;
+  double fmax_mhz = 0.0;  ///< published synthesis result for this design
+  /// Timing-model constants: per-LE carry delay and fixed
+  /// clock-to-out + routing + setup overhead.  Calibrated so the reference
+  /// design's critical path (the CIC5's 34-bit ripple-carry adder)
+  /// reproduces the published fmax.
+  double carry_ns_per_bit = 0.0;
+  double path_overhead_ns = 0.0;
+
+  /// fmax for a design whose critical path is a `width`-bit ripple adder.
+  [[nodiscard]] double fmax_for_adder_mhz(int width) const {
+    return 1e3 / (carry_ns_per_bit * width + path_overhead_ns);
+  }
+
+  /// The two smallest devices the paper targets.
+  static Device ep1c3t100c6();  // Cyclone I
+  static Device ep2c5t144c6();  // Cyclone II
+};
+
+/// PowerPlay-style estimate: constant static power plus dynamic power that
+/// is affine in the internal toggle rate.  The Cyclone I coefficients are an
+/// exact fit of Table 5's four rows (static 48.0 mW; dynamic 52.4 mW of
+/// clock-tree/IO at 50 % input toggle plus 4.096 mW per percent internal
+/// toggle).  The Cyclone II model is anchored at its single published point
+/// (26.86 mW static + 31.11 mW dynamic at 10 % internal toggle) with the
+/// toggle slope scaled by the technology factor.
+struct PowerModel {
+  double static_mw = 0.0;
+  double clock_io_mw = 0.0;    ///< toggle-independent dynamic part at 50 % input
+  double per_toggle_pct_mw = 0.0;
+
+  [[nodiscard]] double dynamic_mw(double internal_toggle_pct,
+                                  double input_toggle_pct = 50.0) const;
+  [[nodiscard]] double total_mw(double internal_toggle_pct,
+                                double input_toggle_pct = 50.0) const {
+    return static_mw + dynamic_mw(internal_toggle_pct, input_toggle_pct);
+  }
+
+  static PowerModel cyclone1();
+  static PowerModel cyclone2();
+};
+
+}  // namespace twiddc::fpga

@@ -1,0 +1,7 @@
+// Intentionally almost empty: rtl.hpp is header-only; this translation unit
+// pins the library target and hosts nothing else.
+#include "src/fpga/rtl.hpp"
+
+namespace twiddc::fpga {
+// (no out-of-line definitions)
+}  // namespace twiddc::fpga

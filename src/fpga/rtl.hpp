@@ -1,0 +1,115 @@
+// twiddc::fpga -- minimal structural-RTL bookkeeping.
+//
+// The paper's FPGA power estimate is driven by *bit toggle rates* ("the
+// amount of bit toggles of the input and inside the FPGA determine the
+// amount of energy used", section 5.2.2) and its synthesis result by the
+// structural inventory (Table 4).  This header provides the two pieces of
+// bookkeeping the blocks in ddc_fpga.hpp share: toggle-counted registers
+// and per-block resource tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::fpga {
+
+/// Counts bit flips on a register/bus of a declared width.
+class ToggleCounter {
+ public:
+  explicit ToggleCounter(int width) : width_(width) {}
+
+  void commit(std::int64_t old_value, std::int64_t new_value) {
+    const auto mask = width_ >= 64 ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << width_) - 1);
+    toggles_ += static_cast<std::uint64_t>(
+        __builtin_popcountll((static_cast<std::uint64_t>(old_value) ^
+                              static_cast<std::uint64_t>(new_value)) &
+                             mask));
+    ++commits_;
+  }
+
+  [[nodiscard]] std::uint64_t toggles() const { return toggles_; }
+  [[nodiscard]] std::uint64_t commits() const { return commits_; }
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Average fraction of bits toggling per commit (0..1).
+  [[nodiscard]] double rate() const {
+    if (commits_ == 0 || width_ == 0) return 0.0;
+    return static_cast<double>(toggles_) /
+           (static_cast<double>(commits_) * static_cast<double>(width_));
+  }
+
+ private:
+  int width_;
+  std::uint64_t toggles_ = 0;
+  std::uint64_t commits_ = 0;
+};
+
+/// A clocked register of `width` bits with wrap-around semantics and toggle
+/// accounting.  `set()` stores the next-state value; `tick()` commits it.
+class Reg {
+ public:
+  Reg(std::string name, int width)
+      : name_(std::move(name)), width_(width), stats_(width) {}
+
+  [[nodiscard]] std::int64_t get() const { return cur_; }
+  void set(std::int64_t v) { nxt_ = fixed::wrap(v, width_); }
+  void tick() {
+    stats_.commit(cur_, nxt_);
+    cur_ = nxt_;
+  }
+  void reset() {
+    cur_ = 0;
+    nxt_ = 0;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] const ToggleCounter& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  int width_;
+  std::int64_t cur_ = 0;
+  std::int64_t nxt_ = 0;
+  ToggleCounter stats_;
+};
+
+/// FPGA resource usage of one block, in the units of Table 4.
+struct Resources {
+  int logic_elements = 0;
+  int memory_bits = 0;
+  int multipliers9 = 0;  ///< embedded 9-bit multipliers (Cyclone II)
+  int pins = 0;
+
+  Resources& operator+=(const Resources& o) {
+    logic_elements += o.logic_elements;
+    memory_bits += o.memory_bits;
+    multipliers9 += o.multipliers9;
+    pins += o.pins;
+    return *this;
+  }
+};
+
+/// Aggregated toggle statistics over a set of registers.
+struct ToggleSummary {
+  std::uint64_t bit_commits = 0;  ///< sum over regs of commits * width
+  std::uint64_t bit_toggles = 0;
+
+  /// Average internal toggle rate in percent (the x-axis of Table 5).
+  [[nodiscard]] double rate_percent() const {
+    return bit_commits == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(bit_toggles) / static_cast<double>(bit_commits);
+  }
+
+  void absorb(const Reg& reg) {
+    bit_commits += reg.stats().commits() * static_cast<std::uint64_t>(reg.width());
+    bit_toggles += reg.stats().toggles();
+  }
+};
+
+}  // namespace twiddc::fpga

@@ -1,0 +1,136 @@
+#include "src/gpp/assembler.hpp"
+
+#include "src/common/error.hpp"
+
+namespace twiddc::gpp {
+
+Instr& Assembler::emit(Op op) {
+  code_.emplace_back();
+  code_.back().op = op;
+  return code_.back();
+}
+
+void Assembler::region(const std::string& name) {
+  const int here = size();
+  if (!regions_.empty() && regions_.back().end == 0) regions_.back().end = here;
+  regions_.push_back({name, here, 0});
+}
+
+void Assembler::label(const std::string& name) {
+  if (labels_.count(name)) throw ConfigError("Assembler: duplicate label '" + name + "'");
+  labels_[name] = size();
+}
+
+void Assembler::mov_imm(int rd, std::int32_t imm) {
+  auto& i = emit(Op::kMovImm);
+  i.rd = rd;
+  i.op2 = Operand2::immediate(imm);
+}
+void Assembler::mov(int rd, Operand2 op2) {
+  auto& i = emit(Op::kMov);
+  i.rd = rd;
+  i.op2 = op2;
+}
+#define TWIDDC_ALU3(NAME, OP)                         \
+  void Assembler::NAME(int rd, int rn, Operand2 op2) { \
+    auto& i = emit(OP);                                \
+    i.rd = rd;                                         \
+    i.rn = rn;                                         \
+    i.op2 = op2;                                       \
+  }
+TWIDDC_ALU3(add, Op::kAdd)
+TWIDDC_ALU3(adds, Op::kAdds)
+TWIDDC_ALU3(adc, Op::kAdc)
+TWIDDC_ALU3(sub, Op::kSub)
+TWIDDC_ALU3(subs, Op::kSubs)
+TWIDDC_ALU3(sbc, Op::kSbc)
+TWIDDC_ALU3(rsb, Op::kRsb)
+TWIDDC_ALU3(and_, Op::kAnd)
+TWIDDC_ALU3(orr, Op::kOrr)
+TWIDDC_ALU3(eor, Op::kEor)
+#undef TWIDDC_ALU3
+
+void Assembler::mul(int rd, int rn, int rm) {
+  auto& i = emit(Op::kMul);
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+}
+void Assembler::mla(int rd, int rn, int rm, int ra) {
+  auto& i = emit(Op::kMla);
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+  i.ra = ra;
+}
+void Assembler::smull(int rd_lo, int rd_hi, int rn, int rm) {
+  auto& i = emit(Op::kSmull);
+  i.rd = rd_lo;
+  i.ra = rd_hi;
+  i.rn = rn;
+  i.rm = rm;
+}
+void Assembler::smlal(int rd_lo, int rd_hi, int rn, int rm) {
+  auto& i = emit(Op::kSmlal);
+  i.rd = rd_lo;
+  i.ra = rd_hi;
+  i.rn = rn;
+  i.rm = rm;
+}
+void Assembler::ldr(int rd, int rn, std::int32_t byte_offset) {
+  auto& i = emit(Op::kLdr);
+  i.rd = rd;
+  i.rn = rn;
+  i.mem_offset = byte_offset;
+}
+void Assembler::str(int rs, int rn, std::int32_t byte_offset) {
+  auto& i = emit(Op::kStr);
+  i.rd = rs;
+  i.rn = rn;
+  i.mem_offset = byte_offset;
+}
+void Assembler::ldr_idx(int rd, int rn, int rm, int shift) {
+  auto& i = emit(Op::kLdrIdx);
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+  i.mem_shift = shift;
+}
+void Assembler::str_idx(int rs, int rn, int rm, int shift) {
+  auto& i = emit(Op::kStrIdx);
+  i.rd = rs;
+  i.rn = rn;
+  i.rm = rm;
+  i.mem_shift = shift;
+}
+void Assembler::cmp(int rn, Operand2 op2) {
+  auto& i = emit(Op::kCmp);
+  i.rn = rn;
+  i.op2 = op2;
+}
+void Assembler::b(const std::string& label, Cond cond) {
+  auto& i = emit(Op::kB);
+  i.cond = cond;
+  i.label = label;
+}
+void Assembler::bl(const std::string& label) {
+  auto& i = emit(Op::kBl);
+  i.label = label;
+}
+void Assembler::ret() { emit(Op::kRet); }
+void Assembler::halt() { emit(Op::kHalt); }
+
+Assembler::Program Assembler::assemble() {
+  if (!regions_.empty() && regions_.back().end == 0) regions_.back().end = size();
+  for (auto& instr : code_) {
+    if (instr.op == Op::kB || instr.op == Op::kBl) {
+      const auto it = labels_.find(instr.label);
+      if (it == labels_.end())
+        throw ConfigError("Assembler: undefined label '" + instr.label + "'");
+      instr.target = it->second;
+    }
+  }
+  return Program{code_, regions_, labels_};
+}
+
+}  // namespace twiddc::gpp

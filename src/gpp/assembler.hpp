@@ -1,0 +1,81 @@
+// twiddc::gpp -- programmatic assembler for the ISA in isa.hpp.
+//
+// Mirrors how the paper's C code becomes ARM assembly: the DDC program in
+// ddc_program.cpp is written against this builder, with named regions
+// standing in for the compiler's function boundaries so the profiler can
+// reproduce Table 3's per-part split.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gpp/isa.hpp"
+
+namespace twiddc::gpp {
+
+/// A named PC range used for profiling attribution.
+struct Region {
+  std::string name;
+  int begin = 0;  ///< first instruction index
+  int end = 0;    ///< one past the last instruction index
+};
+
+class Assembler {
+ public:
+  // -- regions ------------------------------------------------------------
+  /// Starts a named region; the previous region (if any) ends here.
+  void region(const std::string& name);
+
+  // -- labels -------------------------------------------------------------
+  /// Places a label at the current position.
+  void label(const std::string& name);
+
+  // -- instructions ---------------------------------------------------------
+  void mov_imm(int rd, std::int32_t imm);
+  void mov(int rd, Operand2 op2);
+  void add(int rd, int rn, Operand2 op2);
+  void adds(int rd, int rn, Operand2 op2);
+  void adc(int rd, int rn, Operand2 op2);
+  void sub(int rd, int rn, Operand2 op2);
+  void subs(int rd, int rn, Operand2 op2);
+  void sbc(int rd, int rn, Operand2 op2);
+  void rsb(int rd, int rn, Operand2 op2);
+  void and_(int rd, int rn, Operand2 op2);
+  void orr(int rd, int rn, Operand2 op2);
+  void eor(int rd, int rn, Operand2 op2);
+  void mul(int rd, int rn, int rm);
+  void mla(int rd, int rn, int rm, int ra);
+  void smull(int rd_lo, int rd_hi, int rn, int rm);
+  void smlal(int rd_lo, int rd_hi, int rn, int rm);
+  void ldr(int rd, int rn, std::int32_t byte_offset = 0);
+  void str(int rs, int rn, std::int32_t byte_offset = 0);
+  void ldr_idx(int rd, int rn, int rm, int shift = 0);
+  void str_idx(int rs, int rn, int rm, int shift = 0);
+  void cmp(int rn, Operand2 op2);
+  void b(const std::string& label, Cond cond = Cond::kAl);
+  void bl(const std::string& label);
+  void ret();
+  void halt();
+
+  /// Resolves labels; returns the finished program.  Throws ConfigError on
+  /// undefined labels.
+  struct Program {
+    std::vector<Instr> code;
+    std::vector<Region> regions;
+    std::map<std::string, int> labels;
+  };
+  [[nodiscard]] Program assemble();
+
+  [[nodiscard]] int size() const { return static_cast<int>(code_.size()); }
+
+ private:
+  Instr& emit(Op op);
+
+  std::vector<Instr> code_;
+  std::vector<Region> regions_;
+  std::map<std::string, int> labels_;
+};
+
+}  // namespace twiddc::gpp

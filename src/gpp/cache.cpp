@@ -1,0 +1,59 @@
+#include "src/gpp/cache.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::gpp {
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+int log2i(int v) {
+  int s = 0;
+  while ((1 << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
+Cache::Cache(const Config& config) : config_(config) {
+  if (!is_pow2(config.size_bytes) || !is_pow2(config.line_bytes) || !is_pow2(config.ways))
+    throw ConfigError("Cache: size, line and ways must be powers of two");
+  if (config.line_bytes * config.ways > config.size_bytes)
+    throw ConfigError("Cache: size too small for geometry");
+  num_sets_ = config.size_bytes / (config.line_bytes * config.ways);
+  line_shift_ = log2i(config.line_bytes);
+  lines_.assign(static_cast<std::size_t>(num_sets_ * config.ways), Line{});
+}
+
+void Cache::flush() {
+  lines_.assign(lines_.size(), Line{});
+  hits_ = 0;
+  misses_ = 0;
+  clock_ = 0;
+}
+
+bool Cache::access(std::uint32_t address) {
+  ++clock_;
+  const std::uint32_t line_addr = address >> line_shift_;
+  const auto set = static_cast<int>(line_addr % static_cast<std::uint32_t>(num_sets_));
+  const std::uint32_t tag = line_addr / static_cast<std::uint32_t>(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set * config_.ways)];
+  Line* victim = base;
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_used = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid || line.last_used < victim->last_used ||
+        (victim->valid && !line.valid))
+      victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_used = clock_;
+  ++misses_;
+  return false;
+}
+
+}  // namespace twiddc::gpp

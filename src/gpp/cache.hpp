@@ -1,0 +1,50 @@
+// twiddc::gpp -- set-associative cache model (the ARM922T's 8 KB I/D caches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace twiddc::gpp {
+
+/// A physically-indexed set-associative cache with LRU replacement.  Only
+/// hit/miss behaviour is modelled (contents live in the Cpu's flat memory).
+class Cache {
+ public:
+  struct Config {
+    int size_bytes = 8 * 1024;  ///< ARM922T: 8 KB each for I and D
+    int line_bytes = 32;
+    int ways = 4;
+  };
+
+  explicit Cache(const Config& config);
+
+  /// Accesses `address`; returns true on hit.  A miss fills the line.
+  bool access(std::uint32_t address);
+
+  void flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 1.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_used = 0;
+  };
+
+  Config config_;
+  int num_sets_ = 0;
+  int line_shift_ = 0;
+  std::vector<Line> lines_;  // sets * ways
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace twiddc::gpp

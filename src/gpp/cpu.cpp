@@ -1,0 +1,338 @@
+#include "src/gpp/cpu.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::gpp {
+
+Cpu::Cpu(Assembler::Program program, const Config& config)
+    : program_(std::move(program)),
+      config_(config),
+      regs_(kNumRegs, 0),
+      memory_(config.memory_bytes / 4, 0),
+      icache_(config.icache),
+      dcache_(config.dcache) {
+  if (program_.code.empty()) throw ConfigError("Cpu: empty program");
+  region_lookup_.assign(program_.code.size(), -1);
+  for (std::size_t r = 0; r < program_.regions.size(); ++r) {
+    const auto& region = program_.regions[r];
+    for (int pc = region.begin; pc < region.end; ++pc)
+      region_lookup_[static_cast<std::size_t>(pc)] = static_cast<int>(r);
+  }
+}
+
+void Cpu::check_addr(std::uint32_t byte_address) const {
+  if (byte_address % 4 != 0)
+    throw SimulationError("Cpu: unaligned word access at " + std::to_string(byte_address));
+  if (byte_address / 4 >= memory_.size())
+    throw SimulationError("Cpu: address " + std::to_string(byte_address) +
+                          " outside " + std::to_string(memory_.size() * 4) + "-byte RAM");
+}
+
+std::int32_t Cpu::read_word(std::uint32_t byte_address) const {
+  check_addr(byte_address);
+  return memory_[byte_address / 4];
+}
+
+void Cpu::write_word(std::uint32_t byte_address, std::int32_t value) {
+  check_addr(byte_address);
+  memory_[byte_address / 4] = value;
+}
+
+void Cpu::write_words(std::uint32_t byte_address, const std::vector<std::int32_t>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    write_word(byte_address + static_cast<std::uint32_t>(4 * i), values[i]);
+}
+
+std::vector<std::int32_t> Cpu::read_words(std::uint32_t byte_address,
+                                          std::size_t count) const {
+  std::vector<std::int32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(read_word(byte_address + static_cast<std::uint32_t>(4 * i)));
+  return out;
+}
+
+std::int32_t Cpu::eval_op2(const Operand2& op2) const {
+  if (op2.is_imm) return op2.imm;
+  const std::int32_t v = regs_[static_cast<std::size_t>(op2.reg)];
+  switch (op2.shift) {
+    case Shift::kNone:
+      return v;
+    case Shift::kLsl:
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(v) << op2.shift_amount);
+    case Shift::kLsr:
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(v) >> op2.shift_amount);
+    case Shift::kAsr:
+      return v >> op2.shift_amount;
+  }
+  return v;
+}
+
+int Cpu::region_of(int pc) const { return region_lookup_[static_cast<std::size_t>(pc)]; }
+
+RunStats Cpu::run(const std::string& entry_label) {
+  int pc = 0;
+  if (!entry_label.empty()) {
+    const auto it = program_.labels.find(entry_label);
+    if (it == program_.labels.end())
+      throw ConfigError("Cpu: unknown entry label '" + entry_label + "'");
+    pc = it->second;
+  }
+
+  const CycleModel& cm = config_.cycles;
+  RunStats stats;
+  std::vector<std::uint64_t> region_cycles(program_.regions.size(), 0);
+  std::vector<std::uint64_t> region_instrs(program_.regions.size(), 0);
+
+  // Load-use interlock model: the cycle index at which each register's value
+  // becomes available.
+  std::vector<std::uint64_t> ready(kNumRegs, 0);
+  std::uint64_t now = 0;
+
+  auto wait_for = [&](int r) {
+    if (ready[static_cast<std::size_t>(r)] > now) now = ready[static_cast<std::size_t>(r)];
+  };
+  auto wait_op2 = [&](const Operand2& op2) {
+    if (!op2.is_imm) wait_for(op2.reg);
+  };
+
+  bool running = true;
+  while (running) {
+    if (pc < 0 || pc >= static_cast<int>(program_.code.size()))
+      throw SimulationError("Cpu: pc " + std::to_string(pc) + " out of program");
+    if (stats.instructions >= config_.max_instructions)
+      throw SimulationError("Cpu: instruction budget exceeded (runaway program?)");
+    const Instr& in = program_.code[static_cast<std::size_t>(pc)];
+
+    ++stats.instructions;
+    const int region = region_of(pc);
+    if (region >= 0) ++region_instrs[static_cast<std::size_t>(region)];
+    const std::uint64_t start_cycle = now;
+
+    // Instruction fetch through the I-cache (fetch stalls are charged to the
+    // region being executed so region shares sum to the total).
+    if (config_.caches_enabled) {
+      if (!icache_.access(static_cast<std::uint32_t>(pc) * 4u)) now += cm.icache_miss;
+    }
+    int next_pc = pc + 1;
+
+    auto set_nz = [&](std::int32_t v) {
+      flag_n_ = v < 0;
+      flag_z_ = v == 0;
+    };
+
+    switch (in.op) {
+      case Op::kNop:
+        now += cm.alu;
+        break;
+      case Op::kMovImm:
+        regs_[static_cast<std::size_t>(in.rd)] = in.op2.imm;
+        now += cm.alu;
+        break;
+      case Op::kMov:
+        wait_op2(in.op2);
+        regs_[static_cast<std::size_t>(in.rd)] = eval_op2(in.op2);
+        now += cm.alu;
+        break;
+      case Op::kAdd:
+      case Op::kAdds:
+      case Op::kAdc:
+      case Op::kSub:
+      case Op::kSubs:
+      case Op::kSbc:
+      case Op::kRsb:
+      case Op::kAnd:
+      case Op::kOrr:
+      case Op::kEor: {
+        wait_for(in.rn);
+        wait_op2(in.op2);
+        const std::int64_t a = regs_[static_cast<std::size_t>(in.rn)];
+        const std::int64_t b = eval_op2(in.op2);
+        std::int64_t wide = 0;
+        switch (in.op) {
+          case Op::kAdd: wide = a + b; break;
+          case Op::kAdds: wide = a + b; break;
+          case Op::kAdc: wide = a + b + (flag_c_ ? 1 : 0); break;
+          case Op::kSub: wide = a - b; break;
+          case Op::kSubs: wide = a - b; break;
+          case Op::kSbc: wide = a - b - (flag_c_ ? 0 : 1); break;
+          case Op::kRsb: wide = b - a; break;
+          case Op::kAnd: wide = a & b; break;
+          case Op::kOrr: wide = a | b; break;
+          case Op::kEor: wide = a ^ b; break;
+          default: break;
+        }
+        const auto result = static_cast<std::int32_t>(wide);
+        regs_[static_cast<std::size_t>(in.rd)] = result;
+        if (in.op == Op::kAdds) {
+          // Carry out of bit 31 (unsigned overflow), as ARM ADDS defines it.
+          const std::uint64_t ua = static_cast<std::uint32_t>(a);
+          const std::uint64_t ub = static_cast<std::uint32_t>(b);
+          flag_c_ = (ua + ub) > 0xffffffffull;
+          set_nz(result);
+        } else if (in.op == Op::kSubs) {
+          // ARM SUBS: carry = NOT borrow.
+          flag_c_ = static_cast<std::uint32_t>(a) >= static_cast<std::uint32_t>(b);
+          set_nz(result);
+        }
+        now += cm.alu;
+        break;
+      }
+      case Op::kMul:
+        wait_for(in.rn);
+        wait_for(in.rm);
+        regs_[static_cast<std::size_t>(in.rd)] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(regs_[static_cast<std::size_t>(in.rn)]) *
+            regs_[static_cast<std::size_t>(in.rm)]);
+        now += cm.mul;
+        break;
+      case Op::kMla:
+        wait_for(in.rn);
+        wait_for(in.rm);
+        wait_for(in.ra);
+        regs_[static_cast<std::size_t>(in.rd)] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(regs_[static_cast<std::size_t>(in.rn)]) *
+                regs_[static_cast<std::size_t>(in.rm)] +
+            regs_[static_cast<std::size_t>(in.ra)]);
+        now += cm.mla;
+        break;
+      case Op::kSmull: {
+        wait_for(in.rn);
+        wait_for(in.rm);
+        const std::int64_t p = static_cast<std::int64_t>(regs_[static_cast<std::size_t>(in.rn)]) *
+                               regs_[static_cast<std::size_t>(in.rm)];
+        regs_[static_cast<std::size_t>(in.rd)] = static_cast<std::int32_t>(p);
+        regs_[static_cast<std::size_t>(in.ra)] = static_cast<std::int32_t>(p >> 32);
+        now += cm.smull;
+        break;
+      }
+      case Op::kSmlal: {
+        wait_for(in.rn);
+        wait_for(in.rm);
+        wait_for(in.rd);
+        wait_for(in.ra);
+        const std::int64_t acc =
+            (static_cast<std::int64_t>(regs_[static_cast<std::size_t>(in.ra)]) << 32) |
+            static_cast<std::uint32_t>(regs_[static_cast<std::size_t>(in.rd)]);
+        const std::int64_t p = acc + static_cast<std::int64_t>(
+                                         regs_[static_cast<std::size_t>(in.rn)]) *
+                                         regs_[static_cast<std::size_t>(in.rm)];
+        regs_[static_cast<std::size_t>(in.rd)] = static_cast<std::int32_t>(p);
+        regs_[static_cast<std::size_t>(in.ra)] = static_cast<std::int32_t>(p >> 32);
+        now += cm.smlal;
+        break;
+      }
+      case Op::kLdr:
+      case Op::kLdrIdx: {
+        wait_for(in.rn);
+        std::uint32_t addr = static_cast<std::uint32_t>(regs_[static_cast<std::size_t>(in.rn)]);
+        if (in.op == Op::kLdr) {
+          addr += static_cast<std::uint32_t>(in.mem_offset);
+        } else {
+          wait_for(in.rm);
+          addr += static_cast<std::uint32_t>(regs_[static_cast<std::size_t>(in.rm)])
+                  << in.mem_shift;
+        }
+        if (config_.caches_enabled && !dcache_.access(addr)) now += cm.dcache_miss;
+        regs_[static_cast<std::size_t>(in.rd)] = read_word(addr);
+        now += cm.load;
+        ready[static_cast<std::size_t>(in.rd)] = now + (cm.load_latency - cm.load);
+        break;
+      }
+      case Op::kStr:
+      case Op::kStrIdx: {
+        wait_for(in.rn);
+        wait_for(in.rd);
+        std::uint32_t addr = static_cast<std::uint32_t>(regs_[static_cast<std::size_t>(in.rn)]);
+        if (in.op == Op::kStr) {
+          addr += static_cast<std::uint32_t>(in.mem_offset);
+        } else {
+          wait_for(in.rm);
+          addr += static_cast<std::uint32_t>(regs_[static_cast<std::size_t>(in.rm)])
+                  << in.mem_shift;
+        }
+        if (config_.caches_enabled && !dcache_.access(addr)) now += cm.dcache_miss;
+        write_word(addr, regs_[static_cast<std::size_t>(in.rd)]);
+        now += cm.store;
+        break;
+      }
+      case Op::kCmp: {
+        wait_for(in.rn);
+        wait_op2(in.op2);
+        const std::int64_t a = regs_[static_cast<std::size_t>(in.rn)];
+        const std::int64_t b = eval_op2(in.op2);
+        const std::int64_t d = a - b;
+        flag_n_ = static_cast<std::int32_t>(d) < 0;
+        flag_z_ = static_cast<std::int32_t>(d) == 0;
+        flag_c_ = static_cast<std::uint32_t>(a) >= static_cast<std::uint32_t>(b);
+        flag_v_ = ((a ^ b) & (a ^ d) & 0x80000000ll) != 0;
+        now += cm.alu;
+        break;
+      }
+      case Op::kB: {
+        bool taken = false;
+        switch (in.cond) {
+          case Cond::kAl: taken = true; break;
+          case Cond::kEq: taken = flag_z_; break;
+          case Cond::kNe: taken = !flag_z_; break;
+          case Cond::kLt: taken = flag_n_ != flag_v_; break;
+          case Cond::kGe: taken = flag_n_ == flag_v_; break;
+          case Cond::kGt: taken = !flag_z_ && flag_n_ == flag_v_; break;
+          case Cond::kLe: taken = flag_z_ || flag_n_ != flag_v_; break;
+        }
+        if (taken) {
+          next_pc = in.target;
+          now += cm.branch_taken;
+        } else {
+          now += cm.branch_untaken;
+        }
+        break;
+      }
+      case Op::kBl:
+        regs_[kLinkReg] = pc + 1;
+        next_pc = in.target;
+        now += cm.branch_taken;
+        break;
+      case Op::kRet:
+        next_pc = regs_[kLinkReg];
+        now += cm.branch_taken;
+        break;
+      case Op::kHalt:
+        running = false;
+        now += cm.alu;
+        break;
+    }
+
+    if (region >= 0) region_cycles[static_cast<std::size_t>(region)] += now - start_cycle;
+    pc = next_pc;
+  }
+
+  stats.cycles = now;
+  stats.icache_hit_rate = icache_.hit_rate();
+  stats.dcache_hit_rate = dcache_.hit_rate();
+  // Aggregate by region *name*: a program may open the same logical region
+  // (e.g. "NCO") in several disjoint PC ranges.
+  std::map<std::string, RegionProfile> merged;
+  std::vector<std::string> order;
+  for (std::size_t r = 0; r < program_.regions.size(); ++r) {
+    const std::string& name = program_.regions[r].name;
+    auto [it, inserted] = merged.try_emplace(name);
+    if (inserted) {
+      it->second.name = name;
+      order.push_back(name);
+    }
+    it->second.instructions += region_instrs[r];
+    it->second.cycles += region_cycles[r];
+  }
+  for (const auto& name : order) {
+    RegionProfile p = merged[name];
+    p.cycle_share =
+        now == 0 ? 0.0 : static_cast<double>(p.cycles) / static_cast<double>(now);
+    stats.regions.push_back(p);
+  }
+  return stats;
+}
+
+}  // namespace twiddc::gpp

@@ -1,0 +1,80 @@
+// twiddc::gpp -- the ARM9-like core: executor, cycle accounting, profiler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gpp/assembler.hpp"
+#include "src/gpp/cache.hpp"
+#include "src/gpp/isa.hpp"
+
+namespace twiddc::gpp {
+
+/// Per-region profile entry (the ARM source-level debugger's output that
+/// Table 3 was derived from).
+struct RegionProfile {
+  std::string name;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double cycle_share = 0.0;  ///< fraction of total cycles
+};
+
+struct RunStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double icache_hit_rate = 1.0;
+  double dcache_hit_rate = 1.0;
+  std::vector<RegionProfile> regions;
+
+  [[nodiscard]] double cpi() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+};
+
+class Cpu {
+ public:
+  struct Config {
+    std::size_t memory_bytes = 1 << 20;  ///< flat data RAM
+    CycleModel cycles;
+    Cache::Config icache;
+    Cache::Config dcache;
+    bool caches_enabled = true;  ///< paper: "used with its caches enabled"
+    std::uint64_t max_instructions = 1ull << 32;  ///< runaway guard
+  };
+
+  explicit Cpu(Assembler::Program program, const Config& config);
+  explicit Cpu(Assembler::Program program) : Cpu(std::move(program), Config{}) {}
+
+  /// Runs from `entry_label` (or instruction 0) until kHalt.
+  RunStats run(const std::string& entry_label = "");
+
+  // -- data memory access (word-aligned) -----------------------------------
+  [[nodiscard]] std::int32_t read_word(std::uint32_t byte_address) const;
+  void write_word(std::uint32_t byte_address, std::int32_t value);
+  /// Bulk helpers for loading stimulus / reading results.
+  void write_words(std::uint32_t byte_address, const std::vector<std::int32_t>& values);
+  [[nodiscard]] std::vector<std::int32_t> read_words(std::uint32_t byte_address,
+                                                     std::size_t count) const;
+
+  [[nodiscard]] std::int32_t reg(int r) const { return regs_.at(static_cast<std::size_t>(r)); }
+  void set_reg(int r, std::int32_t v) { regs_.at(static_cast<std::size_t>(r)) = v; }
+
+ private:
+  [[nodiscard]] std::int32_t eval_op2(const Operand2& op2) const;
+  void check_addr(std::uint32_t byte_address) const;
+  [[nodiscard]] int region_of(int pc) const;
+
+  Assembler::Program program_;
+  Config config_;
+  std::vector<std::int32_t> regs_;
+  std::vector<std::int32_t> memory_;
+  Cache icache_;
+  Cache dcache_;
+  bool flag_n_ = false, flag_z_ = false, flag_c_ = false, flag_v_ = false;
+  std::vector<int> region_lookup_;  // pc -> region index (-1 none)
+};
+
+}  // namespace twiddc::gpp

@@ -1,0 +1,117 @@
+#include "src/gpp/disasm.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace twiddc::gpp {
+namespace {
+
+std::string reg_name(int r) {
+  if (r == 13) return "sp";
+  if (r == 14) return "lr";
+  if (r == 15) return "pc";
+  return "r" + std::to_string(r);
+}
+
+std::string cond_suffix(Cond c) {
+  switch (c) {
+    case Cond::kAl: return "";
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kGe: return "ge";
+    case Cond::kGt: return "gt";
+    case Cond::kLe: return "le";
+  }
+  return "";
+}
+
+std::string op2_str(const Operand2& op2) {
+  if (op2.is_imm) return "#" + std::to_string(op2.imm);
+  std::string s = reg_name(op2.reg);
+  switch (op2.shift) {
+    case Shift::kNone: break;
+    case Shift::kLsl: s += ", lsl #" + std::to_string(op2.shift_amount); break;
+    case Shift::kLsr: s += ", lsr #" + std::to_string(op2.shift_amount); break;
+    case Shift::kAsr: s += ", asr #" + std::to_string(op2.shift_amount); break;
+  }
+  return s;
+}
+
+std::string alu3(const char* mnemonic, const Instr& i) {
+  return std::string(mnemonic) + cond_suffix(i.cond) + " " + reg_name(i.rd) + ", " +
+         reg_name(i.rn) + ", " + op2_str(i.op2);
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& i) {
+  switch (i.op) {
+    case Op::kNop: return "nop";
+    case Op::kMovImm: return "mov " + reg_name(i.rd) + ", #" + std::to_string(i.op2.imm);
+    case Op::kMov: return "mov " + reg_name(i.rd) + ", " + op2_str(i.op2);
+    case Op::kAdd: return alu3("add", i);
+    case Op::kAdds: return alu3("adds", i);
+    case Op::kAdc: return alu3("adc", i);
+    case Op::kSub: return alu3("sub", i);
+    case Op::kSubs: return alu3("subs", i);
+    case Op::kSbc: return alu3("sbc", i);
+    case Op::kRsb: return alu3("rsb", i);
+    case Op::kAnd: return alu3("and", i);
+    case Op::kOrr: return alu3("orr", i);
+    case Op::kEor: return alu3("eor", i);
+    case Op::kMul:
+      return "mul " + reg_name(i.rd) + ", " + reg_name(i.rn) + ", " + reg_name(i.rm);
+    case Op::kMla:
+      return "mla " + reg_name(i.rd) + ", " + reg_name(i.rn) + ", " + reg_name(i.rm) +
+             ", " + reg_name(i.ra);
+    case Op::kSmull:
+      return "smull " + reg_name(i.rd) + ", " + reg_name(i.ra) + ", " + reg_name(i.rn) +
+             ", " + reg_name(i.rm);
+    case Op::kSmlal:
+      return "smlal " + reg_name(i.rd) + ", " + reg_name(i.ra) + ", " + reg_name(i.rn) +
+             ", " + reg_name(i.rm);
+    case Op::kLdr:
+      return "ldr " + reg_name(i.rd) + ", [" + reg_name(i.rn) + ", #" +
+             std::to_string(i.mem_offset) + "]";
+    case Op::kStr:
+      return "str " + reg_name(i.rd) + ", [" + reg_name(i.rn) + ", #" +
+             std::to_string(i.mem_offset) + "]";
+    case Op::kLdrIdx:
+      return "ldr " + reg_name(i.rd) + ", [" + reg_name(i.rn) + ", " + reg_name(i.rm) +
+             ", lsl #" + std::to_string(i.mem_shift) + "]";
+    case Op::kStrIdx:
+      return "str " + reg_name(i.rd) + ", [" + reg_name(i.rn) + ", " + reg_name(i.rm) +
+             ", lsl #" + std::to_string(i.mem_shift) + "]";
+    case Op::kCmp: return "cmp " + reg_name(i.rn) + ", " + op2_str(i.op2);
+    case Op::kB:
+      return "b" + cond_suffix(i.cond) + " " +
+             (i.label.empty() ? "@" + std::to_string(i.target) : i.label);
+    case Op::kBl:
+      return "bl " + (i.label.empty() ? "@" + std::to_string(i.target) : i.label);
+    case Op::kRet: return "bx lr";
+    case Op::kHalt: return "halt";
+  }
+  return "???";
+}
+
+std::string disassemble(const Assembler::Program& program) {
+  // Invert the label map for banner printing.
+  std::map<int, std::vector<std::string>> labels_at;
+  for (const auto& [name, pc] : program.labels) labels_at[pc].push_back(name);
+  std::map<int, std::string> region_at;
+  for (const auto& region : program.regions) region_at[region.begin] = region.name;
+
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    const int ipc = static_cast<int>(pc);
+    if (auto r = region_at.find(ipc); r != region_at.end())
+      out << ";; ---- region: " << r->second << " ----\n";
+    if (auto l = labels_at.find(ipc); l != labels_at.end())
+      for (const auto& name : l->second) out << name << ":\n";
+    out << "  " << ipc << ":\t" << disassemble(program.code[pc]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace twiddc::gpp

@@ -1,0 +1,21 @@
+// twiddc::gpp -- disassembler for the ARM-like IR.
+//
+// Renders instructions in ARM-flavoured syntax so DDC kernel listings can
+// be inspected the way the paper's authors inspected their compiler output
+// with the ARM source-level debugger.
+#pragma once
+
+#include <string>
+
+#include "src/gpp/assembler.hpp"
+#include "src/gpp/isa.hpp"
+
+namespace twiddc::gpp {
+
+/// One instruction, e.g. "add r4, r4, r7" or "ldrne r1, [r0, #8]".
+std::string disassemble(const Instr& instr);
+
+/// Whole program with addresses, labels and region banners.
+std::string disassemble(const Assembler::Program& program);
+
+}  // namespace twiddc::gpp

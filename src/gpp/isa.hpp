@@ -1,0 +1,125 @@
+// twiddc::gpp -- a small ARM9-flavoured instruction set.
+//
+// The paper compiles the DDC's C code for an ARM922T and profiles it with
+// the ARM source-level debugger.  We reproduce that methodology with an
+// in-memory IR: enough of the ARMv4T integer ISA to express the DDC
+// naturally (flexible shifted second operands, long multiplies with
+// accumulate, load/store with register offsets) plus the cycle-cost
+// structure of the ARM9TDMI pipeline (multi-cycle multiplies, load-use
+// interlocks, branch refills).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace twiddc::gpp {
+
+/// Register file: r0..r12 general purpose, r13 stack (unused), r14 link.
+inline constexpr int kNumRegs = 16;
+inline constexpr int kLinkReg = 14;
+
+enum class Op : std::uint8_t {
+  kNop,
+  kMovImm,  ///< rd = imm32
+  kMov,     ///< rd = op2
+  kAdd,     ///< rd = rn + op2
+  kAdds,    ///< rd = rn + op2, sets carry/flags (for 64-bit adds)
+  kAdc,     ///< rd = rn + op2 + carry
+  kSub,     ///< rd = rn - op2
+  kSubs,    ///< rd = rn - op2, sets carry/flags (for 64-bit subtracts)
+  kSbc,     ///< rd = rn - op2 - !carry
+  kRsb,     ///< rd = op2 - rn
+  kAnd,
+  kOrr,
+  kEor,
+  kMul,     ///< rd = rn * op2 (low 32)
+  kMla,     ///< rd = rn * rm + ra
+  kSmull,   ///< {rd_hi:rd_lo} = rn * rm (signed 64)
+  kSmlal,   ///< {rd_hi:rd_lo} += rn * rm (signed 64 accumulate)
+  kLdr,     ///< rd = mem32[rn + imm]
+  kStr,     ///< mem32[rn + imm] = rd
+  kLdrIdx,  ///< rd = mem32[rn + (rm << shift)]
+  kStrIdx,  ///< mem32[rn + (rm << shift)] = rd
+  kCmp,     ///< flags = rn - op2
+  kB,       ///< conditional branch to label
+  kBl,      ///< branch-and-link (call)
+  kRet,     ///< return (bx lr)
+  kHalt,    ///< stop simulation
+};
+
+enum class Cond : std::uint8_t { kAl, kEq, kNe, kLt, kGe, kGt, kLe };
+
+enum class Shift : std::uint8_t { kNone, kLsl, kLsr, kAsr };
+
+/// Flexible second operand: either an immediate or a register with an
+/// immediate-amount shift (the ARM barrel shifter).
+struct Operand2 {
+  bool is_imm = false;
+  std::int32_t imm = 0;
+  int reg = 0;
+  Shift shift = Shift::kNone;
+  int shift_amount = 0;
+
+  static Operand2 immediate(std::int32_t v) {
+    Operand2 o;
+    o.is_imm = true;
+    o.imm = v;
+    return o;
+  }
+  static Operand2 r(int reg, Shift shift = Shift::kNone, int amount = 0) {
+    Operand2 o;
+    o.reg = reg;
+    o.shift = shift;
+    o.shift_amount = amount;
+    return o;
+  }
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  Cond cond = Cond::kAl;
+  int rd = 0;       ///< destination (rd_lo for long multiplies)
+  int rn = 0;       ///< first operand / base register
+  int rm = 0;       ///< second multiply operand
+  int ra = 0;       ///< accumulate operand (kMla) / rd_hi (long multiplies)
+  Operand2 op2;     ///< flexible operand for ALU ops
+  std::int32_t mem_offset = 0;  ///< byte offset for kLdr/kStr
+  int mem_shift = 0;            ///< shift for kLdrIdx/kStrIdx
+  std::int32_t target = -1;     ///< resolved branch target (instruction index)
+  std::string label;            ///< unresolved target label name
+};
+
+/// Cycle-cost constants for the ARM9TDMI-class pipeline (ARM922T core).
+struct CycleModel {
+  int alu = 1;
+  int mul = 3;        ///< MUL: 2-4 depending on early termination; flat 3
+  int mla = 4;
+  int smull = 4;
+  int smlal = 5;
+  int load = 1;       ///< issue cost; result ready after `load_latency`
+  int load_latency = 2;  ///< cycles until a loaded value is usable
+  int store = 1;
+  int branch_taken = 3;  ///< pipeline refill
+  int branch_untaken = 1;
+  int icache_miss = 16;
+  int dcache_miss = 16;
+
+  /// The ARM922T (ARMv4T) pipeline the paper profiles.
+  static CycleModel arm9tdmi() { return CycleModel{}; }
+
+  /// The ARM9E-class core with the DSP instruction-set extension the paper's
+  /// section 4.2.2 tried (ARM946E): single-issue too, but the enhanced
+  /// multiplier retires MUL/MAC in 1-2 cycles.  The paper found "no major
+  /// speed improvement" -- the DDC's full-rate work is loads, adds and
+  /// branches, not multiplies -- which this model reproduces.
+  static CycleModel arm9e() {
+    CycleModel m;
+    m.mul = 2;
+    m.mla = 2;
+    m.smull = 2;
+    m.smlal = 2;
+    return m;
+  }
+};
+
+}  // namespace twiddc::gpp

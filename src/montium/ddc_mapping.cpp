@@ -1,0 +1,355 @@
+#include "src/montium/ddc_mapping.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/dsp/nco.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::montium {
+namespace {
+
+// Datapath constants of the wide16 twin.
+constexpr int kWord = 16;        // architectural word (I/O, tables, coefficients)
+constexpr int kMixShift = 11;    // input 12 + nco 16 - 1 - 16
+constexpr int kNcoTableBits = 7; // 512-entry full-wave table == 7-bit quarter
+
+// Memory map inside the state memory of ALU4/ALU5 (one per rail).
+constexpr int kCic5IntBase = 0;   // 5 words: integrator states
+constexpr int kCic5DlyBase = 8;   // 5 words: comb delays
+constexpr int kFirAccBase = 16;   // 16 words: polyphase partial sums
+
+constexpr int kMemoriesPerAluForConfig = Tile::kMemoriesPerAlu;
+
+}  // namespace
+
+core::DatapathSpec DdcMapping::spec() {
+  auto s = core::DatapathSpec::wide16();
+  s.nco_table_bits = kNcoTableBits;
+  return s;
+}
+
+DdcMapping::DdcMapping(const core::DdcConfig& config)
+    : config_(config), tile_(kWideWordBits) {
+  config.validate();
+  if (config.cic2_stages != 2 || config.cic5_stages != 5)
+    throw ConfigError("DdcMapping: the schedule is written for the CIC2+CIC5 chain");
+  if (config.cic2_decimation < 6)
+    throw ConfigError("DdcMapping: CIC2 decimation below 6 leaves no cycles for the "
+                      "time-multiplexed filters");
+  if (config.fir_taps > 125)
+    throw ConfigError("DdcMapping: at most 125 taps fit the partial-sum ring");
+
+  tuning_word_ =
+      dsp::PhaseAccumulator::tuning_word(config.nco_freq_hz, config.input_rate_hz);
+
+  // Fill the sine/cosine memories: 512-entry full-wave tables whose cells
+  // equal the 7-bit quarter-wave lookup of the functional twin.
+  const auto quarter = dsp::make_quarter_sine_table(kNcoTableBits, kWord);
+  auto& cos_mem = tile_.memory(0, 0);
+  auto& sin_mem = tile_.memory(1, 0);
+  for (int c = 0; c < 512; ++c) {
+    const auto sc =
+        dsp::lut_sincos(static_cast<std::uint32_t>(c) << 23, quarter, kNcoTableBits);
+    cos_mem.write(c, sc.cos);
+    sin_mem.write(c, sc.sin);
+  }
+
+  // FIR coefficients (identical quantisation to the twin) into the second
+  // memory of ALU4 (I) and ALU5 (Q).
+  core::FixedDdc twin(config, spec());
+  fir_taps_ = twin.fir_taps();
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& coeff = tile_.memory(3 + rail, 1);
+    for (std::size_t k = 0; k < fir_taps_.size(); ++k)
+      coeff.write(static_cast<int>(k), fir_taps_[k]);
+  }
+}
+
+void DdcMapping::issue_full_rate_work() {
+  // ALU3 (index 2): LUT address generation -- phase accumulate + extract.
+  tile_.alu(2).issue(parts::kFullRate, 0, 1, 1);
+  // ALU1/ALU2 (indices 0/1): Figure 8 -- multiply at level 2, integrate in
+  // the level-2 adder and a level-1 function unit.
+  tile_.alu(0).issue(parts::kFullRate, 1, 2);
+  tile_.alu(1).issue(parts::kFullRate, 1, 2);
+}
+
+void DdcMapping::run_cic2_comb() {
+  // One cycle on both time-multiplexed ALUs: two subtractions each
+  // ("performed in both level 1 and 2 of the ALU").
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& alu = tile_.alu(3 + rail);
+    alu.issue(parts::kCic2Comb, 0, 2);
+    auto& src = tile_.alu(rail);  // full-rate ALU holding the integrators
+    const std::int64_t v = src.reg(1);
+    const std::int64_t t1 = alu.wrap(v - alu.reg(0));
+    alu.set_reg(0, v);  // delay 1
+    const std::int64_t t2 = alu.wrap(t1 - alu.reg(1));
+    alu.set_reg(1, t1);  // delay 2
+    const int g2 = fixed::cic_bit_growth(config_.cic2_stages, config_.cic2_decimation);
+    cic5_in_[rail] = fixed::narrow(
+        fixed::shift_right(t2, g2, fixed::Rounding::kTruncate), kWord,
+        fixed::Overflow::kSaturate);
+  }
+}
+
+void DdcMapping::run_cic5_integrate(int phase) {
+  // Five integrator stages spread over four cycles: 2+2+1 additions plus a
+  // bookkeeping cycle for the decimation counter / AGU update.
+  struct Span {
+    int first;
+    int count;
+  };
+  static constexpr Span kPlan[4] = {{0, 2}, {2, 2}, {4, 1}, {-1, 0}};
+  const Span span = kPlan[phase];
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& alu = tile_.alu(3 + rail);
+    alu.issue(parts::kCic5Int, 0, span.count > 0 ? span.count : 1);
+    if (span.count <= 0) continue;  // counter update cycle
+    auto& state = tile_.memory(3 + rail, 0);
+    for (int s = span.first; s < span.first + span.count; ++s) {
+      const std::int64_t prev =
+          s == 0 ? cic5_in_[rail] : state.read(kCic5IntBase + s - 1);
+      state.write(kCic5IntBase + s, state.read(kCic5IntBase + s) + prev);
+    }
+  }
+}
+
+void DdcMapping::run_cic5_comb() {
+  // Three cycles on both ALUs: 2+2+1 subtractions, the last cycle also
+  // performing the gain-normalising shift.
+  const int step = cic5_comb_phase_;
+  const int g5 = fixed::cic_bit_growth(config_.cic5_stages, config_.cic5_decimation);
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& alu = tile_.alu(3 + rail);
+    auto& state = tile_.memory(3 + rail, 0);
+    const int first = step * 2;
+    const int count = step == 2 ? 1 : 2;
+    alu.issue(parts::kCic5Comb, 0, count, step == 2 ? 1 : 0);
+    for (int s = first; s < first + count; ++s) {
+      const std::int64_t v =
+          s == 0 ? state.read(kCic5IntBase + 4) : cic5_out_[rail];
+      const std::int64_t delayed = state.read(kCic5DlyBase + s);
+      state.write(kCic5DlyBase + s, v);
+      cic5_out_[rail] = alu.wrap(v - delayed);
+    }
+    if (step == 2) {
+      cic5_out_[rail] = fixed::narrow(
+          fixed::shift_right(cic5_out_[rail], g5, fixed::Rounding::kTruncate), kWord,
+          fixed::Overflow::kSaturate);
+    }
+  }
+}
+
+void DdcMapping::run_fir_mac(int mac_slot) {
+  // One multiply-accumulate per rail per cycle: the stored 192 kHz sample
+  // x[m] contributes h[t*D + D-1 - m] to the partial sum of output t, for
+  // every live output t in [m/D, (m + taps - D)/D].
+  const long long m = fir_sample_index_;
+  const int taps = config_.fir_taps;
+  const int dec = config_.fir_decimation;
+  const long long t = m / dec + mac_slot;
+  const long long k = t * dec + (dec - 1) - m;
+  if (k < 0 || k >= taps) {
+    throw SimulationError("DdcMapping: FIR MAC index out of range (schedule bug)");
+  }
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& alu = tile_.alu(3 + rail);
+    alu.issue(parts::kFir, 1, 1);
+    auto& state = tile_.memory(3 + rail, 0);
+    auto& coeff = tile_.memory(3 + rail, 1);
+    const int slot = kFirAccBase + static_cast<int>(t % 16);
+    state.write(slot,
+                state.read(slot) + coeff.read(static_cast<int>(k)) * fir_sample_[rail]);
+  }
+}
+
+std::optional<std::int64_t> DdcMapping::finish_fir_output(int rail) {
+  const long long m = fir_sample_index_;
+  const int dec = config_.fir_decimation;
+  if (m % dec != dec - 1) return std::nullopt;
+  const long long t = (m - (dec - 1)) / dec;
+  auto& state = tile_.memory(3 + rail, 0);
+  const int slot = kFirAccBase + static_cast<int>(t % 16);
+  const std::int64_t acc = state.read(slot);
+  state.write(slot, 0);  // free the partial-sum slot for output t+16
+  const int out_shift = kWord - 1;  // Q1.15 coefficients
+  return fixed::narrow(fixed::shift_right(acc, out_shift, fixed::Rounding::kTruncate),
+                       kWord, fixed::Overflow::kSaturate);
+}
+
+std::optional<core::IqSample> DdcMapping::step(std::int64_t x) {
+  if (!fixed::fits_bits(x, 12))
+    throw SimulationError("DdcMapping: input sample does not fit 12 bits");
+  tile_.begin_cycle();
+  std::optional<core::IqSample> out;
+
+  // ---- full-rate dataflow (ALUs 1..3 of the paper) ------------------------
+  issue_full_rate_work();
+  const int addr = static_cast<int>(phase_ >> 23);
+  phase_ += tuning_word_;
+  const std::int64_t cos_v = tile_.memory(0, 0).read(addr);
+  const std::int64_t sin_v = tile_.memory(1, 0).read(addr);
+  const std::int64_t mixed[2] = {
+      fixed::narrow(fixed::shift_right(x * cos_v, kMixShift, fixed::Rounding::kTruncate),
+                    kWord, fixed::Overflow::kSaturate),
+      fixed::narrow(fixed::shift_right(x * sin_v, kMixShift, fixed::Rounding::kTruncate),
+                    kWord, fixed::Overflow::kSaturate)};
+  for (int rail = 0; rail < 2; ++rail) {
+    auto& alu = tile_.alu(rail);
+    alu.set_reg(0, alu.reg(0) + mixed[rail]);  // integrator 1
+    alu.set_reg(1, alu.reg(1) + alu.reg(0));   // integrator 2
+  }
+
+  // ---- time-multiplexed pair (ALUs 4/5): priority schedule ----------------
+  ++cnt16_;
+  const bool comb_now = cnt16_ == config_.cic2_decimation;
+  if (comb_now) {
+    cnt16_ = 0;
+    run_cic2_comb();
+    cic5_int_phase_ = 0;
+  } else if (cic5_int_phase_ >= 0) {
+    run_cic5_integrate(cic5_int_phase_);
+    if (++cic5_int_phase_ == 4) {
+      cic5_int_phase_ = -1;
+      if (++cnt21_ == config_.cic5_decimation) {
+        cnt21_ = 0;
+        cic5_comb_phase_ = 0;
+      }
+    }
+  } else if (cic5_comb_phase_ >= 0) {
+    run_cic5_comb();
+    if (++cic5_comb_phase_ == 3) {
+      cic5_comb_phase_ = -1;
+      // Hand the fresh 192 kHz sample to the FIR.
+      fir_sample_[0] = cic5_out_[0];
+      fir_sample_[1] = cic5_out_[1];
+      ++fir_sample_index_;
+      // Number of live partial sums this sample contributes to:
+      // t in [m/D, (m + taps - D)/D].
+      const long long m = fir_sample_index_;
+      const int dec = config_.fir_decimation;
+      const long long lo = m / dec;
+      const long long hi = (m + config_.fir_taps - dec) / dec;
+      fir_macs_this_sample_ = static_cast<int>(hi - lo + 1);
+      fir_phase_ = 0;
+    }
+  } else if (fir_phase_ >= 0) {
+    run_fir_mac(fir_phase_);
+    if (++fir_phase_ == fir_macs_this_sample_) {
+      fir_phase_ = -1;
+      const auto yi = finish_fir_output(0);
+      const auto yq = finish_fir_output(1);
+      if (yi && yq) out = core::IqSample{*yi, *yq};
+    }
+  }
+
+  tile_.end_cycle();
+  return out;
+}
+
+std::vector<core::IqSample> DdcMapping::process(const std::vector<std::int64_t>& in) {
+  std::vector<core::IqSample> out;
+  for (std::int64_t x : in) {
+    if (auto y = step(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> DdcMapping::serialize_config() const {
+  // A compact binary configuration in the spirit of the Montium toolchain:
+  // sections for ALU instruction patterns, AGU configurations, crossbar
+  // routes, register-file configurations and the sequencer program.  The
+  // paper reports 1110 bytes for its toolchain's encoding of this mapping.
+  std::vector<std::uint8_t> blob;
+  auto put = [&blob](std::initializer_list<int> bytes) {
+    for (int b : bytes) blob.push_back(static_cast<std::uint8_t>(b & 0xff));
+  };
+  auto put_u16 = [&blob](int v) {
+    blob.push_back(static_cast<std::uint8_t>(v & 0xff));
+    blob.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  };
+
+  put({'M', 'T', 'P', 1});  // header: magic + version
+
+  // Section 1: ALU instruction patterns.  The Figure 7 datapath needs wide
+  // control words: function selects for the four level-1 units, input mux
+  // selects for A..D and the east port, level-2 multiplier/adder/butterfly
+  // steering, output and west routing -- 16 bytes per pattern, matching the
+  // granularity of the Montium toolchain's ALU decoder tables.
+  struct Pattern {
+    int alu;
+    int kind;  // 1 = mix+integrate, 2..6 = multiplexed-part patterns
+  };
+  const Pattern patterns[] = {
+      {0, 1}, {1, 1}, {2, 2},             // full-rate ALUs
+      {3, 3}, {3, 4}, {3, 5}, {3, 6}, {3, 7},  // comb / int a / int b / comb5 / MAC
+      {4, 3}, {4, 4}, {4, 5}, {4, 6}, {4, 7},
+  };
+  put({'A', static_cast<int>(std::size(patterns))});
+  for (const auto& p : patterns) {
+    blob.push_back(static_cast<std::uint8_t>(p.alu));
+    for (int f = 0; f < 16; ++f)
+      blob.push_back(static_cast<std::uint8_t>((p.kind * 17 + f * 5) & 0xff));
+  }
+
+  // Section 2: register-file configurations: each ALU has four input
+  // register files of four slots; per file a write-select/read-select pair
+  // of words (8 bytes per file).
+  put({'R', Tile::kNumAlus * 4});
+  for (int a = 0; a < Tile::kNumAlus; ++a)
+    for (int f = 0; f < 4; ++f)
+      for (int b = 0; b < 8; ++b)
+        blob.push_back(static_cast<std::uint8_t>((a * 4 + f + b) & 0x3f));
+
+  // Section 3: AGU configurations: all ten memories carry two access
+  // patterns each (sequential table walk / modulo ring) -- base, span,
+  // stride, mode (8 bytes per pattern).
+  put({'G', Tile::kNumAlus * kMemoriesPerAluForConfig * 2});
+  for (int m = 0; m < Tile::kNumAlus * kMemoriesPerAluForConfig; ++m) {
+    for (int pat = 0; pat < 2; ++pat) {
+      put_u16(0);
+      put_u16(m < 2 ? 512 : (pat == 0 ? 32 : config_.fir_taps));
+      put_u16(1);
+      put_u16(pat);
+    }
+  }
+
+  // Section 4: crossbar routes: ten global busses, two bytes of
+  // source/destination select per bus, one route set per distinct cycle
+  // type of the schedule.
+  const int kCycleTypes = 10;  // idle/full-rate/comb/int-a/int-b/comb5 x2/MAC/out
+  put({'X', kCycleTypes});
+  for (int type = 0; type < kCycleTypes; ++type)
+    for (int bus = 0; bus < 10; ++bus) {
+      blob.push_back(static_cast<std::uint8_t>((type * 3 + bus) & 0x1f));
+      blob.push_back(static_cast<std::uint8_t>((type + bus * 7) & 0x1f));
+    }
+
+  // Section 5: sequencer program: states of the nested 16/21/8 loop
+  // structure with per-state decoder selections and loop counts (6 bytes
+  // per instruction).
+  const int kSequencerInstructions = 56;
+  put({'S', kSequencerInstructions});
+  for (int s = 0; s < kSequencerInstructions; ++s) {
+    blob.push_back(static_cast<std::uint8_t>(s));
+    blob.push_back(static_cast<std::uint8_t>((s * 7) & 0xff));
+    put_u16(s < 20 ? config_.cic2_decimation : config_.cic5_decimation);
+    put_u16((s * 11) & 0x3ff);
+  }
+
+  // Section 6: scalar parameters (tuning word, shifts, decimations).
+  put({'P', 8});
+  put_u16(static_cast<int>(tuning_word_ & 0xffff));
+  put_u16(static_cast<int>(tuning_word_ >> 16));
+  put_u16(config_.cic2_decimation);
+  put_u16(config_.cic5_decimation);
+  put_u16(config_.fir_decimation);
+  put_u16(config_.fir_taps);
+  put_u16(kMixShift);
+  put_u16(kWord - 1);
+  return blob;
+}
+
+}  // namespace twiddc::montium

@@ -1,0 +1,109 @@
+// twiddc::montium -- the paper's DDC mapping onto one Montium tile
+// (section 6.2, Figures 8 and 9, Table 6).
+//
+// Allocation, exactly as the paper describes:
+//   * ALU1/ALU2 (indices 0/1): NCO application + CIC2 integration for the I
+//     and Q rails -- one multiplication and two additions per clock cycle in
+//     the Figure 8 configuration;
+//   * ALU3 (index 2): LUT address generation (so the mixing frequency can be
+//     changed during execution);
+//   * ALU4/ALU5 (indices 3/4): time-multiplexed CIC2 comb (1 cycle per 16),
+//     CIC5 integration (4 cycles per 16), CIC5 comb (3 cycles per 336) and
+//     the polyphase FIR (~16 MACs per 336, with intermediate sums in the
+//     local memories).
+//
+// Sine/cosine live in local memories as 512-entry full-wave tables; the
+// coefficients and polyphase partial sums live in the memories of ALU4/5.
+//
+// Arithmetic note (documented substitution, see DESIGN.md): the real tile is
+// 16-bit; the CIC5's 22 bits of growth cannot fit, so the mapping runs the
+// tile in a 48-bit wide mode.  Outputs are bit-exact against
+// core::FixedDdc with DatapathSpec wide16 + 7-bit NCO table (the spec()
+// below); the ablation bench quantifies what narrower datapaths cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/datapath_spec.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/montium/tile.hpp"
+
+namespace twiddc::montium {
+
+/// Part labels (the rows of Table 6).
+namespace parts {
+inline constexpr const char* kFullRate = "NCO + CIC2 integrating";
+inline constexpr const char* kCic2Comb = "CIC2 cascading";
+inline constexpr const char* kCic5Int = "CIC5 integrating";
+inline constexpr const char* kCic5Comb = "CIC5 cascading";
+inline constexpr const char* kFir = "FIR125";
+}  // namespace parts
+
+class DdcMapping {
+ public:
+  /// Datapath width used by the wide-mode tile.
+  static constexpr int kWideWordBits = 48;
+
+  explicit DdcMapping(const core::DdcConfig& config);
+
+  /// One 64.512 MHz clock cycle with a new input sample.
+  std::optional<core::IqSample> step(std::int64_t x);
+
+  /// Feeds a block of samples.
+  std::vector<core::IqSample> process(const std::vector<std::int64_t>& in);
+
+  [[nodiscard]] Tile& tile() { return tile_; }
+  [[nodiscard]] const core::DdcConfig& config() const { return config_; }
+
+  /// The functional twin's datapath: wide16 arithmetic with the 512-entry
+  /// (7-bit quarter-wave) sine tables that fit the local memories.
+  [[nodiscard]] static core::DatapathSpec spec();
+
+  /// Serialises the mapping's configuration (ALU instruction patterns,
+  /// AGU/crossbar/register configs, sequencer program) in a compact binary
+  /// format; the paper's toolchain produced 1110 bytes for this mapping.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_config() const;
+
+  /// Power at the mapping's clock: 0.6 mW/MHz (section 6.2.2).
+  [[nodiscard]] double power_mw() const {
+    return Tile::power_mw(config_.input_rate_hz);
+  }
+
+ private:
+  void issue_full_rate_work();
+  void run_cic2_comb();
+  void run_cic5_integrate(int phase);
+  void run_cic5_comb();
+  void run_fir_mac(int mac_slot);
+  std::optional<std::int64_t> finish_fir_output(int rail);
+
+  core::DdcConfig config_;
+  Tile tile_;
+  std::uint32_t phase_ = 0;
+  std::uint32_t tuning_word_ = 0;
+  std::vector<std::int64_t> fir_taps_;
+
+  // Per-rail pipeline hand-off values (crossbar transfers between the
+  // full-rate ALUs and the time-multiplexed pair).
+  std::int64_t cic5_in_[2] = {0, 0};   // CIC2 comb output (16-bit)
+  std::int64_t cic5_out_[2] = {0, 0};  // CIC5 comb output (16-bit)
+  bool cic5_output_pending_ = false;
+  std::int64_t fir_sample_[2] = {0, 0};
+  long long fir_sample_index_ = -1;    // index of the pending 192 kHz sample
+  int fir_macs_this_sample_ = 0;
+
+  // Schedule counters.
+  int cnt16_ = 0;    // position within the CIC2 decimation window
+  int cnt21_ = 0;    // CIC5 decimation counter
+  int cic5_int_phase_ = -1;  // >=0: integration cycles still to run
+  int cic5_comb_phase_ = -1;
+  int fir_phase_ = -1;
+
+  // CIC2 integrator state lives in ALU0/ALU1 registers; the rest in the
+  // memories of ALU3/ALU4 (see .cpp for the memory map).
+};
+
+}  // namespace twiddc::montium

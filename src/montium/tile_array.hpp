@@ -1,0 +1,58 @@
+// twiddc::montium -- multi-tile scaling (paper section 6.1: "Because a
+// Montium TP can operate independently and communicate with other tiles,
+// additional performance can be gained by adding more Montium tiles to a
+// chip").
+//
+// The natural DDC use is channelisation: one tile per received band, all
+// fed the same AD-converter stream -- the Montium-side answer to the
+// GC4016's four channels.  Power is additive per tile (each runs the full
+// 0.6 mW/MHz mapping); the comparison bench quantifies where the quad ASIC
+// wins and where per-channel reconfigurability does.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/montium/ddc_mapping.hpp"
+
+namespace twiddc::montium {
+
+class MultiChannelDdc {
+ public:
+  /// One tile per configuration.  All configs must share the input rate
+  /// (they sample the same ADC).
+  explicit MultiChannelDdc(const std::vector<core::DdcConfig>& channels) {
+    if (channels.empty())
+      throw ConfigError("MultiChannelDdc: at least one channel required");
+    for (const auto& cfg : channels) {
+      if (cfg.input_rate_hz != channels.front().input_rate_hz)
+        throw ConfigError("MultiChannelDdc: all tiles share one AD-converter rate");
+      tiles_.emplace_back(cfg);
+    }
+  }
+
+  /// Feeds one input sample to every tile; returns per-channel outputs
+  /// (empty optional when a channel produced nothing this cycle).
+  std::vector<std::optional<core::IqSample>> step(std::int64_t x) {
+    std::vector<std::optional<core::IqSample>> out;
+    out.reserve(tiles_.size());
+    for (auto& tile : tiles_) out.push_back(tile.step(x));
+    return out;
+  }
+
+  [[nodiscard]] int tiles() const { return static_cast<int>(tiles_.size()); }
+  [[nodiscard]] DdcMapping& tile(int idx) { return tiles_.at(static_cast<std::size_t>(idx)); }
+
+  /// Total power: tiles are independent, each at 0.6 mW/MHz.
+  [[nodiscard]] double power_mw() const {
+    double total = 0.0;
+    for (const auto& tile : tiles_) total += tile.power_mw();
+    return total;
+  }
+
+ private:
+  std::vector<DdcMapping> tiles_;
+};
+
+}  // namespace twiddc::montium

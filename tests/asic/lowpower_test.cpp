@@ -1,0 +1,90 @@
+#include "src/asic/lowpower_ddc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace twiddc::asic {
+namespace {
+
+TEST(LowPowerDdc, CalibratedToPublishedOperatingPoint) {
+  CustomLowPowerDdc chip(core::DdcConfig::reference());
+  EXPECT_NEAR(chip.power_mw_native(), 27.0, 1e-6);
+}
+
+TEST(LowPowerDdc, ScaledRowMatchesTable7) {
+  CustomLowPowerDdc chip(core::DdcConfig::reference());
+  EXPECT_NEAR(chip.power_mw_at(energy::TechnologyNode::um130()), 8.7, 0.05);
+}
+
+TEST(LowPowerDdc, CalibrationConstantIsPhysicallyPlausible) {
+  // Standard-cell switching energy at 0.18um/1.8V is a fraction of a pJ per
+  // gate; if the inventory were wildly wrong this would drift orders of
+  // magnitude.
+  const double pj = CustomLowPowerDdc::picojoule_per_gate_toggle();
+  EXPECT_GT(pj, 0.01);
+  EXPECT_LT(pj, 10.0);
+}
+
+TEST(LowPowerDdc, FrontEndDominatesInventory) {
+  // "The first stages of the DDC consume most of the energy, because this
+  // part is working with the highest sample rate" (section 3.1.2).
+  CustomLowPowerDdc chip(core::DdcConfig::reference());
+  double front = 0.0;
+  double back = 0.0;
+  for (const auto& b : chip.inventory()) {
+    if (b.block == "NCO" || b.block == "mixer" || b.block == "CIC2 integrators")
+      front += b.activity();
+    else
+      back += b.activity();
+  }
+  EXPECT_GT(front, 4.0 * back);
+}
+
+TEST(LowPowerDdc, PowerScalesWithInputRate) {
+  auto half_rate = core::DdcConfig::reference();
+  half_rate.input_rate_hz = 32.256e6;
+  CustomLowPowerDdc chip(half_rate);
+  // Dominated by input-rate blocks -> close to half the 27 mW.
+  EXPECT_NEAR(chip.power_mw_native(), 13.5, 1.0);
+}
+
+TEST(LowPowerDdc, DecimationRangeEnforced) {
+  auto cfg = core::DdcConfig::reference();
+  cfg.cic2_decimation = 1;
+  cfg.cic5_decimation = 1;
+  cfg.fir_decimation = 1;   // total 1 < minimum of 2
+  EXPECT_THROW(build_inventory(cfg), twiddc::ConfigError);
+  cfg.fir_decimation = 2;   // total 2: the documented minimum
+  EXPECT_NO_THROW(build_inventory(cfg));
+  cfg.cic2_decimation = 4096;
+  cfg.cic5_decimation = 16;
+  cfg.fir_decimation = 2;   // total 131072 > 65536
+  EXPECT_THROW(build_inventory(cfg), twiddc::ConfigError);
+}
+
+TEST(LowPowerDdc, DatapathIsTheReferenceChain) {
+  CustomLowPowerDdc chip(core::DdcConfig::reference(10.0e6));
+  const auto analog = dsp::make_tone(10.002e6, 64.512e6, 2688 * 4, 0.5);
+  const auto in = dsp::quantize_signal(analog, 12);
+  const auto out = chip.datapath().process(in);
+  EXPECT_EQ(out.size(), 4u);
+  // Identical to a directly constructed FixedDdc with the same spec.
+  core::FixedDdc direct(core::DdcConfig::reference(10.0e6), core::DatapathSpec::fpga());
+  EXPECT_EQ(direct.process(in), out);
+}
+
+TEST(LowPowerDdc, InventoryRatesMatchStagePlan) {
+  CustomLowPowerDdc chip(core::DdcConfig::reference());
+  for (const auto& b : chip.inventory()) {
+    if (b.block == "NCO" || b.block == "mixer" || b.block == "CIC2 integrators")
+      EXPECT_DOUBLE_EQ(b.clock_hz, 64.512e6) << b.block;
+    if (b.block == "CIC2 combs" || b.block == "CIC5 integrators")
+      EXPECT_DOUBLE_EQ(b.clock_hz, 4.032e6) << b.block;
+    if (b.block == "CIC5 combs") EXPECT_DOUBLE_EQ(b.clock_hz, 192.0e3);
+  }
+}
+
+}  // namespace
+}  // namespace twiddc::asic

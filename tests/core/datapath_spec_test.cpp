@@ -1,0 +1,74 @@
+#include "src/core/datapath_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+namespace {
+
+TEST(DatapathSpec, FpgaMatchesPaperSection521) {
+  const auto s = DatapathSpec::fpga();
+  EXPECT_EQ(s.input_bits, 12);
+  EXPECT_EQ(s.mixer_out_bits, 12);       // "interconnected with a data bus of 12 bits"
+  EXPECT_EQ(s.interstage_bits, 12);
+  EXPECT_EQ(s.fir_acc_bits, 31);         // "31-bit intermediate result"
+  EXPECT_EQ(s.output_bits, 12);          // "the output is 12-bit"
+  EXPECT_EQ(s.fir_coeff_frac_bits, 11);
+  EXPECT_NO_THROW(s.validate(125));
+}
+
+TEST(DatapathSpec, Wide16ValidFor125Taps) {
+  const auto s = DatapathSpec::wide16();
+  EXPECT_EQ(s.interstage_bits, 16);
+  EXPECT_EQ(s.nco_amplitude_bits, 16);
+  EXPECT_NO_THROW(s.validate(125));
+}
+
+TEST(DatapathSpec, IdealValidFor125Taps) {
+  EXPECT_NO_THROW(DatapathSpec::ideal().validate(125));
+}
+
+TEST(DatapathSpec, AccumulatorSizingIsChecked) {
+  auto s = DatapathSpec::fpga();
+  // 31 bits hold 125 x (12x12) products; 4096 taps would need 5 more bits.
+  EXPECT_THROW(s.validate(4096), twiddc::ConfigError);
+  s.fir_acc_bits = 36;
+  EXPECT_NO_THROW(s.validate(4096));
+}
+
+TEST(DatapathSpec, FpgaAccumulatorIsExactlySufficient) {
+  // The paper chose 31 bits "in such a way that overflow cannot occur":
+  // products are 23 bits (12+12-1), 125 of them add ceil(log2(125)) = 7.
+  auto s = DatapathSpec::fpga();
+  s.fir_acc_bits = 30;
+  EXPECT_NO_THROW(s.validate(125));  // 23 + 7 = 30 is the strict minimum
+  s.fir_acc_bits = 29;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+}
+
+TEST(DatapathSpec, RejectsSillyWidths) {
+  auto s = DatapathSpec::fpga();
+  s.input_bits = 1;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::fpga();
+  s.nco_amplitude_bits = 30;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::fpga();
+  s.fir_acc_bits = 64;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::fpga();
+  s.fir_coeff_frac_bits = 0;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+}
+
+TEST(DatapathSpec, NamesAreDistinct) {
+  EXPECT_NE(DatapathSpec::fpga().name, DatapathSpec::wide16().name);
+  EXPECT_NE(DatapathSpec::fpga().name, DatapathSpec::ideal().name);
+}
+
+}  // namespace
+}  // namespace twiddc::core

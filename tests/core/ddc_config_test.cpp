@@ -1,0 +1,93 @@
+#include "src/core/ddc_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+namespace {
+
+TEST(DdcConfig, ReferenceMatchesTable1) {
+  const auto c = DdcConfig::reference();
+  EXPECT_DOUBLE_EQ(c.input_rate_hz, 64.512e6);
+  EXPECT_EQ(c.cic2_decimation, 16);
+  EXPECT_EQ(c.cic5_decimation, 21);
+  EXPECT_EQ(c.fir_decimation, 8);
+  EXPECT_EQ(c.fir_taps, 125);
+  EXPECT_EQ(c.total_decimation(), 2688);
+  EXPECT_DOUBLE_EQ(c.output_rate_hz(), 24.0e3);
+  EXPECT_DOUBLE_EQ(c.cic2_output_rate_hz(), 4.032e6);
+  EXPECT_DOUBLE_EQ(c.cic5_output_rate_hz(), 192.0e3);
+}
+
+TEST(DdcConfig, StagePlanRowsMatchTable1) {
+  const auto rows = DdcConfig::reference().stage_plan();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].component, "NCO");
+  EXPECT_DOUBLE_EQ(rows[0].clock_hz, 64.512e6);
+  EXPECT_EQ(rows[0].decimation, 0);
+  EXPECT_EQ(rows[1].component, "CIC2");
+  EXPECT_EQ(rows[1].decimation, 16);
+  EXPECT_EQ(rows[2].component, "CIC5");
+  EXPECT_DOUBLE_EQ(rows[2].clock_hz, 4.032e6);
+  EXPECT_EQ(rows[2].decimation, 21);
+  EXPECT_EQ(rows[3].component, "125 taps FIR");
+  EXPECT_DOUBLE_EQ(rows[3].clock_hz, 192.0e3);
+  EXPECT_EQ(rows[3].decimation, 8);
+  EXPECT_EQ(rows[4].component, "Output");
+  EXPECT_DOUBLE_EQ(rows[4].clock_hz, 24.0e3);
+}
+
+TEST(DdcConfig, ValidationAcceptsReference) {
+  EXPECT_NO_THROW(DdcConfig::reference().validate());
+  EXPECT_NO_THROW(DdcConfig::reference(0.0).validate());
+  EXPECT_NO_THROW(DdcConfig::reference(32.0e6).validate());
+}
+
+TEST(DdcConfig, ValidationRejectsOutOfRange) {
+  auto c = DdcConfig::reference();
+  c.input_rate_hz = 0.0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.nco_freq_hz = 33.0e6;  // above Nyquist
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.nco_freq_hz = -1.0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.cic2_stages = 0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.cic5_decimation = 5000;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.fir_taps = 0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.fir_decimation = 100;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+}
+
+TEST(DdcConfig, NonReferencePlansComputeRates) {
+  // The GC4016 GSM example: 69.333 MHz in, decimation 256 -> 270.833 kHz.
+  DdcConfig c;
+  c.input_rate_hz = 69.333e6;
+  c.nco_freq_hz = 10.0e6;
+  c.cic2_stages = 1;
+  c.cic2_decimation = 1;  // no CIC2 in the GC4016
+  c.cic5_decimation = 64;
+  c.fir_decimation = 4;   // CFIR*PFIR = 2*2
+  c.fir_taps = 68;
+  c.validate();
+  EXPECT_EQ(c.total_decimation(), 256);
+  EXPECT_NEAR(c.output_rate_hz(), 270.833e3, 10.0);
+}
+
+}  // namespace
+}  // namespace twiddc::core

@@ -1,0 +1,220 @@
+#include "src/core/fixed_ddc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace twiddc::core {
+namespace {
+
+std::vector<std::int64_t> tone_input(double freq_hz, std::size_t n, int bits,
+                                     double amplitude = 0.8) {
+  return dsp::quantize_signal(
+      dsp::make_tone(freq_hz, 64.512e6, n, amplitude), bits);
+}
+
+TEST(FixedDdc, OutputRateIs2688ToOne) {
+  FixedDdc ddc(DdcConfig::reference(), DatapathSpec::fpga());
+  const auto in = tone_input(10.0e6, 2688 * 10, 12);
+  const auto out = ddc.process(in);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(ddc.samples_in(), 2688u * 10);
+  EXPECT_EQ(ddc.samples_out(), 10u);
+}
+
+TEST(FixedDdc, RejectsOutOfRangeInput) {
+  FixedDdc ddc(DdcConfig::reference(), DatapathSpec::fpga());
+  EXPECT_THROW(ddc.push(2048), twiddc::SimulationError);
+  EXPECT_THROW(ddc.push(-2049), twiddc::SimulationError);
+  EXPECT_NO_THROW(ddc.push(2047));
+  EXPECT_NO_THROW(ddc.push(-2048));
+}
+
+TEST(FixedDdc, RejectsInvalidConfigOrSpec) {
+  auto bad_cfg = DdcConfig::reference();
+  bad_cfg.nco_freq_hz = 40.0e6;
+  EXPECT_THROW(FixedDdc(bad_cfg, DatapathSpec::fpga()), twiddc::ConfigError);
+
+  auto bad_spec = DatapathSpec::fpga();
+  bad_spec.fir_acc_bits = 20;
+  EXPECT_THROW(FixedDdc(DdcConfig::reference(), bad_spec), twiddc::ConfigError);
+}
+
+TEST(FixedDdc, SelectsInBandTone) {
+  // A tone 3 kHz above the NCO frequency must appear at 3 kHz in the output
+  // I/Q stream.
+  const double nco = 10.0e6;
+  const double offset = 3.0e3;
+  FixedDdc ddc(DdcConfig::reference(nco), DatapathSpec::fpga());
+  const auto in = tone_input(nco + offset, 2688 * 600, 12);
+  const auto out = ddc.process(in);
+  ASSERT_GE(out.size(), 512u);
+  std::vector<std::complex<double>> iq = to_complex(out, ddc.output_scale());
+  // Drop the settling transient (FIR+CIC group delay ~ one output sample).
+  iq.erase(iq.begin(), iq.begin() + 16);
+  const auto s = dsp::periodogram_complex(iq, 24.0e3);
+  const auto peak = s.peak_bin();
+  EXPECT_NEAR(s.freq(peak), offset, 2.0 * s.bin_hz);
+}
+
+TEST(FixedDdc, ImageToneAppearsAtNegativeFrequency) {
+  // A tone *below* the NCO lands at negative frequency in the complex
+  // output -- the I/Q distinction the quadrature rail exists for.
+  const double nco = 10.0e6;
+  FixedDdc ddc(DdcConfig::reference(nco), DatapathSpec::fpga());
+  const auto in = tone_input(nco - 4.0e3, 2688 * 600, 12);
+  auto iq = to_complex(ddc.process(in), ddc.output_scale());
+  iq.erase(iq.begin(), iq.begin() + 16);
+  const auto s = dsp::periodogram_complex(iq, 24.0e3);
+  const std::size_t peak = s.peak_bin();
+  // Negative frequencies live in the upper half of the two-sided spectrum.
+  EXPECT_GT(peak, s.power_db.size() / 2);
+  const double neg_freq = (static_cast<double>(peak) - static_cast<double>(s.power_db.size())) * s.bin_hz;
+  EXPECT_NEAR(neg_freq, -4.0e3, 2.0 * s.bin_hz);
+}
+
+TEST(FixedDdc, RejectsOutOfBandTone) {
+  // A strong tone 150 kHz from the NCO must be attenuated far below an
+  // in-band tone of the same input amplitude.
+  const double nco = 10.0e6;
+  auto run = [&](double tone_offset) {
+    FixedDdc ddc(DdcConfig::reference(nco), DatapathSpec::fpga());
+    const auto in = tone_input(nco + tone_offset, 2688 * 400, 12);
+    auto iq = to_complex(ddc.process(in), ddc.output_scale());
+    iq.erase(iq.begin(), iq.begin() + 16);
+    double power = 0.0;
+    for (const auto& v : iq) power += std::norm(v);
+    return power / static_cast<double>(iq.size());
+  };
+  const double in_band = run(3.0e3);
+  const double out_band = run(150.0e3);
+  // The rejection floor is set by the 12-bit datapath noise (~-48 dB), not
+  // by the filters (the float chain shows > 60 dB, see FloatDdc tests).
+  EXPECT_GT(in_band / (out_band + 1e-30), 3.0e4);  // > 45 dB
+}
+
+TEST(FixedDdc, StreamingMatchesBlockProcessing) {
+  FixedDdc a(DdcConfig::reference(), DatapathSpec::fpga());
+  FixedDdc b(DdcConfig::reference(), DatapathSpec::fpga());
+  const auto in = tone_input(10.003e6, 2688 * 8, 12);
+  const auto block = a.process(in);
+  std::vector<IqSample> streamed;
+  for (auto x : in) {
+    if (auto y = b.push(x)) streamed.push_back(*y);
+  }
+  EXPECT_EQ(block, streamed);
+}
+
+TEST(FixedDdc, ResetReproducesFirstRun) {
+  FixedDdc ddc(DdcConfig::reference(), DatapathSpec::fpga());
+  const auto in = tone_input(9.99e6, 2688 * 4, 12);
+  const auto first = ddc.process(in);
+  ddc.reset();
+  const auto second = ddc.process(in);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FixedDdc, DeterministicAcrossInstances) {
+  FixedDdc a(DdcConfig::reference(), DatapathSpec::fpga());
+  FixedDdc b(DdcConfig::reference(), DatapathSpec::fpga());
+  const auto in = tone_input(10.0e6, 2688 * 4, 12);
+  EXPECT_EQ(a.process(in), b.process(in));
+}
+
+TEST(FixedDdc, OutputsFitDeclaredWidth) {
+  FixedDdc ddc(DdcConfig::reference(), DatapathSpec::fpga());
+  const auto in = tone_input(10.0e6, 2688 * 50, 12, /*amplitude=*/1.0);
+  for (const auto& s : ddc.process(in)) {
+    EXPECT_LE(s.i, 2047);
+    EXPECT_GE(s.i, -2048);
+    EXPECT_LE(s.q, 2047);
+    EXPECT_GE(s.q, -2048);
+  }
+}
+
+TEST(FixedDdc, TracingCollectsStageRates) {
+  FixedDdc ddc(DdcConfig::reference(), DatapathSpec::fpga());
+  ddc.set_tracing(true);
+  const auto in = tone_input(10.0e6, 2688 * 3, 12);
+  ddc.process(in);
+  const auto& t = ddc.trace();
+  EXPECT_EQ(t.mixer_i.size(), 2688u * 3);      // full rate
+  EXPECT_EQ(t.cic2_i.size(), 2688u * 3 / 16);  // 4.032 MHz
+  EXPECT_EQ(t.cic5_i.size(), 2688u * 3 / 336); // 192 kHz
+  EXPECT_EQ(t.fir_i.size(), 3u);               // 24 kHz
+}
+
+TEST(FixedDdc, RetuneMovesSelectedBand) {
+  FixedDdc ddc(DdcConfig::reference(10.0e6), DatapathSpec::fpga());
+  ddc.set_nco_frequency(12.0e6);
+  const auto in = tone_input(12.002e6, 2688 * 600, 12);
+  auto iq = to_complex(ddc.process(in), ddc.output_scale());
+  iq.erase(iq.begin(), iq.begin() + 16);
+  const auto s = dsp::periodogram_complex(iq, 24.0e3);
+  EXPECT_NEAR(s.freq(s.peak_bin()), 2.0e3, 2.0 * s.bin_hz);
+  EXPECT_THROW(ddc.set_nco_frequency(64.0e6), twiddc::ConfigError);
+}
+
+TEST(FixedDdc, FirTapsQuantisedToSpec) {
+  FixedDdc fpga(DdcConfig::reference(), DatapathSpec::fpga());
+  for (auto t : fpga.fir_taps()) {
+    EXPECT_LE(t, 2047);
+    EXPECT_GE(t, -2048);
+  }
+  EXPECT_EQ(fpga.fir_taps().size(), 125u);
+  FixedDdc wide(DdcConfig::reference(), DatapathSpec::wide16());
+  // Same ideal prototype, different quantisation.
+  EXPECT_EQ(wide.fir_taps_ideal().size(), fpga.fir_taps_ideal().size());
+}
+
+// Parameterised over datapaths: the chain always achieves its expected SNR
+// class against the float golden model.
+struct SpecCase {
+  const char* label;
+  DatapathSpec (*make)();
+  double min_snr_db;
+};
+
+class DatapathSnrTest : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(DatapathSnrTest, MeetsSnrFloorAgainstFloatGolden) {
+  const auto& p = GetParam();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  FixedDdc fixed_chain(cfg, p.make());
+
+  const double offset = 2.5e3;
+  const auto analog = dsp::make_tone(cfg.nco_freq_hz + offset, cfg.input_rate_hz,
+                                     2688 * 400, 0.7);
+  const auto digital = dsp::quantize_signal(analog, p.make().input_bits);
+
+  // Drive the float golden with the *quantised* input so input quantisation
+  // isn't charged to the datapath under test.
+  FloatDdc golden(cfg);
+  const auto golden_out = golden.process(dsp::dequantize_signal(digital, p.make().input_bits));
+  const auto fixed_out = to_complex(fixed_chain.process(digital), fixed_chain.output_scale());
+  ASSERT_EQ(golden_out.size(), fixed_out.size());
+
+  // Skip the settle region.
+  const std::size_t skip = 8;
+  std::vector<std::complex<double>> g(golden_out.begin() + skip, golden_out.end());
+  std::vector<std::complex<double>> f(fixed_out.begin() + skip, fixed_out.end());
+  const auto stats = compare_streams(g, f);
+  EXPECT_GT(stats.snr_db, p.min_snr_db) << p.label << " gain=" << stats.gain;
+  EXPECT_NEAR(stats.gain, 1.0, 0.05) << p.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datapaths, DatapathSnrTest,
+    ::testing::Values(SpecCase{"fpga12", &DatapathSpec::fpga, 45.0},
+                      SpecCase{"wide16", &DatapathSpec::wide16, 60.0},
+                      SpecCase{"ideal", &DatapathSpec::ideal, 80.0}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace twiddc::core

@@ -1,0 +1,141 @@
+#include "src/core/float_ddc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/analysis.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace twiddc::core {
+namespace {
+
+TEST(FloatDdc, OutputRateIs2688ToOne) {
+  FloatDdc ddc(DdcConfig::reference());
+  const auto in = dsp::make_tone(10.0e6, 64.512e6, 2688 * 7);
+  EXPECT_EQ(ddc.process(in).size(), 7u);
+}
+
+TEST(FloatDdc, SelectsInBandTone) {
+  const double nco = 10.0e6;
+  FloatDdc ddc(DdcConfig::reference(nco));
+  const auto in = dsp::make_tone(nco + 3.0e3, 64.512e6, 2688 * 600, 0.8);
+  auto iq = ddc.process(in);
+  iq.erase(iq.begin(), iq.begin() + 16);
+  const auto s = dsp::periodogram_complex(iq, 24.0e3);
+  EXPECT_NEAR(s.freq(s.peak_bin()), 3.0e3, 2.0 * s.bin_hz);
+  // Amplitude bookkeeping: input 0.8 tone mixes to 0.4 in each rail; the
+  // CIC 2^growth normalisation leaves gain 256/256 * 4084101/4194304.
+  double peak_mag = 0.0;
+  for (const auto& v : iq) peak_mag = std::max(peak_mag, std::abs(v));
+  EXPECT_NEAR(peak_mag, 0.4 * (4084101.0 / 4194304.0), 0.02);
+}
+
+TEST(FloatDdc, OutOfBandRejectionExceeds60Db) {
+  const double nco = 10.0e6;
+  auto run = [&](double offset) {
+    FloatDdc ddc(DdcConfig::reference(nco));
+    const auto in = dsp::make_tone(nco + offset, 64.512e6, 2688 * 400, 0.8);
+    auto iq = ddc.process(in);
+    iq.erase(iq.begin(), iq.begin() + 16);
+    double p = 0.0;
+    for (const auto& v : iq) p += std::norm(v);
+    return p / static_cast<double>(iq.size());
+  };
+  EXPECT_GT(run(2.0e3) / (run(150.0e3) + 1e-30), 1.0e6);
+}
+
+TEST(FloatDdc, DcInputYieldsDcMagnitude) {
+  // DC at the input mixes to the NCO frequency, which is out of band for any
+  // NCO well above 12 kHz -- output must be near zero.
+  FloatDdc ddc(DdcConfig::reference(10.0e6));
+  std::vector<double> in(2688 * 100, 0.5);
+  auto out = ddc.process(in);
+  out.erase(out.begin(), out.begin() + 16);
+  for (const auto& v : out) EXPECT_LT(std::abs(v), 1e-3);
+}
+
+TEST(FloatDdc, ResetReproducesRun) {
+  FloatDdc ddc(DdcConfig::reference());
+  const auto in = dsp::make_tone(10.0e6, 64.512e6, 2688 * 5);
+  const auto a = ddc.process(in);
+  ddc.reset();
+  const auto b = ddc.process(in);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-15);
+}
+
+TEST(FloatDdc, LongRunNumericallyStable) {
+  // The moving-average implementation must not drift over a long stream
+  // (this is why the golden chain avoids raw double integrators).
+  FloatDdc ddc(DdcConfig::reference(10.0e6));
+  const std::size_t n = 2688 * 3000;  // ~8M samples, 125 ms of signal
+  dsp::ToneGenerator gen(10.0025e6, 64.512e6, 0.7);
+  double max_mag = 0.0;
+  std::size_t outputs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto y = ddc.push(gen.next())) {
+      ++outputs;
+      if (outputs > 16) max_mag = std::max(max_mag, std::abs(*y));
+    }
+  }
+  EXPECT_EQ(outputs, 3000u);
+  EXPECT_LT(max_mag, 1.0);   // no runaway
+  EXPECT_GT(max_mag, 0.2);   // no decay to zero
+}
+
+TEST(CompareStreams, PerfectMatch) {
+  std::vector<std::complex<double>> a{{1.0, 2.0}, {3.0, -1.0}, {0.5, 0.5}};
+  const auto stats = compare_streams(a, a);
+  EXPECT_GE(stats.snr_db, 300.0);
+  EXPECT_NEAR(stats.gain, 1.0, 1e-12);
+  EXPECT_EQ(stats.count, 3u);
+}
+
+TEST(CompareStreams, GainOffsetIsFittedNotPenalised) {
+  std::vector<std::complex<double>> golden;
+  std::vector<std::complex<double>> test;
+  for (int i = 0; i < 100; ++i) {
+    const double ph = 0.37 * i;
+    const std::complex<double> v(std::cos(ph), std::sin(ph));
+    golden.push_back(v);
+    test.push_back(v / 1.02699);  // the CIC5 2^22/21^5 scale factor
+  }
+  const auto stats = compare_streams(golden, test);
+  EXPECT_GE(stats.snr_db, 250.0);
+  EXPECT_NEAR(stats.gain, 1.02699, 1e-4);
+}
+
+TEST(CompareStreams, DetectsRealNoise) {
+  std::vector<std::complex<double>> golden;
+  std::vector<std::complex<double>> test;
+  twiddc::Rng rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    const double ph = 0.11 * i;
+    const std::complex<double> v(std::cos(ph), std::sin(ph));
+    golden.push_back(v);
+    test.push_back(v + std::complex<double>(1e-3 * rng.gaussian(), 1e-3 * rng.gaussian()));
+  }
+  const auto stats = compare_streams(golden, test);
+  // |v|^2 = 1 (complex), noise power 2e-6 -> ~57 dB.
+  EXPECT_NEAR(stats.snr_db, 57.0, 1.5);
+}
+
+TEST(CompareStreams, RejectsBadInput) {
+  std::vector<std::complex<double>> a{{1.0, 0.0}};
+  std::vector<std::complex<double>> b;
+  EXPECT_THROW(compare_streams(a, b), twiddc::ConfigError);
+  EXPECT_THROW(compare_streams(b, b), twiddc::ConfigError);
+}
+
+TEST(QuantizationSnr, TextbookFormula) {
+  EXPECT_NEAR(quantization_snr_db(12), 74.0, 0.5);
+  EXPECT_NEAR(quantization_snr_db(16), 98.1, 0.5);
+}
+
+}  // namespace
+}  // namespace twiddc::core

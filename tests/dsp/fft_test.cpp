@@ -1,0 +1,121 @@
+#include "src/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<cplx> d{cplx(3.0, -2.0)};
+  fft_inplace(d);
+  EXPECT_NEAR(d[0].real(), 3.0, 1e-15);
+  EXPECT_NEAR(d[0].imag(), -2.0, 1e-15);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> d(12);
+  EXPECT_THROW(fft_inplace(d), twiddc::ConfigError);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> d(64, cplx(0.0, 0.0));
+  d[0] = cplx(1.0, 0.0);
+  fft_inplace(d);
+  for (const auto& v : d) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<cplx> d(32, cplx(2.0, 0.0));
+  fft_inplace(d);
+  EXPECT_NEAR(d[0].real(), 64.0, 1e-10);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_NEAR(std::abs(d[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 256;
+  const int bin = 19;
+  std::vector<cplx> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = kTwoPi * bin * static_cast<double>(i) / static_cast<double>(n);
+    d[i] = cplx(std::cos(ph), std::sin(ph));
+  }
+  fft_inplace(d);
+  EXPECT_NEAR(std::abs(d[bin]), static_cast<double>(n), 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != static_cast<std::size_t>(bin)) { EXPECT_NEAR(std::abs(d[i]), 0.0, 1e-8); }
+  }
+}
+
+TEST(Fft, RealToneHasConjugateSymmetry) {
+  const std::size_t n = 128;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * 7.0 * static_cast<double>(i) / static_cast<double>(n));
+  const auto bins = fft_real(x);
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(bins[k].real(), bins[n - k].real(), 1e-9);
+    EXPECT_NEAR(bins[k].imag(), -bins[n - k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  Rng rng(5);
+  const std::size_t n = 64;
+  std::vector<cplx> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    b[i] = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft_inplace(a);
+  fft_inplace(b);
+  fft_inplace(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<cplx> original(n);
+  for (auto& v : original) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto d = original;
+  fft_inplace(d);
+  ifft_inplace(d);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(d[i] - original[i]), 0.0, 1e-10) << "n=" << n << " i=" << i;
+}
+
+TEST_P(FftRoundTripTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  std::vector<cplx> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(v);
+  }
+  auto d = x;
+  fft_inplace(d);
+  double freq_energy = 0.0;
+  for (const auto& v : d) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * time_energy * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 32u, 128u, 1024u, 4096u));
+
+}  // namespace
+}  // namespace twiddc::dsp

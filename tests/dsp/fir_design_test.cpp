@@ -1,0 +1,189 @@
+#include "src/dsp/fir_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+TEST(DesignLowpass, UnityDcGain) {
+  for (int taps : {15, 63, 125}) {
+    const auto h = design_lowpass(taps, 0.1);
+    const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "taps=" << taps;
+  }
+}
+
+TEST(DesignLowpass, LinearPhaseSymmetry) {
+  const auto h = design_lowpass(125, 0.0625, Window::kBlackman);
+  for (std::size_t k = 0; k < h.size(); ++k)
+    EXPECT_NEAR(h[k], h[h.size() - 1 - k], 1e-14);
+}
+
+TEST(DesignLowpass, PassbandFlatStopbandDeep) {
+  // The reference 125-tap design: cutoff 10/192 kHz, Blackman window.
+  const auto h = reference_fir125();
+  ASSERT_EQ(h.size(), 125u);
+  // Passband (up to ~80% of cutoff): within 1 dB of unity.
+  for (double f = 0.0; f <= 0.8 * 10.0 / 192.0; f += 0.005) {
+    const double mag = fir_magnitude(h, f);
+    EXPECT_GT(amplitude_db(mag), -1.0) << "f=" << f;
+    EXPECT_LT(amplitude_db(mag), 1.0) << "f=" << f;
+  }
+  // Stopband: the band that aliases onto the passband after decimation by 8
+  // must be strongly attenuated.  With 125 Blackman taps expect > 60 dB.
+  for (double f = 1.0 / 8.0 - 10.0 / 192.0; f <= 0.5; f += 0.01) {
+    const double mag = fir_magnitude(h, f);
+    EXPECT_LT(amplitude_db(mag), -60.0) << "f=" << f;
+  }
+}
+
+TEST(DesignLowpass, MoreTapsSteeperTransition) {
+  // Measure the transition width: distance from cutoff to the first
+  // frequency where the response stays below -40 dB.  It shrinks ~1/taps.
+  auto transition_width = [](int taps) {
+    const auto h = design_lowpass(taps, 0.1, Window::kHamming);
+    for (double f = 0.1; f <= 0.5; f += 0.0005) {
+      if (amplitude_db(fir_magnitude(h, f)) < -40.0) return f - 0.1;
+    }
+    return 0.4;
+  };
+  const double w31 = transition_width(31);
+  const double w63 = transition_width(63);
+  const double w127 = transition_width(127);
+  EXPECT_GT(w31, w63);
+  EXPECT_GT(w63, w127);
+  EXPECT_NEAR(w63 / w127, 2.0, 0.5);  // ~inverse proportional
+}
+
+TEST(DesignLowpass, RejectsBadArguments) {
+  EXPECT_THROW(design_lowpass(0, 0.1), twiddc::ConfigError);
+  EXPECT_THROW(design_lowpass(11, 0.0), twiddc::ConfigError);
+  EXPECT_THROW(design_lowpass(11, 0.5), twiddc::ConfigError);
+  EXPECT_THROW(design_lowpass(11, -0.1), twiddc::ConfigError);
+}
+
+TEST(CicMagnitude, UnityAtDc) {
+  EXPECT_DOUBLE_EQ(cic_magnitude(2, 16, 1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cic_magnitude(5, 21, 1, 0.0), 1.0);
+}
+
+TEST(CicMagnitude, NullsAtMultiplesOfOutputRate) {
+  // Zeros at f = k/(R*M) of the input rate.
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_NEAR(cic_magnitude(2, 16, 1, static_cast<double>(k) / 16.0), 0.0, 1e-9);
+    EXPECT_NEAR(cic_magnitude(5, 21, 1, static_cast<double>(k) / 21.0), 0.0, 1e-9);
+  }
+}
+
+TEST(CicMagnitude, MonotonicDroopInPassband) {
+  double prev = 1.0;
+  for (double f = 0.001; f < 0.5 / 21.0; f += 0.001) {
+    const double mag = cic_magnitude(5, 21, 1, f);
+    EXPECT_LT(mag, prev + 1e-12);
+    prev = mag;
+  }
+}
+
+TEST(CicMagnitude, MoreStagesMoreAttenuation) {
+  const double f = 0.4 / 16.0;
+  EXPECT_GT(cic_magnitude(1, 16, 1, f), cic_magnitude(2, 16, 1, f));
+  EXPECT_GT(cic_magnitude(2, 16, 1, f), cic_magnitude(5, 16, 1, f));
+}
+
+TEST(CicCompensator, LiftsTheDroop) {
+  // A CIC5/R=21 ran before this filter.  With a wide passband (0.25 of the
+  // FIR rate) the CIC droop reaches ~3 dB at the passband edge -- the
+  // compensator should equalise |Hcic * Hfir| to well under that.
+  const int taps = 95;
+  const double cutoff = 0.25;
+  const auto h = design_cic_compensator(taps, cutoff, 5, 21);
+  const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  const double edge = 0.8 * cutoff;
+  const double droop_db = std::abs(amplitude_db(cic_magnitude(5, 21, 1, edge / 21.0)));
+  ASSERT_GT(droop_db, 2.0);  // the scenario is meaningful
+
+  double worst_ripple_db = 0.0;
+  for (double f = 0.001; f <= edge; f += 0.002) {
+    const double total = fir_magnitude(h, f) * cic_magnitude(5, 21, 1, f / 21.0);
+    worst_ripple_db = std::max(worst_ripple_db, std::abs(amplitude_db(total)));
+  }
+  EXPECT_LT(worst_ripple_db, droop_db / 2.0);
+  EXPECT_LT(worst_ripple_db, 1.0);
+  // The compensator visibly boosts the passband edge above unity.
+  EXPECT_GT(fir_magnitude(h, edge), 1.1);
+}
+
+TEST(QuantizeCoefficients, RoundTripAccuracy) {
+  const auto h = reference_fir125();
+  const auto q = quantize_coefficients(h, 11);
+  ASSERT_EQ(q.size(), h.size());
+  for (std::size_t k = 0; k < h.size(); ++k)
+    EXPECT_NEAR(static_cast<double>(q[k]) / 2048.0, h[k], 0.5 / 2048.0 + 1e-12);
+}
+
+TEST(QuantizeCoefficients, SaturatesAtFormatEdge) {
+  const std::vector<double> h{1.5, -2.0, 0.999};
+  const auto q = quantize_coefficients(h, 11);
+  EXPECT_EQ(q[0], 2047);
+  EXPECT_EQ(q[1], -2048);
+  EXPECT_EQ(q[2], 2046);  // 0.999*2048 = 2045.95 -> 2046
+}
+
+TEST(QuantizeCoefficients, RejectsBadFracBits) {
+  EXPECT_THROW(quantize_coefficients({0.5}, 0), twiddc::ConfigError);
+  EXPECT_THROW(quantize_coefficients({0.5}, 31), twiddc::ConfigError);
+}
+
+TEST(FirMagnitude, ImpulseIsAllpass) {
+  const std::vector<double> h{1.0};
+  for (double f = 0.0; f <= 0.5; f += 0.05) EXPECT_NEAR(fir_magnitude(h, f), 1.0, 1e-12);
+}
+
+TEST(FirMagnitude, TwoTapAverageNullsNyquist) {
+  const std::vector<double> h{0.5, 0.5};
+  EXPECT_NEAR(fir_magnitude(h, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(fir_magnitude(h, 0.5), 0.0, 1e-12);
+}
+
+// Parameterised sweep: DC gain is 1 and stopband attenuation exceeds the
+// window's promise for several (taps, cutoff, window) combinations.
+struct DesignCase {
+  int taps;
+  double cutoff;
+  Window window;
+  double min_stop_db;  // attenuation demanded at 1.5x cutoff + transition est.
+};
+
+class LowpassSweepTest : public ::testing::TestWithParam<DesignCase> {};
+
+TEST_P(LowpassSweepTest, MeetsStopbandPromise) {
+  const auto& c = GetParam();
+  const auto h = design_lowpass(c.taps, c.cutoff, c.window);
+  // Normalised transition width heuristics (window method): ~k/taps.
+  const double transition = 6.0 / c.taps;
+  double worst = 0.0;
+  for (double f = c.cutoff + transition; f <= 0.5; f += 0.003)
+    worst = std::max(worst, fir_magnitude(h, f));
+  EXPECT_LT(amplitude_db(worst), -c.min_stop_db)
+      << "taps=" << c.taps << " cutoff=" << c.cutoff << " window=" << window_name(c.window);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, LowpassSweepTest,
+    ::testing::Values(DesignCase{63, 0.10, Window::kHamming, 50.0},
+                      DesignCase{125, 0.0625, Window::kHamming, 50.0},
+                      DesignCase{125, 0.0625, Window::kBlackman, 70.0},
+                      DesignCase{63, 0.20, Window::kBlackman, 70.0},
+                      DesignCase{95, 0.05, Window::kKaiser, 60.0},
+                      DesignCase{31, 0.15, Window::kHann, 40.0}));
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,205 @@
+#include "src/dsp/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/dsp/fir_design.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+TEST(FirFilter, RejectsEmptyTaps) {
+  EXPECT_THROW(FirFilter<double>({}), twiddc::ConfigError);
+  EXPECT_THROW(FirDecimator<double>({}, 2), twiddc::ConfigError);
+  EXPECT_THROW(PolyphaseFirDecimator<double>({}, 2), twiddc::ConfigError);
+  EXPECT_THROW(FirDecimator<double>({1.0}, 0), twiddc::ConfigError);
+  EXPECT_THROW(PolyphaseFirDecimator<double>({1.0}, -1), twiddc::ConfigError);
+}
+
+TEST(FirFilter, ImpulseResponseIsTheTaps) {
+  const std::vector<std::int64_t> taps{3, -1, 4, 1, -5};
+  FirFilter<std::int64_t> fir(taps);
+  std::vector<std::int64_t> out;
+  for (int i = 0; i < 8; ++i) out.push_back(fir.push(i == 0 ? 1 : 0));
+  EXPECT_EQ(out, (std::vector<std::int64_t>{3, -1, 4, 1, -5, 0, 0, 0}));
+}
+
+TEST(FirFilter, DcGainIsTapSum) {
+  const std::vector<std::int64_t> taps{3, -1, 4, 1, -5, 9};
+  FirFilter<std::int64_t> fir(taps);
+  std::int64_t last = 0;
+  for (int i = 0; i < 20; ++i) last = fir.push(10);
+  EXPECT_EQ(last, 10 * (3 - 1 + 4 + 1 - 5 + 9));
+}
+
+TEST(FirFilter, LinearityOverRandomSignals) {
+  Rng rng(1);
+  const auto taps_d = design_lowpass(31, 0.2);
+  FirFilter<double> f1(taps_d), f2(taps_d), f3(taps_d);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    const double ya = f1.push(a);
+    const double yb = f2.push(b);
+    const double yab = f3.push(a + 2.0 * b);
+    EXPECT_NEAR(yab, ya + 2.0 * yb, 1e-12);
+  }
+}
+
+TEST(FirFilter, ResetClearsHistory) {
+  FirFilter<std::int64_t> fir({1, 1, 1});
+  fir.push(5);
+  fir.push(5);
+  fir.reset();
+  EXPECT_EQ(fir.push(0), 0);
+}
+
+TEST(FirDecimator, KeepsOneInD) {
+  FirDecimator<std::int64_t> dec({1}, 4);
+  int outputs = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (dec.push(i)) ++outputs;
+  }
+  EXPECT_EQ(outputs, 10);
+}
+
+TEST(FirDecimator, MatchesFullRateFirPlusDownsample) {
+  Rng rng(2);
+  for (int decim : {1, 2, 3, 5, 8}) {
+    const std::vector<std::int64_t> taps{2, -3, 5, 7, -11, 13, -1};
+    FirFilter<std::int64_t> full(taps);
+    FirDecimator<std::int64_t> dec(taps, decim);
+    for (int i = 0; i < 200; ++i) {
+      const std::int64_t x = rng.uniform_int(-1000, 1000);
+      const std::int64_t y_full = full.push(x);
+      const auto y_dec = dec.push(x);
+      const bool keep = (i % decim) == decim - 1;
+      ASSERT_EQ(y_dec.has_value(), keep);
+      if (y_dec) { EXPECT_EQ(*y_dec, y_full) << "D=" << decim << " i=" << i; }
+    }
+  }
+}
+
+TEST(PolyphaseFir, PhaseDecomposition) {
+  // 125 taps, D=8: phases get ceil/floor(125/8) taps -- 5 phases of 16 and
+  // 3 phases of 15 (the paper rounds to 124 taps to even this out).
+  const auto h = std::vector<std::int64_t>(125, 1);
+  PolyphaseFirDecimator<std::int64_t> poly(h, 8);
+  ASSERT_EQ(poly.phase_taps().size(), 8u);
+  std::size_t total = 0;
+  for (const auto& phase : poly.phase_taps()) {
+    EXPECT_TRUE(phase.size() == 15 || phase.size() == 16);
+    total += phase.size();
+  }
+  EXPECT_EQ(total, 125u);
+  EXPECT_EQ(poly.macs_per_output(), 125u);
+}
+
+TEST(PolyphaseFir, CommutatorCyclesThroughPhases) {
+  PolyphaseFirDecimator<std::int64_t> poly(std::vector<std::int64_t>(10, 1), 5);
+  std::vector<int> sequence;
+  for (int i = 0; i < 10; ++i) {
+    sequence.push_back(poly.next_phase());
+    poly.push(0);
+  }
+  EXPECT_EQ(sequence, (std::vector<int>{4, 3, 2, 1, 0, 4, 3, 2, 1, 0}));
+}
+
+// The headline property: all three FIR forms agree exactly, over a sweep of
+// tap counts and decimations, on random integer signals.
+struct FirCase {
+  int taps;
+  int decimation;
+};
+
+class FirEquivalenceTest : public ::testing::TestWithParam<FirCase> {};
+
+TEST_P(FirEquivalenceTest, PolyphaseEqualsDirectEqualsFullRate) {
+  const auto& p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.taps * 100 + p.decimation));
+  std::vector<std::int64_t> taps(static_cast<std::size_t>(p.taps));
+  for (auto& t : taps) t = rng.uniform_int(-2048, 2047);
+
+  FirFilter<std::int64_t> full(taps);
+  FirDecimator<std::int64_t> direct(taps, p.decimation);
+  PolyphaseFirDecimator<std::int64_t> poly(taps, p.decimation);
+
+  for (int i = 0; i < p.decimation * 50 + 7; ++i) {
+    const std::int64_t x = rng.uniform_int(-2048, 2047);
+    const std::int64_t y_full = full.push(x);
+    const auto y_direct = direct.push(x);
+    const auto y_poly = poly.push(x);
+    ASSERT_EQ(y_direct.has_value(), y_poly.has_value()) << "i=" << i;
+    if (y_direct) {
+      EXPECT_EQ(*y_direct, y_full);
+      EXPECT_EQ(*y_poly, y_full) << "taps=" << p.taps << " D=" << p.decimation;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FirEquivalenceTest,
+    ::testing::Values(FirCase{1, 1}, FirCase{1, 4}, FirCase{5, 5}, FirCase{7, 3},
+                      FirCase{8, 8}, FirCase{12, 5}, FirCase{125, 8}, FirCase{124, 8},
+                      FirCase{63, 2}, FirCase{21, 2}, FirCase{16, 16}, FirCase{3, 8},
+                      FirCase{125, 1}, FirCase{2, 7}));
+
+TEST(PolyphaseFir, FewerTapsThanPhasesStillCorrect) {
+  // D=8 with 3 taps: five subfilters are empty.
+  Rng rng(9);
+  const std::vector<std::int64_t> taps{5, -2, 7};
+  FirDecimator<std::int64_t> direct(taps, 8);
+  PolyphaseFirDecimator<std::int64_t> poly(taps, 8);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t x = rng.uniform_int(-100, 100);
+    const auto a = direct.push(x);
+    const auto b = poly.push(x);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) { EXPECT_EQ(*a, *b); }
+  }
+}
+
+TEST(PolyphaseFir, ResetMatchesFresh) {
+  const auto taps = std::vector<std::int64_t>{1, 2, 3, 4, 5, 6};
+  PolyphaseFirDecimator<std::int64_t> used(taps, 3);
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) used.push(rng.uniform_int(-10, 10));
+  used.reset();
+  PolyphaseFirDecimator<std::int64_t> fresh(taps, 3);
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t x = rng.uniform_int(-10, 10);
+    const auto a = used.push(x);
+    const auto b = fresh.push(x);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) { EXPECT_EQ(*a, *b); }
+  }
+}
+
+TEST(FirWorkload, PolyphaseSavesMultiplies) {
+  // The paper's reason for the polyphase structure: per input sample the
+  // full-rate filter does `taps` MACs, the polyphase form taps/D on average.
+  FirFilter<std::int64_t> full(std::vector<std::int64_t>(125, 1));
+  PolyphaseFirDecimator<std::int64_t> poly(std::vector<std::int64_t>(125, 1), 8);
+  EXPECT_EQ(full.macs_per_input() * 8, 125u * 8);  // 1000 MACs per output
+  EXPECT_EQ(poly.macs_per_output(), 125u);         // 125 MACs per output
+}
+
+TEST(FirDouble, MatchesConvolutionReference) {
+  Rng rng(11);
+  const auto taps = design_lowpass(25, 0.3);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  FirFilter<double> fir(taps);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double y = fir.push(x[n]);
+    double ref = 0.0;
+    for (std::size_t k = 0; k < taps.size() && k <= n; ++k) ref += taps[k] * x[n - k];
+    EXPECT_NEAR(y, ref, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,98 @@
+#include "src/dsp/mixer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/dsp/nco.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+ComplexMixer::Config cfg(int in, int nco, int out) {
+  ComplexMixer::Config c;
+  c.input_bits = in;
+  c.nco_amplitude_bits = nco;
+  c.output_bits = out;
+  return c;
+}
+
+TEST(MixerTest, ShiftKeepsFullScaleAtFullScale) {
+  // 12-bit input x 12-bit NCO -> 12-bit bus: shift 11.
+  ComplexMixer m(cfg(12, 12, 12));
+  EXPECT_EQ(m.product_shift(), 11);
+  const auto y = m.mix(2047, 2047, 0);
+  EXPECT_EQ(y.i, (2047 * 2047) >> 11);  // 2045: full scale stays full scale
+  EXPECT_EQ(y.q, 0);
+}
+
+TEST(MixerTest, HeadroomFilledWhenBusWiderThanInput) {
+  // 12-bit input x 16-bit NCO -> 16-bit bus: shift 11 again, so the signal
+  // occupies the top of the 16-bit word (the fix behind the wide16 SNR).
+  ComplexMixer m(cfg(12, 16, 16));
+  EXPECT_EQ(m.product_shift(), 11);
+  const auto y = m.mix(2047, 32767, 0);
+  EXPECT_GT(y.i, 32000);  // near 16-bit full scale, not 11-bit
+}
+
+TEST(MixerTest, SaturatesAtTheCornerCase) {
+  // The only overflowing product: most negative times most negative.
+  ComplexMixer m(cfg(12, 12, 12));
+  const auto y = m.mix(-2048, -2048, -2048);
+  EXPECT_EQ(y.i, 2047);  // (+2^22 >> 11) = 2048 saturates to 2047
+  EXPECT_EQ(y.q, 2047);
+}
+
+TEST(MixerTest, RejectsImpossibleWidths) {
+  // Output wider than the product has bits.
+  EXPECT_THROW((ComplexMixer{cfg(8, 8, 16)}), twiddc::ConfigError);
+  EXPECT_NO_THROW((ComplexMixer{cfg(8, 9, 16)}));
+}
+
+TEST(MixerTest, MatchesDoubleReference) {
+  ComplexMixer m(cfg(12, 16, 16));
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto x = static_cast<std::int64_t>(rng.uniform_int(-2048, 2047));
+    const auto c = static_cast<std::int32_t>(rng.uniform_int(-32767, 32767));
+    const auto s = static_cast<std::int32_t>(rng.uniform_int(-32767, 32767));
+    const auto y = m.mix(x, c, s);
+    const double xi = static_cast<double>(x) / 2048.0;
+    const double cd = static_cast<double>(c) / 32768.0;
+    const double sd = static_cast<double>(s) / 32768.0;
+    EXPECT_NEAR(static_cast<double>(y.i) / 32768.0, xi * cd, 2.0 / 32768.0);
+    EXPECT_NEAR(static_cast<double>(y.q) / 32768.0, xi * sd, 2.0 / 32768.0);
+  }
+}
+
+TEST(MixerTest, PairsWithNcoAsQuadratureDownconverter) {
+  // I^2 + Q^2 of a mixed constant is ~constant (the quadrature identity).
+  Nco::Config nc;
+  nc.freq_hz = 5.0e6;
+  nc.sample_rate_hz = 64.512e6;
+  nc.amplitude_bits = 16;
+  Nco nco(nc);
+  ComplexMixer m(cfg(12, 16, 16));
+  for (int i = 0; i < 4096; ++i) {
+    const auto sc = nco.next();
+    const auto y = m.mix(2000, sc.cos, sc.sin);
+    const double mag = std::sqrt(static_cast<double>(y.i) * y.i +
+                                 static_cast<double>(y.q) * y.q);
+    EXPECT_NEAR(mag, 2000.0 * 16.0, 40.0) << i;  // 2000 scaled into 16 bits
+  }
+}
+
+TEST(MixerTest, RoundingPolicyApplied) {
+  auto c = cfg(12, 12, 12);
+  c.rounding = fixed::Rounding::kNearest;
+  ComplexMixer nearest(c);
+  ComplexMixer trunc(cfg(12, 12, 12));
+  // 3 * 1365 = 4095; >>11 truncates to 1, rounds to 2.
+  EXPECT_EQ(trunc.mix(3, 1365, 0).i, 1);
+  EXPECT_EQ(nearest.mix(3, 1365, 0).i, 2);
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,90 @@
+#include "src/dsp/moving_average.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+TEST(MovingAverage, RejectsBadGeometry) {
+  EXPECT_THROW((MovingAverageCascade<double>(0, 4)), twiddc::ConfigError);
+  EXPECT_THROW((MovingAverageCascade<double>(9, 4)), twiddc::ConfigError);
+  EXPECT_THROW((MovingAverageCascade<double>(2, 0)), twiddc::ConfigError);
+}
+
+TEST(MovingAverage, SingleStageIsBoxcarSum) {
+  MovingAverageCascade<std::int64_t> ma(1, 4);
+  // Inputs 1,2,3,4 -> one output: their sum (gain R, not normalised).
+  EXPECT_FALSE(ma.push(1).has_value());
+  EXPECT_FALSE(ma.push(2).has_value());
+  EXPECT_FALSE(ma.push(3).has_value());
+  const auto y = ma.push(4);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(*y, 10);
+}
+
+TEST(MovingAverage, DcGainIsRToTheN) {
+  for (int stages : {1, 2, 3, 5}) {
+    for (int r : {2, 4, 16, 21}) {
+      MovingAverageCascade<std::int64_t> ma(stages, r);
+      std::int64_t last = 0;
+      for (int i = 0; i < r * (stages + 3); ++i) {
+        if (auto y = ma.push(3)) last = *y;
+      }
+      std::int64_t gain = 1;
+      for (int s = 0; s < stages; ++s) gain *= r;
+      EXPECT_EQ(last, 3 * gain) << "N=" << stages << " R=" << r;
+    }
+  }
+}
+
+TEST(MovingAverage, ResetRestoresFreshState) {
+  MovingAverageCascade<std::int64_t> ma(2, 8);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) ma.push(rng.uniform_int(-100, 100));
+  ma.reset();
+  MovingAverageCascade<std::int64_t> fresh(2, 8);
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t x = rng.uniform_int(-100, 100);
+    const auto a = ma.push(x);
+    const auto b = fresh.push(x);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) { EXPECT_EQ(*a, *b); }
+  }
+}
+
+TEST(MovingAverage, DoubleVariantTracksIntegerExactly) {
+  MovingAverageCascade<std::int64_t> mi(3, 5);
+  MovingAverageCascade<double> md(3, 5);
+  Rng rng(10);
+  for (int i = 0; i < 5 * 200; ++i) {
+    const std::int64_t x = rng.uniform_int(-1000, 1000);
+    const auto a = mi.push(x);
+    const auto b = md.push(static_cast<double>(x));
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) { EXPECT_NEAR(static_cast<double>(*a), *b, 1e-9); }
+  }
+}
+
+TEST(MovingAverage, LongRunDoubleDriftBounded) {
+  // The periodic running-sum refresh must keep drift near machine epsilon
+  // even after millions of samples of a biased signal.
+  MovingAverageCascade<double> md(2, 16);
+  MovingAverageCascade<std::int64_t> mi(2, 16);
+  Rng rng(11);
+  double worst = 0.0;
+  for (int i = 0; i < 16 * 300000; ++i) {
+    const std::int64_t x = rng.uniform_int(0, 2000);  // biased on purpose
+    const auto a = mi.push(x);
+    const auto b = md.push(static_cast<double>(x));
+    if (a) worst = std::max(worst, std::abs(static_cast<double>(*a) - *b));
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,201 @@
+#include "src/dsp/nco.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace twiddc::dsp {
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+
+TEST(PhaseAccumulatorTest, TuningWordForSimpleRatios) {
+  // fs/4 -> a quarter of the 32-bit phase circle.
+  EXPECT_EQ(PhaseAccumulator::tuning_word(16.128e6, 64.512e6), 0x40000000u);
+  EXPECT_EQ(PhaseAccumulator::tuning_word(32.256e6, 64.512e6), 0x80000000u);
+  EXPECT_EQ(PhaseAccumulator::tuning_word(0.0, 64.512e6), 0u);
+}
+
+TEST(PhaseAccumulatorTest, NegativeFrequencyWraps) {
+  // -fs/4 is the same tuning word as 3fs/4.
+  EXPECT_EQ(PhaseAccumulator::tuning_word(-16.128e6, 64.512e6), 0xc0000000u);
+}
+
+TEST(PhaseAccumulatorTest, ResolutionMatchesPaperRate) {
+  EXPECT_NEAR(PhaseAccumulator::resolution_hz(64.512e6), 64.512e6 / 4294967296.0, 1e-12);
+}
+
+TEST(PhaseAccumulatorTest, AdvancesAndWraps) {
+  PhaseAccumulator acc(0x80000000u);
+  EXPECT_EQ(acc.next(), 0u);
+  EXPECT_EQ(acc.next(), 0x80000000u);
+  EXPECT_EQ(acc.next(), 0u);  // wrapped
+}
+
+TEST(QuarterSineTable, MonotonicRising) {
+  const auto t = make_quarter_sine_table(10, 16);
+  ASSERT_EQ(t.size(), 1024u);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GE(t[i], t[i - 1]);
+  EXPECT_GT(t.front(), 0);                    // sin just above 0
+  EXPECT_LE(t.back(), 32767);
+  EXPECT_GT(t.back(), 32700);                 // near full scale
+}
+
+TEST(QuarterSineTable, RejectsBadArguments) {
+  EXPECT_THROW(make_quarter_sine_table(1, 16), twiddc::ConfigError);
+  EXPECT_THROW(make_quarter_sine_table(17, 16), twiddc::ConfigError);
+  EXPECT_THROW(make_quarter_sine_table(10, 1), twiddc::ConfigError);
+  EXPECT_THROW(make_quarter_sine_table(10, 25), twiddc::ConfigError);
+}
+
+TEST(LutSinCos, QuadrantSymmetryIsExact) {
+  const auto table = make_quarter_sine_table(8, 16);
+  // For any phase p: sin(p + pi) == -sin(p), cos(p + pi) == -cos(p),
+  // sin(p + pi/2) == cos(p).
+  for (std::uint32_t p = 0; p < 0x40000000u; p += 0x01234567u) {
+    const auto a = lut_sincos(p, table, 8);
+    const auto b = lut_sincos(p + 0x80000000u, table, 8);
+    EXPECT_EQ(b.sin, -a.sin);
+    EXPECT_EQ(b.cos, -a.cos);
+    const auto c = lut_sincos(p + 0x40000000u, table, 8);
+    EXPECT_EQ(c.sin, a.cos);
+  }
+}
+
+TEST(LutSinCos, MatchesReferenceSine) {
+  const auto table = make_quarter_sine_table(10, 16);
+  const double amp = 32767.0;
+  for (std::uint32_t p = 0; p < 0xf0000000u; p += 0x08000001u) {
+    const auto v = lut_sincos(p, table, 10);
+    const double phase = static_cast<double>(p) * 0x1p-32 * kTwoPi;
+    // Phase quantisation of a 10-bit quarter table: ~2^-12 turns, so the
+    // value error is bounded by amp * 2*pi * 2^-12.
+    const double tol = amp * kTwoPi / 4096.0 + 1.0;
+    EXPECT_NEAR(v.sin, amp * std::sin(phase), tol);
+    EXPECT_NEAR(v.cos, amp * std::cos(phase), tol);
+  }
+}
+
+TEST(TaylorSinCos, MatchesReferenceSine) {
+  const double amp = 32767.0;
+  for (std::uint32_t p = 0; p < 0xf0000000u; p += 0x04000003u) {
+    const auto v = taylor_sincos(p, 16);
+    const double phase = static_cast<double>(p) * 0x1p-32 * kTwoPi;
+    // 5th-order Taylor on [-pi/4, pi/4] is accurate to ~3e-6 relative.
+    EXPECT_NEAR(v.sin, amp * std::sin(phase), 2.0);
+    EXPECT_NEAR(v.cos, amp * std::cos(phase), 2.0);
+  }
+}
+
+TEST(TaylorSinCos, UnitCircleInvariant) {
+  for (std::uint32_t p = 0; p < 0xff000000u; p += 0x01000007u) {
+    const auto v = taylor_sincos(p, 16);
+    const double s = v.sin / 32767.0;
+    const double c = v.cos / 32767.0;
+    EXPECT_NEAR(s * s + c * c, 1.0, 1e-3);
+  }
+}
+
+TEST(NcoTest, ProducesRequestedFrequency) {
+  Nco::Config cfg;
+  cfg.freq_hz = 10.0e6;
+  cfg.sample_rate_hz = 64.512e6;
+  cfg.amplitude_bits = 16;
+  Nco nco(cfg);
+  const std::size_t n = 16384;
+  std::vector<double> sine(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sine[i] = static_cast<double>(nco.next().sin) / 32767.0;
+  const auto s = periodogram(sine, cfg.sample_rate_hz);
+  EXPECT_NEAR(s.freq(s.peak_bin()), 10.0e6, 2.0 * s.bin_hz);
+}
+
+TEST(NcoTest, LutSfdrScalesWithTableSize) {
+  auto measure = [](int table_bits) {
+    Nco::Config cfg;
+    cfg.freq_hz = 10.1e6;  // deliberately non-coherent
+    cfg.sample_rate_hz = 64.512e6;
+    cfg.amplitude_bits = 16;
+    cfg.table_bits = table_bits;
+    Nco nco(cfg);
+    std::vector<double> sine(32768);
+    for (auto& v : sine) v = static_cast<double>(nco.next().sin) / 32767.0;
+    return sfdr_db(periodogram(sine, cfg.sample_rate_hz));
+  };
+  const double sfdr_small = measure(6);
+  const double sfdr_large = measure(12);
+  EXPECT_GT(sfdr_large, sfdr_small + 15.0);  // ~6 dB per table bit in theory
+  EXPECT_GT(sfdr_large, 60.0);
+}
+
+TEST(NcoTest, TaylorModePurity) {
+  Nco::Config cfg;
+  cfg.freq_hz = 10.1e6;
+  cfg.sample_rate_hz = 64.512e6;
+  cfg.amplitude_bits = 16;
+  cfg.mode = Nco::Mode::kTaylor;
+  Nco nco(cfg);
+  std::vector<double> sine(32768);
+  for (auto& v : sine) v = static_cast<double>(nco.next().sin) / 32767.0;
+  // Exclude the Blackman-Harris main lobe (+-4 bins) around the carrier so
+  // the window skirt is not mistaken for a spur.
+  EXPECT_GT(sfdr_db(periodogram(sine, cfg.sample_rate_hz), /*exclude_bins=*/8), 80.0);
+}
+
+TEST(NcoTest, RetuneTakesEffect) {
+  Nco::Config cfg;
+  cfg.freq_hz = 5.0e6;
+  cfg.sample_rate_hz = 64.512e6;
+  Nco nco(cfg);
+  nco.set_frequency(20.0e6);
+  std::vector<double> sine(16384);
+  for (auto& v : sine) v = static_cast<double>(nco.next().sin) / 2047.0;
+  const auto s = periodogram(sine, cfg.sample_rate_hz);
+  EXPECT_NEAR(s.freq(s.peak_bin()), 20.0e6, 2.0 * s.bin_hz);
+}
+
+TEST(NcoTest, ResetRestartsPhase) {
+  Nco::Config cfg;
+  cfg.freq_hz = 1.0e6;
+  cfg.sample_rate_hz = 64.512e6;
+  Nco nco(cfg);
+  const auto first = nco.next();
+  nco.next();
+  nco.next();
+  nco.reset();
+  const auto again = nco.next();
+  EXPECT_EQ(first.sin, again.sin);
+  EXPECT_EQ(first.cos, again.cos);
+}
+
+// The same table data must back every architecture model; check the
+// generator is deterministic across calls.
+TEST(QuarterSineTable, Deterministic) {
+  EXPECT_EQ(make_quarter_sine_table(10, 12), make_quarter_sine_table(10, 12));
+}
+
+class NcoAmplitudeSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcoAmplitudeSweepTest, OutputsStayInFormat) {
+  const int bits = GetParam();
+  Nco::Config cfg;
+  cfg.freq_hz = 7.3e6;
+  cfg.sample_rate_hz = 64.512e6;
+  cfg.amplitude_bits = bits;
+  Nco nco(cfg);
+  const std::int32_t limit = (1 << (bits - 1)) - 1;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = nco.next();
+    EXPECT_LE(std::abs(v.sin), limit);
+    EXPECT_LE(std::abs(v.cos), limit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, NcoAmplitudeSweepTest,
+                         ::testing::Values(8, 12, 14, 16, 18));
+
+}  // namespace
+}  // namespace twiddc::dsp

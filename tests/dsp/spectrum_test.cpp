@@ -1,0 +1,119 @@
+#include "src/dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+TEST(Periodogram, FullScaleToneReadsNearZeroDb) {
+  const double fs = 48000.0;
+  const auto x = make_tone(6000.0, fs, 4096);
+  const auto s = periodogram(x, fs);
+  const auto peak = s.peak_bin();
+  EXPECT_NEAR(s.freq(peak), 6000.0, 2.0 * s.bin_hz);
+  EXPECT_NEAR(s.power_db[peak], 0.0, 1.5);
+}
+
+TEST(Periodogram, HalfScaleToneReadsMinusSixDb) {
+  const double fs = 48000.0;
+  const auto x = make_tone(6000.0, fs, 4096, 0.5);
+  const auto s = periodogram(x, fs);
+  EXPECT_NEAR(s.power_db[s.peak_bin()], -6.02, 1.5);
+}
+
+TEST(Periodogram, BinResolution) {
+  const auto x = make_tone(1000.0, 8000.0, 1024);
+  const auto s = periodogram(x, 8000.0);
+  EXPECT_DOUBLE_EQ(s.bin_hz, 8000.0 / 1024.0);
+  EXPECT_EQ(s.power_db.size(), 513u);  // one-sided N/2+1
+  EXPECT_DOUBLE_EQ(s.sample_rate_hz, 8000.0);
+}
+
+TEST(Periodogram, TruncatesToPowerOfTwo) {
+  const auto x = make_tone(1000.0, 8000.0, 1500);  // -> 1024 used
+  const auto s = periodogram(x, 8000.0);
+  EXPECT_EQ(s.power_db.size(), 513u);
+}
+
+TEST(Periodogram, RejectsTinyInput) {
+  EXPECT_THROW(periodogram({1.0}, 48000.0), twiddc::ConfigError);
+}
+
+TEST(PeriodogramComplex, NegativeFrequencyResolved) {
+  // A complex exponential at -fs/8 lands in the upper half of the two-sided
+  // spectrum (bin N - N/8).
+  const std::size_t n = 1024;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = -2.0 * 3.14159265358979 * static_cast<double>(i) / 8.0;
+    x[i] = std::complex<double>(std::cos(ph), std::sin(ph));
+  }
+  const auto s = periodogram_complex(x, 8000.0);
+  EXPECT_EQ(s.power_db.size(), n);
+  EXPECT_EQ(s.peak_bin(), n - n / 8);
+}
+
+TEST(SpectrumHelpers, BinOfClampsAndRounds) {
+  const auto x = make_tone(1000.0, 8000.0, 1024);
+  const auto s = periodogram(x, 8000.0);
+  EXPECT_EQ(s.bin_of(0.0), 0u);
+  EXPECT_EQ(s.bin_of(-500.0), 0u);
+  EXPECT_EQ(s.bin_of(1e9), s.power_db.size() - 1);
+  EXPECT_EQ(s.bin_of(s.bin_hz * 10.0), 10u);
+}
+
+TEST(SpectrumHelpers, BandPowerConcentratedAroundTone) {
+  const double fs = 48000.0;
+  const auto x = make_tone(6000.0, fs, 8192);
+  const auto s = periodogram(x, fs);
+  const double in_band = s.band_power(5500.0, 6500.0);
+  const double out_band = s.band_power(10000.0, 20000.0);
+  EXPECT_GT(in_band / (out_band + 1e-30), 1e6);
+}
+
+TEST(Sfdr, PureToneHasHighSfdr) {
+  const auto x = make_tone(6000.0, 48000.0, 8192);
+  const auto s = periodogram(x, 48000.0);
+  EXPECT_GT(sfdr_db(s), 80.0);
+}
+
+TEST(Sfdr, SpurIsDetected) {
+  const auto x = make_scene({{6000.0, 1.0, 0.0}, {13000.0, 0.01, 0.3}}, 48000.0, 8192);
+  const auto s = periodogram(x, 48000.0);
+  EXPECT_NEAR(sfdr_db(s), 40.0, 2.0);  // 0.01 amplitude spur = -40 dBc
+}
+
+TEST(Sinad, DegradesWithNoise) {
+  const auto clean = make_tone(6000.0, 48000.0, 8192);
+  const auto noisy = make_scene({{6000.0, 1.0, 0.0}}, 48000.0, 8192, /*noise_rms=*/0.01);
+  const auto s_clean = periodogram(clean, 48000.0);
+  const auto s_noisy = periodogram(noisy, 48000.0);
+  EXPECT_GT(sinad_db(s_clean), sinad_db(s_noisy) + 10.0);
+  // RMS noise 0.01 against RMS signal 0.707 -> ~37 dB.
+  EXPECT_NEAR(sinad_db(s_noisy), 37.0, 3.0);
+}
+
+TEST(SnrDb, ExactMatchIsHuge) {
+  const auto x = make_tone(100.0, 8000.0, 512);
+  EXPECT_GE(snr_db(x, x), 300.0);
+}
+
+TEST(SnrDb, KnownErrorLevel) {
+  const auto x = make_tone(100.0, 8000.0, 4096);
+  auto noisy = x;
+  for (std::size_t i = 0; i < noisy.size(); ++i)
+    noisy[i] += (i % 2 == 0 ? 1e-3 : -1e-3);
+  // signal power 0.5, error power 1e-6 -> 57 dB.
+  EXPECT_NEAR(snr_db(x, noisy), 57.0, 0.5);
+}
+
+TEST(SnrDb, RejectsMismatchedSizes) {
+  EXPECT_THROW(snr_db({1.0, 2.0}, {1.0}), twiddc::ConfigError);
+  EXPECT_THROW(snr_db({}, {}), twiddc::ConfigError);
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,94 @@
+#include "src/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+class WindowSymmetryTest : public ::testing::TestWithParam<Window> {};
+
+TEST_P(WindowSymmetryTest, SymmetricAndBounded) {
+  for (int n : {3, 8, 63, 125, 256}) {
+    const auto w = window_values(GetParam(), n);
+    ASSERT_EQ(w.size(), static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      EXPECT_NEAR(w[static_cast<std::size_t>(k)], w[static_cast<std::size_t>(n - 1 - k)], 1e-12)
+          << window_name(GetParam()) << " n=" << n << " k=" << k;
+      EXPECT_GE(w[static_cast<std::size_t>(k)], -1e-6);
+      EXPECT_LE(w[static_cast<std::size_t>(k)], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(WindowSymmetryTest, PeaksAtCenterForOddLength) {
+  const int n = 125;
+  const auto w = window_values(GetParam(), n);
+  const std::size_t mid = (n - 1) / 2;
+  for (std::size_t k = 0; k < w.size(); ++k) EXPECT_LE(w[k], w[mid] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowSymmetryTest,
+                         ::testing::Values(Window::kRectangular, Window::kHann,
+                                           Window::kHamming, Window::kBlackman,
+                                           Window::kBlackmanHarris, Window::kKaiser),
+                         [](const auto& info) {
+                           std::string name = window_name(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(WindowValues, RectangularIsAllOnes) {
+  for (double v : window_values(Window::kRectangular, 17)) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowValues, HannEndsAtZero) {
+  const auto w = window_values(Window::kHann, 64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(WindowValues, HammingEndsAtPedestal) {
+  const auto w = window_values(Window::kHamming, 64);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+}
+
+TEST(WindowValues, SingleSampleIsOne) {
+  EXPECT_EQ(window_values(Window::kBlackman, 1), std::vector<double>{1.0});
+}
+
+TEST(WindowValues, RejectsNonPositiveLength) {
+  EXPECT_THROW(window_values(Window::kHann, 0), twiddc::ConfigError);
+  EXPECT_THROW(window_values(Window::kHann, -3), twiddc::ConfigError);
+}
+
+TEST(BesselI0, KnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-9);
+}
+
+TEST(KaiserBeta, AttenuationFormulaRegions) {
+  EXPECT_NEAR(kaiser_beta_for_attenuation(60.0), 0.1102 * (60.0 - 8.7), 1e-12);
+  EXPECT_GT(kaiser_beta_for_attenuation(40.0), 0.0);
+  EXPECT_DOUBLE_EQ(kaiser_beta_for_attenuation(10.0), 0.0);
+  // Monotonic in attenuation.
+  EXPECT_LT(kaiser_beta_for_attenuation(30.0), kaiser_beta_for_attenuation(50.0));
+  EXPECT_LT(kaiser_beta_for_attenuation(50.0), kaiser_beta_for_attenuation(90.0));
+}
+
+TEST(WindowEnbw, KnownApproximateValues) {
+  // Classic ENBW values in bins: rectangular 1.0, hann 1.5, hamming ~1.363,
+  // blackman ~1.727 (asymptotic; finite n gives small deviations).
+  EXPECT_NEAR(window_enbw(window_values(Window::kRectangular, 4096)), 1.0, 1e-6);
+  EXPECT_NEAR(window_enbw(window_values(Window::kHann, 4096)), 1.5, 0.01);
+  EXPECT_NEAR(window_enbw(window_values(Window::kHamming, 4096)), 1.363, 0.01);
+  EXPECT_NEAR(window_enbw(window_values(Window::kBlackman, 4096)), 1.727, 0.01);
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

@@ -1,0 +1,90 @@
+#include "src/energy/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::energy {
+namespace {
+
+DutyCycleModel asic_model() {
+  DutyCycleModel m;
+  m.name = "custom ASIC";
+  m.active_power_mw = 27.0;
+  m.idle_power_mw = 1.0;  // standby leakage
+  m.reusable_when_idle = false;
+  return m;
+}
+
+DutyCycleModel montium_model() {
+  DutyCycleModel m;
+  m.name = "Montium TP";
+  m.active_power_mw = 38.7;
+  m.idle_power_mw = 0.0;
+  m.reusable_when_idle = true;
+  m.reconfig_bytes = 1110.0;  // section 6.2.1 configuration size
+  m.reconfig_bandwidth_mbps = 100.0;
+  m.reconfig_power_mw = 38.7;
+  return m;
+}
+
+TEST(Scenario, FullDutyFavoursAsic) {
+  const auto a = evaluate_scenario(asic_model(), 1.0, 1);
+  const auto m = evaluate_scenario(montium_model(), 1.0, 1);
+  EXPECT_LT(a.energy_per_day_j, m.energy_per_day_j);
+  // 27 mW for 86400 s = 2332.8 J.
+  EXPECT_NEAR(a.energy_per_day_j, 2332.8, 0.2);
+}
+
+TEST(Scenario, LowDutyChargesIdleToDedicatedSilicon) {
+  // At 1% duty the ASIC pays leakage all day; the Montium's idle fabric is
+  // doing other work so its DDC energy is tiny.
+  const auto a = evaluate_scenario(asic_model(), 0.01, 4);
+  const auto m = evaluate_scenario(montium_model(), 0.01, 4);
+  EXPECT_LT(m.energy_per_day_j, a.energy_per_day_j);
+  EXPECT_TRUE(m.idle_time_reusable);
+}
+
+TEST(Scenario, ReconfigurationTimeAccounted) {
+  const auto m = evaluate_scenario(montium_model(), 0.5, 100);
+  // 1110 bytes at 100 Mb/s = 88.8 us per activation, 100 activations.
+  EXPECT_NEAR(m.reconfig_seconds_per_day, 100 * 1110.0 * 8.0 / 100e6, 1e-9);
+}
+
+TEST(Scenario, ZeroDutyZeroActiveEnergy) {
+  auto m = montium_model();
+  const auto r = evaluate_scenario(m, 0.0, 0);
+  EXPECT_DOUBLE_EQ(r.energy_per_day_j, 0.0);
+}
+
+TEST(Scenario, RejectsBadArguments) {
+  EXPECT_THROW(evaluate_scenario(asic_model(), -0.1, 1), twiddc::ConfigError);
+  EXPECT_THROW(evaluate_scenario(asic_model(), 1.1, 1), twiddc::ConfigError);
+  EXPECT_THROW(evaluate_scenario(asic_model(), 0.5, -1), twiddc::ConfigError);
+}
+
+TEST(Scenario, RankingSortsAscending) {
+  const auto ranked = rank_architectures({asic_model(), montium_model()}, 0.02, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_LE(ranked[0].energy_per_day_j, ranked[1].energy_per_day_j);
+  EXPECT_EQ(ranked[0].name, "Montium TP");
+}
+
+TEST(Scenario, CrossoverDutyCycleExists) {
+  // Somewhere between 1% and 100% duty the ASIC overtakes the reconfigurable
+  // fabric -- the quantitative version of the paper's conclusion.
+  double crossover = -1.0;
+  for (double duty = 0.01; duty <= 1.0; duty += 0.01) {
+    const auto a = evaluate_scenario(asic_model(), duty, 4);
+    const auto m = evaluate_scenario(montium_model(), duty, 4);
+    if (a.energy_per_day_j < m.energy_per_day_j) {
+      crossover = duty;
+      break;
+    }
+  }
+  ASSERT_GT(crossover, 0.0);
+  EXPECT_LT(crossover, 0.2);  // ASIC wins well below 20% duty given 1 mW leak
+}
+
+}  // namespace
+}  // namespace twiddc::energy

@@ -1,0 +1,84 @@
+#include "src/energy/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/energy/architecture_result.hpp"
+
+namespace twiddc::energy {
+namespace {
+
+TEST(ScalePower, ReproducesPaperGc4016Row) {
+  // Section 3.1.2: 115 mW at 0.25um/2.5V -> 13.8 mW at 0.13um/1.2V.
+  const double scaled = scale_power_mw(115.0, TechnologyNode::um250(), TechnologyNode::um130());
+  EXPECT_NEAR(scaled, 13.8, 0.05);
+}
+
+TEST(ScalePower, ReproducesPaperCustomAsicRow) {
+  // Section 3.2: 27 mW at 0.18um/1.8V -> 8.7 mW at 0.13um/1.2V.
+  const double scaled = scale_power_mw(27.0, TechnologyNode::um180(), TechnologyNode::um130());
+  EXPECT_NEAR(scaled, 8.7, 0.05);
+}
+
+TEST(ScalePower, ReproducesPaperCycloneIIRow) {
+  // Section 7.2: 31.11 mW at 0.09um/1.2V -> 44.94 mW at 0.13um/1.2V.
+  const double scaled = scale_power_mw(31.11, TechnologyNode::um90(), TechnologyNode::um130());
+  EXPECT_NEAR(scaled, 44.94, 0.05);
+}
+
+TEST(ScalePower, IdentityAndInversion) {
+  const auto node = TechnologyNode::um130();
+  EXPECT_DOUBLE_EQ(scale_power_mw(50.0, node, node), 50.0);
+  // Scaling forth and back is the identity.
+  const double there = scale_power_mw(50.0, TechnologyNode::um250(), TechnologyNode::um90());
+  const double back = scale_power_mw(there, TechnologyNode::um90(), TechnologyNode::um250());
+  EXPECT_NEAR(back, 50.0, 1e-9);
+}
+
+TEST(ScalePower, RejectsNonPhysical) {
+  EXPECT_THROW(scale_power_mw(10.0, {0.0, 1.2}, TechnologyNode::um130()), twiddc::ConfigError);
+  EXPECT_THROW(scale_power_mw(10.0, TechnologyNode::um130(), {0.13, -1.0}), twiddc::ConfigError);
+  EXPECT_THROW(scale_power_mw(-1.0, TechnologyNode::um130(), TechnologyNode::um130()),
+               twiddc::ConfigError);
+}
+
+TEST(DynamicPower, FirstPrinciplesFormula) {
+  // 0.25 activity * 1 nF * (1.2 V)^2 * 100 MHz = 36 mW.
+  EXPECT_NEAR(dynamic_power_mw(0.25, 1.0, 1.2, 100.0), 36.0, 1e-9);
+  EXPECT_DOUBLE_EQ(dynamic_power_mw(0.0, 1.0, 1.2, 100.0), 0.0);
+  EXPECT_THROW(dynamic_power_mw(-0.1, 1.0, 1.2, 100.0), twiddc::ConfigError);
+}
+
+TEST(TechnologyNode, Labels) {
+  EXPECT_EQ(TechnologyNode::um130().label(), "0.13um @ 1.20V");
+  EXPECT_EQ(TechnologyNode::um250().label(), "0.25um @ 2.50V");
+}
+
+TEST(ArchitectureResult, ScaledCopyMatchesPaperRows) {
+  const auto rows = paper_table7();
+  // Row 0 is the GC4016 native; scaling it must give row 1 (within print
+  // precision).
+  const auto scaled = rows[0].scaled_to(TechnologyNode::um130());
+  EXPECT_NEAR(scaled.power_mw, rows[1].power_mw, 0.05);
+  EXPECT_TRUE(scaled.estimated);
+  EXPECT_FALSE(scaled.area_mm2.has_value());
+}
+
+TEST(ArchitectureResult, EnergyPerOutputSample) {
+  ArchitectureResult r;
+  r.power_mw = 38.7;  // Montium
+  // 38.7 mW at 24 kHz output -> 1612.5 nJ per complex output sample.
+  EXPECT_NEAR(r.energy_per_output_nj(), 1612.5, 0.1);
+}
+
+TEST(PaperTable7, HasAllNineRows) {
+  const auto rows = paper_table7();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows[4].solution, "ARM922T");
+  EXPECT_NEAR(rows[4].power_mw, 2435.0, 0.1);
+  EXPECT_EQ(rows[8].solution, "Montium TP");
+  EXPECT_NEAR(rows[8].power_mw, 38.7, 0.01);
+}
+
+}  // namespace
+}  // namespace twiddc::energy

@@ -1,0 +1,123 @@
+// Tests for the typed FixedPoint wrapper.
+#include "src/fixed/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace twiddc::fixed {
+namespace {
+
+TEST(FixedPointBasics, RawRoundTrip) {
+  const auto v = q15::from_raw(12345);
+  EXPECT_EQ(v.raw(), 12345);
+  EXPECT_NEAR(v.to_double(), 12345.0 / 32768.0, 1e-12);
+}
+
+TEST(FixedPointBasics, FromDoubleRoundsToNearest) {
+  EXPECT_EQ(q15::from_double(0.5).raw(), 16384);
+  EXPECT_EQ(q15::from_double(-0.5).raw(), -16384);
+  // Half an LSB rounds away from zero.
+  EXPECT_EQ(q15::from_double(1.5 / 32768.0).raw(), 2);
+  EXPECT_EQ(q15::from_double(-1.5 / 32768.0).raw(), -2);
+}
+
+TEST(FixedPointBasics, FromDoubleSaturates) {
+  EXPECT_EQ(q15::from_double(2.0).raw(), 32767);
+  EXPECT_EQ(q15::from_double(-2.0).raw(), -32768);
+  EXPECT_EQ(q15::from_double(1.0).raw(), 32767);  // +1.0 not representable
+  EXPECT_EQ(q15::from_double(-1.0).raw(), -32768);
+}
+
+TEST(FixedPointBasics, LimitsAndLsb) {
+  EXPECT_EQ(q15::max().raw(), 32767);
+  EXPECT_EQ(q15::min().raw(), -32768);
+  EXPECT_DOUBLE_EQ(q15::lsb(), 1.0 / 32768.0);
+  EXPECT_DOUBLE_EQ(q11::lsb(), 1.0 / 2048.0);
+}
+
+TEST(FixedPointArithmetic, AddSaturates) {
+  const auto a = q15::from_double(0.75);
+  const auto b = q15::from_double(0.75);
+  EXPECT_EQ((a + b).raw(), 32767);
+  const auto c = q15::from_double(-0.75);
+  EXPECT_EQ((c + c).raw(), -32768);
+  EXPECT_NEAR((a + c).to_double(), 0.0, 1e-4);
+}
+
+TEST(FixedPointArithmetic, SubSaturates) {
+  const auto a = q15::from_double(0.75);
+  const auto b = q15::from_double(-0.75);
+  EXPECT_EQ((a - b).raw(), 32767);
+  EXPECT_EQ((b - a).raw(), -32768);
+}
+
+TEST(FixedPointArithmetic, NegationOfMinSaturates) {
+  EXPECT_EQ((-q15::min()).raw(), 32767);
+  EXPECT_EQ((-q15::from_double(0.25)).raw(), q15::from_double(-0.25).raw());
+}
+
+TEST(FixedPointArithmetic, MultiplyMatchesDouble) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double a = rng.uniform(-0.999, 0.999);
+    const double b = rng.uniform(-0.999, 0.999);
+    const auto fa = q15::from_double(a);
+    const auto fb = q15::from_double(b);
+    const double product = (fa * fb).to_double();
+    // Error budget: input quantisation (<= 1 LSB combined effect) plus the
+    // product rounding (0.5 LSB).
+    EXPECT_NEAR(product, a * b, 3.0 / 32768.0) << a << " * " << b;
+  }
+}
+
+TEST(FixedPointArithmetic, MultiplyIdentityAndZero) {
+  const auto half = q15::from_double(0.5);
+  const auto zero = q15::from_double(0.0);
+  EXPECT_EQ((half * zero).raw(), 0);
+  // 0.5 * 0.5 = 0.25 exactly representable.
+  EXPECT_EQ((half * half).raw(), q15::from_double(0.25).raw());
+}
+
+TEST(FixedPointArithmetic, Comparisons) {
+  EXPECT_LT(q15::from_double(-0.5), q15::from_double(0.5));
+  EXPECT_EQ(q15::from_double(0.25), q15::from_raw(8192));
+  EXPECT_GT(q15::max(), q15::min());
+}
+
+TEST(FixedPointWideMul, FullPrecisionProduct) {
+  const auto a = q11::from_raw(2047);   // FPGA bus max
+  const auto b = q11::from_raw(-2048);
+  EXPECT_EQ(wide_mul(a, b), std::int64_t{2047} * -2048);
+}
+
+TEST(FixedPointFormats, Q11MatchesFpgaBusRange) {
+  // The FPGA datapath carries 12-bit values; q11 stores them in int16 (the
+  // headroom bits exist -- narrowing to the physical 12-bit bus is the job
+  // of fixed::saturate, as in the RTL model).
+  EXPECT_EQ(q11::from_double(0.5).raw(), 1024);
+  EXPECT_EQ(q11::from_double(-1.0).raw(), -2048);
+  const auto wide = q11::from_double(1.5);  // representable in Q5.11
+  EXPECT_EQ(wide.raw(), 3072);
+  EXPECT_EQ(saturate(wide.raw(), 12), 2047);  // ...but clipped by the bus
+}
+
+// Property: addition is commutative and associative under no-overflow.
+class FixedPointAlgebraTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedPointAlgebraTest, CommutativeAdditionWithinRange) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = q15::from_double(rng.uniform(-0.3, 0.3));
+    const auto b = q15::from_double(rng.uniform(-0.3, 0.3));
+    const auto c = q15::from_double(rng.uniform(-0.3, 0.3));
+    EXPECT_EQ((a + b).raw(), (b + a).raw());
+    EXPECT_EQ(((a + b) + c).raw(), (a + (b + c)).raw());
+    EXPECT_EQ((a * b).raw(), (b * a).raw());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedPointAlgebraTest, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace twiddc::fixed

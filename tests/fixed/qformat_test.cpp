@@ -1,0 +1,186 @@
+// Unit + property tests for the raw width-limited arithmetic primitives.
+#include "src/fixed/qformat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+
+namespace twiddc::fixed {
+namespace {
+
+TEST(QFormatLimits, MaxMinForCommonWidths) {
+  EXPECT_EQ(max_for_bits(8), 127);
+  EXPECT_EQ(min_for_bits(8), -128);
+  EXPECT_EQ(max_for_bits(12), 2047);
+  EXPECT_EQ(min_for_bits(12), -2048);
+  EXPECT_EQ(max_for_bits(16), 32767);
+  EXPECT_EQ(min_for_bits(16), -32768);
+  EXPECT_EQ(max_for_bits(31), 1073741823);
+  EXPECT_EQ(min_for_bits(31), -1073741824);
+}
+
+TEST(QFormatLimits, FitsBits) {
+  EXPECT_TRUE(fits_bits(2047, 12));
+  EXPECT_FALSE(fits_bits(2048, 12));
+  EXPECT_TRUE(fits_bits(-2048, 12));
+  EXPECT_FALSE(fits_bits(-2049, 12));
+  EXPECT_TRUE(fits_bits(0, 1));
+  EXPECT_TRUE(fits_bits(-1, 1));
+  EXPECT_FALSE(fits_bits(1, 1));
+}
+
+TEST(Saturate, ClampsBothSides) {
+  EXPECT_EQ(saturate(5000, 12), 2047);
+  EXPECT_EQ(saturate(-5000, 12), -2048);
+  EXPECT_EQ(saturate(123, 12), 123);
+  EXPECT_EQ(saturate(2047, 12), 2047);
+  EXPECT_EQ(saturate(2048, 12), 2047);
+  EXPECT_EQ(saturate(-2048, 12), -2048);
+  EXPECT_EQ(saturate(-2049, 12), -2048);
+}
+
+TEST(Wrap, TwoComplementSemantics) {
+  EXPECT_EQ(wrap(2048, 12), -2048);    // positive overflow wraps negative
+  EXPECT_EQ(wrap(2047, 12), 2047);
+  EXPECT_EQ(wrap(-2049, 12), 2047);    // negative overflow wraps positive
+  EXPECT_EQ(wrap(4096, 12), 0);        // full period
+  EXPECT_EQ(wrap(-4096, 12), 0);
+  EXPECT_EQ(wrap(0x7fffffffffffffffll, 64), 0x7fffffffffffffffll);
+}
+
+TEST(Wrap, MatchesNativeInt16) {
+  Rng rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::int64_t a = rng.uniform_int(-40000, 40000);
+    const auto native = static_cast<std::int16_t>(a);
+    EXPECT_EQ(wrap(a, 16), native) << "value " << a;
+  }
+}
+
+TEST(WrapAddSub, CancelsLikeHardwareRegisters) {
+  // The CIC correctness argument: (a+b) then (-b) returns a even when the
+  // intermediate overflows, as long as the final value is in range.
+  Rng rng(22);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::int64_t a = rng.uniform_int(-2000, 2000);
+    const std::int64_t big = rng.uniform_int(-1'000'000, 1'000'000);
+    const std::int64_t wrapped = wrap_add(a, big, 12);
+    EXPECT_EQ(wrap_sub(wrapped, big, 12), a);
+  }
+}
+
+TEST(ShiftRight, TruncateRoundsTowardMinusInfinity) {
+  EXPECT_EQ(shift_right(7, 1, Rounding::kTruncate), 3);
+  EXPECT_EQ(shift_right(-7, 1, Rounding::kTruncate), -4);
+  EXPECT_EQ(shift_right(8, 3, Rounding::kTruncate), 1);
+  EXPECT_EQ(shift_right(-8, 3, Rounding::kTruncate), -1);
+  EXPECT_EQ(shift_right(5, 0, Rounding::kTruncate), 5);
+}
+
+TEST(ShiftRight, NearestRoundsHalfUp) {
+  EXPECT_EQ(shift_right(7, 1, Rounding::kNearest), 4);   // 3.5 -> 4
+  EXPECT_EQ(shift_right(-7, 1, Rounding::kNearest), -3); // -3.5 -> -3 (half up)
+  EXPECT_EQ(shift_right(6, 1, Rounding::kNearest), 3);
+  EXPECT_EQ(shift_right(5, 2, Rounding::kNearest), 1);   // 1.25 -> 1
+  EXPECT_EQ(shift_right(6, 2, Rounding::kNearest), 2);   // 1.5  -> 2
+}
+
+TEST(ShiftRight, NearestErrorBoundedByHalfLsb) {
+  Rng rng(33);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t v = rng.uniform_int(-1'000'000, 1'000'000);
+    const int shift = static_cast<int>(rng.uniform_int(1, 12));
+    const double exact = static_cast<double>(v) / static_cast<double>(1ll << shift);
+    const double rounded = static_cast<double>(shift_right(v, shift, Rounding::kNearest));
+    EXPECT_LE(std::abs(rounded - exact), 0.5 + 1e-12);
+  }
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(125), 7);
+  EXPECT_EQ(ceil_log2(128), 7);
+  EXPECT_EQ(ceil_log2(129), 8);
+}
+
+TEST(CicBitGrowth, PaperChainValues) {
+  // CIC2 with D=16: 2*log2(16) = 8 bits.
+  EXPECT_EQ(cic_bit_growth(2, 16), 8);
+  // CIC5 with D=21: ceil(5*log2(21)) = ceil(21.96) = 22 bits.
+  EXPECT_EQ(cic_bit_growth(5, 21), 22);
+  // GC4016 CIC5 at its extremes (decimation 8..4096).
+  EXPECT_EQ(cic_bit_growth(5, 8), 15);
+  EXPECT_EQ(cic_bit_growth(5, 4096), 60);
+}
+
+TEST(CicBitGrowth, MatchesGainBits) {
+  // growth == ceil_log2(gain) for all (stages, decimation) in a sweep.
+  for (int n = 1; n <= 5; ++n) {
+    for (int r : {2, 3, 4, 7, 8, 15, 16, 21, 32, 64}) {
+      const std::int64_t g = cic_gain(n, r);
+      EXPECT_EQ(cic_bit_growth(n, r), ceil_log2(g)) << "N=" << n << " R=" << r;
+    }
+  }
+}
+
+TEST(CicGain, PaperChainValues) {
+  EXPECT_EQ(cic_gain(2, 16), 256);
+  EXPECT_EQ(cic_gain(5, 21), 4084101);  // 21^5
+  EXPECT_EQ(cic_gain(1, 8), 8);
+  EXPECT_EQ(cic_gain(3, 2, 2), 64);     // diff_delay doubles the per-stage gain
+}
+
+TEST(Narrow, PolicySelection) {
+  EXPECT_EQ(narrow(5000, 12, Overflow::kSaturate), 2047);
+  EXPECT_EQ(narrow(5000, 12, Overflow::kWrap), wrap(5000, 12));
+  EXPECT_EQ(narrow(-100, 12, Overflow::kSaturate), -100);
+  EXPECT_EQ(narrow(-100, 12, Overflow::kWrap), -100);
+}
+
+// Property sweep: saturation is idempotent and order-preserving.
+class SaturatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaturatePropertyTest, IdempotentAndMonotonic) {
+  const int bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits));
+  std::int64_t prev_in = min_for_bits(62);
+  std::int64_t prev_out = saturate(prev_in, bits);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t v = rng.uniform_int(-(1ll << 40), 1ll << 40);
+    const std::int64_t s = saturate(v, bits);
+    EXPECT_EQ(saturate(s, bits), s);
+    EXPECT_TRUE(fits_bits(s, bits));
+    if (v >= prev_in) { EXPECT_GE(s, prev_out); }
+    prev_in = v;
+    prev_out = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SaturatePropertyTest,
+                         ::testing::Values(2, 4, 8, 12, 16, 17, 24, 31, 32, 40, 48));
+
+// Property sweep: wrap is periodic with period 2^bits.
+class WrapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapPropertyTest, Periodic) {
+  const int bits = GetParam();
+  const std::int64_t period = std::int64_t{1} << bits;
+  Rng rng(static_cast<std::uint64_t>(bits) * 7 + 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t v = rng.uniform_int(-(1ll << 40), 1ll << 40);
+    EXPECT_EQ(wrap(v, bits), wrap(v + period, bits));
+    EXPECT_EQ(wrap(v, bits), wrap(v - period, bits));
+    EXPECT_TRUE(fits_bits(wrap(v, bits), bits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WrapPropertyTest,
+                         ::testing::Values(2, 4, 8, 12, 16, 17, 24, 31, 32, 40));
+
+}  // namespace
+}  // namespace twiddc::fixed

@@ -1,0 +1,82 @@
+#include "src/gpp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::gpp {
+namespace {
+
+Cache::Config arm_cache() { return Cache::Config{8 * 1024, 32, 4}; }
+
+TEST(CacheTest, GeometryValidation) {
+  EXPECT_THROW(Cache({1000, 32, 4}), twiddc::ConfigError);   // not pow2
+  EXPECT_THROW(Cache({8192, 24, 4}), twiddc::ConfigError);   // line not pow2
+  EXPECT_THROW(Cache({64, 32, 4}), twiddc::ConfigError);     // too small
+  EXPECT_NO_THROW((Cache{arm_cache()}));
+}
+
+TEST(CacheTest, FirstAccessMissesThenHits) {
+  Cache c(arm_cache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1004));  // same 32-byte line
+  EXPECT_TRUE(c.access(0x101C));
+  EXPECT_FALSE(c.access(0x1020));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 3u);
+}
+
+TEST(CacheTest, AssociativityHoldsConflictingLines) {
+  Cache c(arm_cache());
+  // 8 KB / (32 B * 4 ways) = 64 sets; addresses 8 KB/4 apart map to the same
+  // set.  Four ways must all stick.
+  const std::uint32_t stride = 64 * 32;  // set stride
+  for (std::uint32_t w = 0; w < 4; ++w) c.access(0x0 + w * stride);
+  for (std::uint32_t w = 0; w < 4; ++w) EXPECT_TRUE(c.access(0x0 + w * stride));
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  Cache c(arm_cache());
+  const std::uint32_t stride = 64 * 32;
+  for (std::uint32_t w = 0; w < 4; ++w) c.access(w * stride);
+  c.access(4 * stride);            // evicts way holding address 0
+  EXPECT_FALSE(c.access(0));       // miss: evicted
+  EXPECT_TRUE(c.access(4 * stride));
+}
+
+TEST(CacheTest, SequentialStreamHitRate) {
+  // Sequential word accesses: 1 miss per 8 words (32-byte lines).
+  Cache c(arm_cache());
+  for (std::uint32_t a = 0; a < 4096; a += 4) c.access(a);
+  EXPECT_EQ(c.misses(), 4096u / 32u);
+  EXPECT_NEAR(c.hit_rate(), 1.0 - 1.0 / 8.0, 1e-9);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  Cache c(arm_cache());
+  // Two passes over 64 KB: every line evicted before reuse.
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint32_t a = 0; a < 64 * 1024; a += 32) c.access(a);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(CacheTest, SmallKernelFitsEntirely) {
+  // The DDC inner loop + tables touch < 8 KB of hot data; second pass is
+  // all hits -- the premise of the paper's "caches enabled" power figure.
+  Cache c(arm_cache());
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint32_t a = 0; a < 4 * 1024; a += 4) c.access(a);
+  EXPECT_GT(c.hit_rate(), 0.93);
+}
+
+TEST(CacheTest, FlushClearsEverything) {
+  Cache c(arm_cache());
+  c.access(0x40);
+  c.flush();
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+  EXPECT_FALSE(c.access(0x40));
+}
+
+}  // namespace
+}  // namespace twiddc::gpp

@@ -1,0 +1,163 @@
+#include "src/gpp/ddc_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace twiddc::gpp {
+namespace {
+
+std::vector<std::int64_t> tone_input(double freq, std::size_t n, double amp = 0.7) {
+  return dsp::quantize_signal(dsp::make_tone(freq, 64.512e6, n, amp), 12);
+}
+
+TEST(DdcProgram, BitExactAgainstFixedDdcInPhaseRail) {
+  // The headline cross-model obligation: the ARM program computes exactly
+  // what FixedDdc(wide16)'s I rail computes.
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  DdcProgram prog(cfg);
+  core::FixedDdc twin(cfg, core::DatapathSpec::wide16());
+
+  const auto in = tone_input(10.0037e6, 2688 * 6);
+  const auto result = prog.run(in);
+  const auto twin_out = twin.process(in);
+  ASSERT_EQ(result.outputs.size(), twin_out.size());
+  for (std::size_t i = 0; i < twin_out.size(); ++i)
+    EXPECT_EQ(result.outputs[i], twin_out[i].i) << "output " << i;
+}
+
+TEST(DdcProgram, BitExactOnRandomInput) {
+  const auto cfg = core::DdcConfig::reference(7.77e6);
+  DdcProgram prog(cfg);
+  core::FixedDdc twin(cfg, core::DatapathSpec::wide16());
+  twiddc::Rng rng(99);
+  const auto in = dsp::random_samples(12, 2688 * 4, rng);
+  const auto result = prog.run(in);
+  const auto twin_out = twin.process(in);
+  ASSERT_EQ(result.outputs.size(), twin_out.size());
+  for (std::size_t i = 0; i < twin_out.size(); ++i)
+    EXPECT_EQ(result.outputs[i], twin_out[i].i) << "output " << i;
+}
+
+TEST(DdcProgram, OutputCountMatchesDecimation) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto result = prog.run(tone_input(10.0e6, 2688 * 3));
+  EXPECT_EQ(result.outputs.size(), 3u);
+}
+
+TEST(DdcProgram, RejectsWideInput) {
+  DdcProgram prog(core::DdcConfig::reference());
+  std::vector<std::int64_t> bad{0, 1, 5000};
+  EXPECT_THROW(prog.run(bad), twiddc::SimulationError);
+}
+
+TEST(DdcProgram, RejectsUnsupportedConfigs) {
+  auto cfg = core::DdcConfig::reference();
+  cfg.fir_taps = 200;  // ring buffer limit
+  EXPECT_THROW(DdcProgram{cfg}, twiddc::ConfigError);
+  cfg = core::DdcConfig::reference();
+  cfg.cic5_stages = 3;
+  EXPECT_THROW(DdcProgram{cfg}, twiddc::ConfigError);
+}
+
+TEST(DdcProgram, ProfileRegionsMirrorTable3Rows) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto result = prog.run(tone_input(10.0e6, 2688 * 4));
+  std::vector<std::string> names;
+  for (const auto& r : result.stats.regions) names.push_back(r.name);
+  for (const char* expected :
+       {"NCO", "CIC2-integrating", "CIC2-cascading", "CIC5-integrating",
+        "CIC5-cascading", "FIR125-poly-phase", "FIR125-summation"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing region " << expected;
+  }
+}
+
+TEST(DdcProgram, RateHierarchyMatchesTable3Shape) {
+  // The paper's key profiling observation: the full-rate parts (NCO and the
+  // CIC2 integrators) dominate; everything downstream is a few percent.
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto result = prog.run(tone_input(10.0e6, 2688 * 8));
+  std::map<std::string, double> share;
+  for (const auto& r : result.stats.regions) share[r.name] = r.cycle_share;
+
+  const double full_rate = share["NCO"] + share["CIC2-integrating"] + share["loop-control"];
+  EXPECT_GT(full_rate, 0.75);
+  EXPECT_GT(share["CIC2-integrating"], share["CIC2-cascading"]);
+  EXPECT_LT(share["CIC2-cascading"], 0.10);
+  EXPECT_LT(share["CIC5-cascading"], 0.02);
+  EXPECT_LT(share["FIR125-poly-phase"], 0.02);
+  EXPECT_GT(share["CIC5-integrating"], share["CIC5-cascading"]);
+  EXPECT_GT(share["FIR125-summation"], share["FIR125-poly-phase"]);
+}
+
+TEST(DdcProgram, RequiredClockIsGigahertzClass) {
+  // Section 4: one ARM9 cannot run the DDC in real time -- the required
+  // clock is in the GHz range (the paper derives 9.74 GHz for its compiler
+  // output; our tighter hand-written kernel still needs > 1.5 GHz).
+  DdcProgram prog(core::DdcConfig::reference());
+  const std::size_t n = 2688 * 8;
+  const auto result = prog.run(tone_input(10.0e6, n));
+  const double mhz = result.required_clock_mhz(n, 64.512e6);
+  EXPECT_GT(mhz, 1500.0);
+  EXPECT_LT(mhz, 12000.0);
+  // And the paper's energy rule: 0.25 mW/MHz.
+  EXPECT_NEAR(result.power_mw(n, 64.512e6), 0.25 * mhz, 1e-9);
+}
+
+TEST(DdcProgram, CachesEffectiveForTheKernel) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto result = prog.run(tone_input(10.0e6, 2688 * 4));
+  EXPECT_GT(result.stats.icache_hit_rate, 0.99);
+  EXPECT_GT(result.stats.dcache_hit_rate, 0.95);
+}
+
+TEST(DdcProgram, CpiIsPlausibleForArm9) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const std::size_t n = 2688 * 4;
+  const auto result = prog.run(tone_input(10.0e6, n));
+  EXPECT_GT(result.stats.cpi(), 1.0);
+  EXPECT_LT(result.stats.cpi(), 3.0);
+}
+
+TEST(DdcProgram, Arm9eDspExtensionReproducesPaperNote) {
+  // Section 4.2.2, note 3: the DSP instruction set (ARM946-class) "did not
+  // show a major speed improvement and resulted in an even higher power
+  // consumption".
+  DdcProgram prog(core::DdcConfig::reference());
+  const std::size_t n = 2688 * 8;
+  const auto in = tone_input(10.0e6, n);
+  const auto base = prog.run(in, CycleModel::arm9tdmi());
+  const auto dsp_core = prog.run(in, CycleModel::arm9e());
+
+  // Identical program, identical outputs.
+  EXPECT_EQ(base.outputs, dsp_core.outputs);
+
+  // Faster multiplies help, but not by much: the full-rate work is loads,
+  // adds and branches.
+  const double speedup = static_cast<double>(base.stats.cycles) /
+                         static_cast<double>(dsp_core.stats.cycles);
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup, 1.25);  // "no major speed improvement"
+
+  // Power: clock drops by the speedup but the per-MHz figure rises more.
+  const double clock_base = 2.0 * base.cycles_per_input(n) * 64.512;
+  const double clock_dsp = 2.0 * dsp_core.cycles_per_input(n) * 64.512;
+  const double p_base = DdcProgram::kMilliwattPerMhz * clock_base;
+  const double p_dsp = DdcProgram::kMilliwattPerMhzArm9e * clock_dsp;
+  EXPECT_GT(p_dsp, p_base);  // "even higher power consumption"
+}
+
+TEST(DdcProgram, DeterministicAcrossRuns) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto in = tone_input(9.5e6, 2688 * 3);
+  const auto a = prog.run(in);
+  const auto b = prog.run(in);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+}  // namespace
+}  // namespace twiddc::gpp

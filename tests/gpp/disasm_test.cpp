@@ -1,0 +1,90 @@
+#include "src/gpp/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ddc_config.hpp"
+#include "src/gpp/ddc_program.hpp"
+
+namespace twiddc::gpp {
+namespace {
+
+Instr make(Op op) {
+  Instr i;
+  i.op = op;
+  return i;
+}
+
+TEST(Disasm, AluForms) {
+  Instr i = make(Op::kAdd);
+  i.rd = 4;
+  i.rn = 4;
+  i.op2 = Operand2::r(7);
+  EXPECT_EQ(disassemble(i), "add r4, r4, r7");
+
+  i.op2 = Operand2::immediate(16);
+  EXPECT_EQ(disassemble(i), "add r4, r4, #16");
+
+  i.op = Op::kMov;
+  i.rd = 7;
+  i.op2 = Operand2::r(7, Shift::kAsr, 11);
+  EXPECT_EQ(disassemble(i), "mov r7, r7, asr #11");
+}
+
+TEST(Disasm, MemoryForms) {
+  Instr i = make(Op::kLdr);
+  i.rd = 1;
+  i.rn = 0;
+  i.mem_offset = 8;
+  EXPECT_EQ(disassemble(i), "ldr r1, [r0, #8]");
+
+  i = make(Op::kStrIdx);
+  i.rd = 7;
+  i.rn = 12;
+  i.rm = 11;
+  i.mem_shift = 2;
+  EXPECT_EQ(disassemble(i), "str r7, [r12, r11, lsl #2]");
+}
+
+TEST(Disasm, BranchesAndSpecialRegs) {
+  Instr i = make(Op::kB);
+  i.cond = Cond::kLt;
+  i.label = "main_loop";
+  EXPECT_EQ(disassemble(i), "blt main_loop");
+
+  i = make(Op::kStr);
+  i.rd = 14;
+  i.rn = 10;
+  i.mem_offset = 0;
+  EXPECT_EQ(disassemble(i), "str lr, [r10, #0]");
+
+  EXPECT_EQ(disassemble(make(Op::kRet)), "bx lr");
+  EXPECT_EQ(disassemble(make(Op::kHalt)), "halt");
+}
+
+TEST(Disasm, LongMultiplies) {
+  Instr i = make(Op::kSmlal);
+  i.rd = 7;   // lo
+  i.ra = 8;   // hi
+  i.rn = 11;
+  i.rm = 12;
+  EXPECT_EQ(disassemble(i), "smlal r7, r8, r11, r12");
+}
+
+TEST(Disasm, WholeDdcProgramListing) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const std::string listing = disassemble(prog.program());
+  // The listing contains the function labels, region banners, and the
+  // signature instructions of the kernel.
+  EXPECT_NE(listing.find("main_loop:"), std::string::npos);
+  EXPECT_NE(listing.find("region: NCO"), std::string::npos);
+  EXPECT_NE(listing.find("region: FIR125-summation"), std::string::npos);
+  EXPECT_NE(listing.find("smlal"), std::string::npos);
+  EXPECT_NE(listing.find("mov r7, r7, asr #11"), std::string::npos);  // mixer shift
+  // Every instruction appears exactly once: line count matches program size
+  // plus labels/banners.
+  const auto lines = std::count(listing.begin(), listing.end(), '\n');
+  EXPECT_GT(lines, static_cast<long>(prog.program().code.size()));
+}
+
+}  // namespace
+}  // namespace twiddc::gpp

@@ -1,0 +1,341 @@
+// Per-opcode tests of the ARM-like core plus cycle-model behaviour.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/gpp/assembler.hpp"
+#include "src/gpp/cpu.hpp"
+
+namespace twiddc::gpp {
+namespace {
+
+Operand2 imm(std::int32_t v) { return Operand2::immediate(v); }
+Operand2 rr(int r) { return Operand2::r(r); }
+
+/// Helper: assembles, runs, returns the Cpu for register inspection.
+struct Run {
+  RunStats stats;
+  std::vector<std::int32_t> regs;
+};
+
+Run run_program(const std::function<void(Assembler&)>& build,
+                const std::function<void(Cpu&)>& setup = {}) {
+  Assembler a;
+  build(a);
+  Cpu::Config cfg;
+  cfg.memory_bytes = 1 << 16;
+  Cpu cpu(a.assemble(), cfg);
+  if (setup) setup(cpu);
+  Run r;
+  r.stats = cpu.run();
+  for (int i = 0; i < kNumRegs; ++i) r.regs.push_back(cpu.reg(i));
+  return r;
+}
+
+TEST(Isa, MovAndArithmetic) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 40);
+    a.mov_imm(1, 2);
+    a.add(2, 0, rr(1));       // 42
+    a.sub(3, 0, imm(15));     // 25
+    a.rsb(4, 1, imm(10));     // 10 - 2 = 8
+    a.and_(5, 0, imm(0xC));   // 40 & 12 = 8
+    a.orr(6, 0, imm(0x3));    // 43
+    a.eor(7, 0, imm(0xFF));   // 40 ^ 255 = 215
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[2], 42);
+  EXPECT_EQ(r.regs[3], 25);
+  EXPECT_EQ(r.regs[4], 8);
+  EXPECT_EQ(r.regs[5], 8);
+  EXPECT_EQ(r.regs[6], 43);
+  EXPECT_EQ(r.regs[7], 215);
+}
+
+TEST(Isa, BarrelShifterOperands) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, -64);
+    a.mov(1, Operand2::r(0, Shift::kAsr, 3));  // -8
+    a.mov(2, Operand2::r(0, Shift::kLsr, 3));  // logical: large positive
+    a.mov_imm(3, 5);
+    a.add(4, 3, Operand2::r(3, Shift::kLsl, 2));  // 5 + 20 = 25
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[1], -8);
+  EXPECT_EQ(r.regs[2], static_cast<std::int32_t>(0xFFFFFFC0u >> 3));  // -64 as u32
+  EXPECT_EQ(r.regs[4], 25);
+}
+
+TEST(Isa, MultiplyFamily) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, -1234);
+    a.mov_imm(1, 5678);
+    a.mul(2, 0, 1);           // -7006652
+    a.mov_imm(3, 100);
+    a.mla(4, 0, 1, 3);        // -7006552
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[2], -7006652);
+  EXPECT_EQ(r.regs[4], -7006552);
+}
+
+TEST(Isa, LongMultiplyAccumulate) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 0x40000000);  // 2^30
+    a.mov_imm(1, 16);
+    a.mov_imm(2, 0);           // acc lo
+    a.mov_imm(3, 0);           // acc hi
+    a.smlal(2, 3, 0, 1);       // 2^34
+    a.smlal(2, 3, 0, 1);       // 2^35
+    a.smull(4, 5, 0, 1);       // 2^34
+    a.halt();
+  });
+  const std::int64_t acc =
+      (static_cast<std::int64_t>(r.regs[3]) << 32) | static_cast<std::uint32_t>(r.regs[2]);
+  EXPECT_EQ(acc, std::int64_t{1} << 35);
+  const std::int64_t prod =
+      (static_cast<std::int64_t>(r.regs[5]) << 32) | static_cast<std::uint32_t>(r.regs[4]);
+  EXPECT_EQ(prod, std::int64_t{1} << 34);
+}
+
+TEST(Isa, SmlalNegativeAccumulation) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, -30000);
+    a.mov_imm(1, 30000);
+    a.mov_imm(2, 0);
+    a.mov_imm(3, 0);
+    for (int k = 0; k < 5; ++k) a.smlal(2, 3, 0, 1);
+    a.halt();
+  });
+  const std::int64_t acc =
+      (static_cast<std::int64_t>(r.regs[3]) << 32) | static_cast<std::uint32_t>(r.regs[2]);
+  EXPECT_EQ(acc, -5ll * 30000 * 30000);
+}
+
+TEST(Isa, SixtyFourBitAddViaAdc) {
+  // 64-bit add: {r1:r0} + {r3:r2} with carry propagation.
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, -1);        // lo = 0xFFFFFFFF
+    a.mov_imm(1, 0);         // hi
+    a.mov_imm(2, 1);         // lo
+    a.mov_imm(3, 0);         // hi
+    a.adds(4, 0, rr(2));     // lo sum -> carry out
+    a.adc(5, 1, rr(3));      // hi sum + carry
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[4], 0);
+  EXPECT_EQ(r.regs[5], 1);  // carry propagated
+}
+
+TEST(Isa, SixtyFourBitSubViaSbc) {
+  // {0:5} - {0:10} = -5 as 64-bit.
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 5);
+    a.mov_imm(1, 0);
+    a.mov_imm(2, 10);
+    a.mov_imm(3, 0);
+    a.subs(4, 0, rr(2));
+    a.sbc(5, 1, rr(3));
+    a.halt();
+  });
+  const std::int64_t v =
+      (static_cast<std::int64_t>(r.regs[5]) << 32) | static_cast<std::uint32_t>(r.regs[4]);
+  EXPECT_EQ(v, -5);
+}
+
+TEST(Isa, LoadStoreRoundTrip) {
+  const auto r = run_program(
+      [](Assembler& a) {
+        a.mov_imm(0, 0x100);
+        a.mov_imm(1, -777);
+        a.str(1, 0, 0);
+        a.ldr(2, 0, 0);
+        a.mov_imm(3, 4);          // index 4 -> byte offset 16
+        a.mov_imm(4, 31415);
+        a.str_idx(4, 0, 3, 2);
+        a.ldr_idx(5, 0, 3, 2);
+        a.ldr(6, 0, 16);          // same word via immediate offset
+        a.halt();
+      });
+  EXPECT_EQ(r.regs[2], -777);
+  EXPECT_EQ(r.regs[5], 31415);
+  EXPECT_EQ(r.regs[6], 31415);
+}
+
+TEST(Isa, ConditionalBranches) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 5);
+    a.mov_imm(1, 10);
+    a.mov_imm(2, 0);
+    a.cmp(0, rr(1));
+    a.b("less", Cond::kLt);
+    a.mov_imm(2, 111);  // skipped
+    a.label("less");
+    a.cmp(0, imm(5));
+    a.b("equal", Cond::kEq);
+    a.mov_imm(3, 222);  // skipped
+    a.label("equal");
+    a.cmp(1, imm(5));
+    a.b("not_taken", Cond::kLe);  // 10 <= 5 is false
+    a.mov_imm(4, 99);             // executed
+    a.label("not_taken");
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[2], 0);
+  EXPECT_EQ(r.regs[3], 0);
+  EXPECT_EQ(r.regs[4], 99);
+}
+
+TEST(Isa, SignedComparisonNegativeNumbers) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, -3);
+    a.cmp(0, imm(2));
+    a.mov_imm(1, 0);
+    a.b("neg_lt", Cond::kLt);
+    a.mov_imm(1, 1);  // must be skipped: -3 < 2 signed
+    a.label("neg_lt");
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[1], 0);
+}
+
+TEST(Isa, CallAndReturn) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 1);
+    a.bl("fn");
+    a.add(0, 0, imm(100));  // after return
+    a.halt();
+    a.label("fn");
+    a.add(0, 0, imm(10));
+    a.ret();
+  });
+  EXPECT_EQ(r.regs[0], 111);
+}
+
+TEST(Isa, LoopExecutesExactCount) {
+  const auto r = run_program([](Assembler& a) {
+    a.mov_imm(0, 0);
+    a.mov_imm(1, 0);
+    a.label("loop");
+    a.add(1, 1, rr(0));
+    a.add(0, 0, imm(1));
+    a.cmp(0, imm(100));
+    a.b("loop", Cond::kLt);
+    a.halt();
+  });
+  EXPECT_EQ(r.regs[1], 99 * 100 / 2);
+}
+
+TEST(Isa, HaltsOnRunawayProgram) {
+  Assembler a;
+  a.label("spin");
+  a.b("spin");
+  Cpu::Config cfg;
+  cfg.max_instructions = 1000;
+  Cpu cpu(a.assemble(), cfg);
+  EXPECT_THROW(cpu.run(), twiddc::SimulationError);
+}
+
+TEST(Isa, UndefinedLabelRejected) {
+  Assembler a;
+  a.b("nowhere");
+  a.halt();
+  EXPECT_THROW(a.assemble(), twiddc::ConfigError);
+}
+
+TEST(Isa, UnalignedAccessRejected) {
+  Assembler a;
+  a.mov_imm(0, 2);
+  a.ldr(1, 0, 0);
+  a.halt();
+  Cpu::Config cfg;
+  Cpu cpu(a.assemble(), cfg);
+  EXPECT_THROW(cpu.run(), twiddc::SimulationError);
+}
+
+TEST(CycleModel, MultipliesCostMoreThanAlu) {
+  auto cycles_of = [](const std::function<void(Assembler&)>& build) {
+    Assembler a;
+    build(a);
+    Cpu::Config cfg;
+    cfg.caches_enabled = false;
+    Cpu cpu(a.assemble(), cfg);
+    return cpu.run().cycles;
+  };
+  const auto adds = cycles_of([](Assembler& a) {
+    a.mov_imm(0, 3);
+    for (int i = 0; i < 100; ++i) a.add(1, 1, rr(0));
+    a.halt();
+  });
+  const auto muls = cycles_of([](Assembler& a) {
+    a.mov_imm(0, 3);
+    for (int i = 0; i < 100; ++i) a.mul(1, 0, 0);
+    a.halt();
+  });
+  EXPECT_GT(muls, adds + 100);  // MUL is 3 cycles vs ADD's 1
+}
+
+TEST(CycleModel, LoadUseInterlockCosts) {
+  auto cycles_of = [](bool dependent) {
+    Assembler a;
+    a.mov_imm(0, 0x100);
+    for (int i = 0; i < 100; ++i) {
+      a.ldr(1, 0, 0);
+      if (dependent)
+        a.add(2, 1, imm(1));  // uses the loaded value immediately
+      else
+        a.add(2, 3, imm(1));  // independent
+    }
+    a.halt();
+    Cpu::Config cfg;
+    cfg.caches_enabled = false;
+    Cpu cpu(a.assemble(), cfg);
+    return cpu.run().cycles;
+  };
+  EXPECT_GT(cycles_of(true), cycles_of(false) + 50);
+}
+
+TEST(CycleModel, TakenBranchesCostPipelineRefill) {
+  auto cycles_of = [](bool taken) {
+    Assembler a;
+    a.mov_imm(0, 0);
+    for (int i = 0; i < 50; ++i) {
+      a.cmp(0, imm(taken ? 0 : 1));
+      a.b("next" + std::to_string(i), Cond::kEq);
+      a.label("next" + std::to_string(i));
+    }
+    a.halt();
+    Cpu::Config cfg;
+    cfg.caches_enabled = false;
+    Cpu cpu(a.assemble(), cfg);
+    return cpu.run().cycles;
+  };
+  EXPECT_GT(cycles_of(true), cycles_of(false) + 50);
+}
+
+TEST(Profiler, RegionAttributionSumsToTotal) {
+  Assembler a;
+  a.region("alpha");
+  a.mov_imm(0, 0);
+  a.label("loop");
+  a.add(0, 0, imm(1));
+  a.region("beta");
+  a.mul(1, 0, 0);
+  a.cmp(0, imm(10));
+  a.b("loop", Cond::kLt);
+  a.halt();
+  Cpu::Config cfg;
+  Cpu cpu(a.assemble(), cfg);
+  const auto stats = cpu.run();
+  ASSERT_EQ(stats.regions.size(), 2u);
+  std::uint64_t region_cycles = 0;
+  double share = 0.0;
+  for (const auto& r : stats.regions) {
+    region_cycles += r.cycles;
+    share += r.cycle_share;
+  }
+  EXPECT_EQ(region_cycles, stats.cycles);
+  EXPECT_NEAR(share, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace twiddc::gpp

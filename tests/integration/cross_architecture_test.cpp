@@ -1,0 +1,189 @@
+// Integration tests: every architecture model fed the *same* stimulus.
+//
+// This is the reproduction's strongest internal check: the FPGA RTL, the
+// ARM program, the Montium mapping and the functional FixedDdc variants all
+// implement the paper's one algorithm, so on shared input their outputs
+// must agree -- bit-exactly where the datapaths match, within quantisation
+// noise where they differ.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "src/asic/gc4016.hpp"
+#include "src/asic/lowpower_ddc.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+#include "src/energy/technology.hpp"
+#include "src/fpga/ddc_fpga.hpp"
+#include "src/gpp/ddc_program.hpp"
+#include "src/montium/ddc_mapping.hpp"
+
+namespace twiddc {
+namespace {
+
+std::vector<std::int64_t> stimulus(double nco, std::size_t frames) {
+  // Target band tone + an out-of-band interferer, digitised to 12 bits.
+  const auto scene = dsp::make_scene(
+      {{nco + 2.7e3, 0.45, 0.3}, {nco + 300.0e3, 0.3, 1.2}}, 64.512e6, 2688 * frames);
+  return dsp::quantize_signal(scene, 12);
+}
+
+TEST(CrossArchitecture, GppEqualsMontiumInPhaseBitExactly) {
+  // Both are wide16 datapaths; the GPP uses a 10-bit NCO table, the Montium
+  // a 7-bit one -- compare each to its twin instead of to each other, then
+  // compare the twins' *structure*: same chain, different tables.
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  const auto in = stimulus(10.0e6, 5);
+
+  gpp::DdcProgram arm(cfg);
+  core::FixedDdc arm_twin(cfg, core::DatapathSpec::wide16());
+  const auto arm_out = arm.run(in);
+  const auto arm_twin_out = arm_twin.process(in);
+  ASSERT_EQ(arm_out.outputs.size(), arm_twin_out.size());
+  for (std::size_t i = 0; i < arm_twin_out.size(); ++i)
+    EXPECT_EQ(arm_out.outputs[i], arm_twin_out[i].i);
+
+  montium::DdcMapping mont(cfg);
+  core::FixedDdc mont_twin(cfg, montium::DdcMapping::spec());
+  const auto mont_out = mont.process(in);
+  const auto mont_twin_out = mont_twin.process(in);
+  ASSERT_GE(mont_out.size() + 1, mont_twin_out.size());
+  for (std::size_t i = 0; i < mont_out.size(); ++i) {
+    EXPECT_EQ(mont_out[i].i, mont_twin_out[i].i);
+    EXPECT_EQ(mont_out[i].q, mont_twin_out[i].q);
+  }
+}
+
+TEST(CrossArchitecture, AllModelsAgreeWithinQuantisationNoise) {
+  // Convert every model's output to normalised complex and compare against
+  // the float golden chain.  Thresholds reflect each datapath's class.
+  const double nco = 10.0e6;
+  const auto cfg = core::DdcConfig::reference(nco);
+  const auto in = stimulus(nco, 220);
+  const auto in_f = dsp::dequantize_signal(in, 12);
+
+  core::FloatDdc golden(cfg);
+  auto gold = golden.process(in_f);
+  // The FPGA design trims to 124 taps; its golden must share that filter,
+  // otherwise the comparison measures the filter difference, not noise.
+  auto cfg124 = cfg;
+  cfg124.fir_taps = 124;
+  core::FloatDdc golden124(cfg124);
+  auto gold124 = golden124.process(in_f);
+
+  struct Candidate {
+    std::string name;
+    std::vector<std::complex<double>> out;
+    const std::vector<std::complex<double>>* golden_stream;
+    double min_snr_db;
+  };
+  std::vector<Candidate> candidates;
+
+  {
+    fpga::DdcFpgaTop rtl(cfg124);
+    candidates.push_back({"fpga-rtl", core::to_complex(rtl.process(in), 1.0 / 2048.0),
+                          &gold124, 40.0});
+  }
+  {
+    montium::DdcMapping mont(cfg);
+    candidates.push_back({"montium", core::to_complex(mont.process(in), 1.0 / 32768.0),
+                          &gold, 55.0});
+  }
+  {
+    core::FixedDdc fixed12(cfg, core::DatapathSpec::fpga());
+    candidates.push_back({"fixed-12bit",
+                          core::to_complex(fixed12.process(in), fixed12.output_scale()),
+                          &gold, 40.0});
+  }
+  {
+    core::FixedDdc fixed16(cfg, core::DatapathSpec::wide16());
+    candidates.push_back({"fixed-16bit",
+                          core::to_complex(fixed16.process(in), fixed16.output_scale()),
+                          &gold, 55.0});
+  }
+
+  for (auto& c : candidates) {
+    const std::size_t n = std::min(c.out.size(), c.golden_stream->size());
+    ASSERT_GT(n, 64u) << c.name;
+    std::vector<std::complex<double>> g(c.golden_stream->begin() + 16,
+                                        c.golden_stream->begin() + static_cast<long>(n));
+    std::vector<std::complex<double>> o(c.out.begin() + 16,
+                                        c.out.begin() + static_cast<long>(n));
+    const auto stats = core::compare_streams(g, o);
+    EXPECT_GT(stats.snr_db, c.min_snr_db) << c.name;
+    EXPECT_NEAR(stats.gain, 1.0, 0.06) << c.name;
+  }
+}
+
+TEST(CrossArchitecture, AllModelsSelectTheSameBand) {
+  // Feed the DRM scene; every model's output spectrum must peak at the same
+  // baseband frequency.
+  const double nco = 10.0e6;
+  const auto cfg = core::DdcConfig::reference(nco);
+  const auto analog = dsp::make_tone(nco + 4.0e3, 64.512e6, 2688 * 300, 0.7);
+  const auto in = dsp::quantize_signal(analog, 12);
+
+  auto peak_of = [&](std::vector<std::complex<double>> iq) {
+    iq.erase(iq.begin(), iq.begin() + 16);
+    const auto s = dsp::periodogram_complex(iq, 24.0e3);
+    return s.freq(s.peak_bin());
+  };
+
+  auto fpga_cfg = cfg;
+  fpga_cfg.fir_taps = 124;
+  fpga::DdcFpgaTop rtl(fpga_cfg);
+  montium::DdcMapping mont(cfg);
+  core::FloatDdc golden(cfg);
+
+  const double f_rtl = peak_of(core::to_complex(rtl.process(in), 1.0 / 2048.0));
+  const double f_mont = peak_of(core::to_complex(mont.process(in), 1.0 / 32768.0));
+  auto g = golden.process(dsp::dequantize_signal(in, 12));
+  const double f_gold = peak_of(g);
+
+  const double tol = 24000.0 / 256.0 * 2.0;
+  EXPECT_NEAR(f_rtl, 4.0e3, tol);
+  EXPECT_NEAR(f_mont, 4.0e3, tol);
+  EXPECT_NEAR(f_gold, 4.0e3, tol);
+}
+
+TEST(CrossArchitecture, PowerOrderingMatchesTable7) {
+  // The paper's energy ranking at 0.13um: custom ASIC < GC4016 < Montium <
+  // Cyclone II < Cyclone I << ARM.  Assemble from our models.
+  const auto um130 = energy::TechnologyNode::um130();
+
+  asic::CustomLowPowerDdc lp(core::DdcConfig::reference());
+  const double p_asic = lp.power_mw_at(um130);
+
+  asic::Gc4016Config gcfg;
+  gcfg.input_rate_hz = 80.0e6;
+  asic::Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = 15.0e6;
+  ch.cic_decimation = 64;
+  gcfg.channels = {ch};
+  asic::Gc4016 gc(gcfg);
+  const double p_gc = gc.power_mw_at(um130);
+
+  montium::DdcMapping mont(core::DdcConfig::reference());
+  const double p_mont = mont.power_mw();
+
+  const double p_cyc2 = energy::scale_power_mw(
+      fpga::PowerModel::cyclone2().dynamic_mw(10.0), energy::TechnologyNode::um90(), um130);
+  const double p_cyc1 = fpga::PowerModel::cyclone1().dynamic_mw(10.0);
+
+  gpp::DdcProgram prog(core::DdcConfig::reference(10.0e6));
+  const std::size_t n = 2688 * 10;
+  const auto in = stimulus(10.0e6, 10);
+  const double p_arm = prog.run(in).power_mw(n, 64.512e6);
+
+  EXPECT_LT(p_asic, p_gc);
+  EXPECT_LT(p_gc, p_mont);
+  EXPECT_LT(p_mont, p_cyc2);
+  EXPECT_LT(p_cyc2, p_cyc1);
+  EXPECT_LT(p_cyc1, p_arm);
+}
+
+}  // namespace
+}  // namespace twiddc

@@ -1,0 +1,66 @@
+#include "src/montium/tile_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "src/common/error.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace twiddc::montium {
+namespace {
+
+TEST(MultiChannelDdc, RejectsEmptyAndMixedRates) {
+  EXPECT_THROW(MultiChannelDdc{std::vector<core::DdcConfig>{}}, twiddc::ConfigError);
+  auto a = core::DdcConfig::reference(5.0e6);
+  auto b = core::DdcConfig::reference(6.0e6);
+  b.input_rate_hz = 50.0e6;
+  EXPECT_THROW((MultiChannelDdc{{a, b}}), twiddc::ConfigError);
+}
+
+TEST(MultiChannelDdc, FourTilesSelectFourBands) {
+  const std::vector<double> bands{4.0e6, 9.0e6, 14.0e6, 21.0e6};
+  std::vector<core::DdcConfig> configs;
+  for (double b : bands) configs.push_back(core::DdcConfig::reference(b));
+  MultiChannelDdc quad(configs);
+  ASSERT_EQ(quad.tiles(), 4);
+
+  // One tone per band, all present simultaneously.
+  std::vector<dsp::Component> comps;
+  for (std::size_t c = 0; c < bands.size(); ++c)
+    comps.push_back({bands[c] + 2.0e3 + 500.0 * static_cast<double>(c), 0.2,
+                     0.3 * static_cast<double>(c)});
+  const auto scene = dsp::make_scene(comps, 64.512e6, 2688 * 300);
+  const auto in = dsp::quantize_signal(scene, 12);
+
+  std::vector<std::vector<std::complex<double>>> outs(bands.size());
+  for (auto x : in) {
+    const auto ys = quad.step(x);
+    for (std::size_t c = 0; c < ys.size(); ++c) {
+      if (ys[c])
+        outs[c].emplace_back(static_cast<double>(ys[c]->i) / 32768.0,
+                             -static_cast<double>(ys[c]->q) / 32768.0);
+    }
+  }
+  for (std::size_t c = 0; c < bands.size(); ++c) {
+    ASSERT_GT(outs[c].size(), 128u) << c;
+    outs[c].erase(outs[c].begin(), outs[c].begin() + 16);
+    const auto s = dsp::periodogram_complex(outs[c], 24.0e3);
+    EXPECT_NEAR(s.freq(s.peak_bin()), 2.0e3 + 500.0 * static_cast<double>(c),
+                2.0 * s.bin_hz)
+        << "channel " << c;
+  }
+}
+
+TEST(MultiChannelDdc, PowerIsAdditivePerTile) {
+  std::vector<core::DdcConfig> configs(4, core::DdcConfig::reference(10.0e6));
+  MultiChannelDdc quad(configs);
+  EXPECT_NEAR(quad.power_mw(), 4.0 * 38.7, 0.05);
+  // The paper's multi-DDC note: a quad GC4016 at 0.13um uses ~55 mW for four
+  // channels -- four Montium tiles cost ~2.8x that but stay reconfigurable.
+  EXPECT_GT(quad.power_mw(), 55.2);
+}
+
+}  // namespace
+}  // namespace twiddc::montium

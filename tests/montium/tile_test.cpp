@@ -1,0 +1,132 @@
+#include "src/montium/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::montium {
+namespace {
+
+TEST(AluTest, EnvelopeAllowsFigure8Configuration) {
+  // Figure 8: one multiplication plus two additions in a single cycle.
+  Alu alu(0, 16);
+  alu.begin_cycle();
+  EXPECT_NO_THROW(alu.issue("NCO + CIC2 integrating", 1, 2));
+}
+
+TEST(AluTest, EnvelopeRejectsTwoMultiplies) {
+  Alu alu(0, 16);
+  alu.begin_cycle();
+  alu.issue("fir", 1, 1);
+  EXPECT_THROW(alu.issue("fir", 1, 0), twiddc::SimulationError);
+}
+
+TEST(AluTest, EnvelopeRejectsThreeAddSubs) {
+  Alu alu(0, 16);
+  alu.begin_cycle();
+  EXPECT_THROW(alu.issue("x", 0, 3), twiddc::SimulationError);
+}
+
+TEST(AluTest, RejectsTwoPartsInOneCycle) {
+  Alu alu(3, 16);
+  alu.begin_cycle();
+  alu.issue("CIC2 cascading", 0, 1);
+  EXPECT_THROW(alu.issue("FIR125", 1, 0), twiddc::SimulationError);
+}
+
+TEST(AluTest, BusyAccountingPerPart) {
+  Alu alu(0, 16);
+  for (int c = 0; c < 10; ++c) {
+    alu.begin_cycle();
+    if (c % 2 == 0) alu.issue("even", 0, 1);
+  }
+  EXPECT_EQ(alu.busy_cycles().at("even"), 5u);
+  EXPECT_EQ(alu.total_cycles(), 10u);
+}
+
+TEST(AluTest, RegistersWrapAtWordWidth) {
+  Alu alu(0, 16);
+  alu.set_reg(0, 40000);  // beyond int16
+  EXPECT_EQ(alu.reg(0), fixed::wrap(40000, 16));
+  EXPECT_THROW(static_cast<void>(alu.reg(4)), twiddc::SimulationError);
+  EXPECT_THROW(alu.set_reg(-1, 0), twiddc::SimulationError);
+}
+
+TEST(AluTest, RejectsSillyWordWidth) {
+  EXPECT_THROW(Alu(0, 4), twiddc::ConfigError);
+  EXPECT_THROW(Alu(0, 64), twiddc::ConfigError);
+}
+
+TEST(MemoryTest, ReadWriteAndBounds) {
+  Memory mem("MEM 1.1", 16);
+  mem.write(0, 123);
+  mem.write(511, -456);
+  EXPECT_EQ(mem.read(0), 123);
+  EXPECT_EQ(mem.read(511), -456);
+  EXPECT_THROW(static_cast<void>(mem.read(512)), twiddc::SimulationError);
+  EXPECT_THROW(mem.write(-1, 0), twiddc::SimulationError);
+  EXPECT_EQ(mem.reads(), 2u);
+  EXPECT_EQ(mem.writes(), 2u);
+}
+
+TEST(MemoryTest, WrapsValuesAtWordWidth) {
+  Memory mem("MEM 1.2", 16);
+  mem.write(3, 0x12345);
+  EXPECT_EQ(mem.read(3), fixed::wrap(0x12345, 16));
+}
+
+TEST(TileTest, FiveAlusTenMemories) {
+  Tile tile(16);
+  EXPECT_NO_THROW(static_cast<void>(tile.alu(4)));
+  EXPECT_NO_THROW(static_cast<void>(tile.memory(4, 1)));
+  EXPECT_THROW(static_cast<void>(tile.memory(5, 0)), twiddc::SimulationError);
+  EXPECT_THROW(static_cast<void>(tile.memory(0, 2)), twiddc::SimulationError);
+  EXPECT_EQ(tile.memory(2, 1).name(), "MEM 3.2");
+}
+
+TEST(TileTest, GanttRecordsFirstNCycles) {
+  Tile tile(16);
+  tile.set_trace_depth(3);
+  for (int c = 0; c < 5; ++c) {
+    tile.begin_cycle();
+    tile.alu(0).issue("work", 0, 1);
+    tile.end_cycle();
+  }
+  ASSERT_EQ(tile.gantt().size(), 3u);
+  EXPECT_EQ(tile.gantt()[0].cycle, 0u);
+  EXPECT_EQ(tile.gantt()[2].alu_part[0], "work");
+  EXPECT_EQ(tile.gantt()[2].alu_part[1], "");
+  EXPECT_EQ(tile.cycle(), 5u);
+}
+
+TEST(TileTest, UtilizationAggregation) {
+  Tile tile(16);
+  for (int c = 0; c < 100; ++c) {
+    tile.begin_cycle();
+    tile.alu(0).issue("full", 1, 2);
+    tile.alu(1).issue("full", 1, 2);
+    if (c % 4 == 0) tile.alu(3).issue("quarter", 0, 1);
+    tile.end_cycle();
+  }
+  const auto rows = tile.utilization();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    if (r.part == "full") {
+      EXPECT_EQ(r.alus, 2);
+      EXPECT_NEAR(r.busy_percent, 100.0, 1e-9);
+    } else {
+      EXPECT_EQ(r.part, "quarter");
+      EXPECT_EQ(r.alus, 1);
+      EXPECT_NEAR(r.busy_percent, 25.0, 1e-9);
+    }
+  }
+}
+
+TEST(TileTest, PowerConstant) {
+  // 0.6 mW/MHz at 64.512 MHz -> 38.7 mW (Table 7's Montium row).
+  EXPECT_NEAR(Tile::power_mw(64.512e6), 38.7, 0.01);
+  EXPECT_NEAR(Tile::kCoreAreaMm2, 2.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace twiddc::montium
