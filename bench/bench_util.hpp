@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/table.hpp"
 
@@ -29,6 +32,87 @@ inline std::string vs(double ours, double paper, int digits = 2) {
   const double dev = paper != 0.0 ? 100.0 * (ours - paper) / paper : 0.0;
   return TextTable::num(ours, digits) + " (paper " + TextTable::num(paper, digits) +
          ", " + (dev >= 0 ? "+" : "") + TextTable::num(dev, 1) + "%)";
+}
+
+// ------------------------------------------------- throughput measurement
+//
+// Wall-clock sample-throughput helpers for the block-vs-per-sample hot-path
+// comparisons (bench/throughput_pipeline.cpp and future perf-trajectory
+// benches).
+
+/// One throughput measurement: `samples` input samples in `seconds`.
+struct Throughput {
+  std::size_t samples = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double msamples_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(samples) / seconds / 1e6 : 0.0;
+  }
+};
+
+/// Runs `body` (which must consume `samples_per_rep` input samples per call)
+/// repeatedly until at least `min_seconds` of wall clock have elapsed, after
+/// one untimed warm-up call.
+template <typename F>
+Throughput measure_throughput(std::size_t samples_per_rep, F&& body,
+                              double min_seconds = 0.3) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up: page in buffers, settle the branch predictors
+  Throughput t;
+  const auto start = clock::now();
+  do {
+    body();
+    t.samples += samples_per_rep;
+    t.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  } while (t.seconds < min_seconds);
+  return t;
+}
+
+/// Minimal JSON object writer for machine-readable bench output (one object
+/// per line; no escaping -- keys/values here are identifiers and numbers).
+class JsonLine {
+ public:
+  JsonLine& field(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");
+  }
+  JsonLine& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonLine& field(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  [[nodiscard]] std::string str() const {
+    std::string s = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ", ";
+      s += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return s + "}";
+  }
+  void print() const { std::printf("%s\n", str().c_str()); }
+
+ private:
+  JsonLine& raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Formats a block-vs-push throughput pair as one JSON line.
+inline JsonLine throughput_json(const std::string& bench, const std::string& chain,
+                                const Throughput& push, const Throughput& block,
+                                std::size_t block_samples) {
+  JsonLine j;
+  j.field("bench", bench)
+      .field("chain", chain)
+      .field("push_msamples_per_s", push.msamples_per_s())
+      .field("block_msamples_per_s", block.msamples_per_s())
+      .field("speedup_block_over_push",
+             block.msamples_per_s() / push.msamples_per_s())
+      .field("block_samples", block_samples);
+  return j;
 }
 
 /// Standard main body: print the report, then run registered benchmarks.

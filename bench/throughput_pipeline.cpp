@@ -1,0 +1,92 @@
+// Pipeline hot-path throughput: block-based process_block() vs per-sample
+// push() on the paper's Figure 1 chain (and the GC4016 Figure 4 channel),
+// emitted as machine-readable JSON lines so successive PRs can track the
+// performance trajectory.
+//
+// Output format (one JSON object per line, prefixed section aside):
+//   {"bench": "throughput_pipeline", "chain": "figure1:wide16",
+//    "push_msamples_per_s": ..., "block_msamples_per_s": ...,
+//    "speedup_block_over_push": ..., "block_samples": ...}
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/asic/gc4016.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/float_ddc.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace {
+
+using twiddc::benchutil::JsonLine;
+using twiddc::benchutil::Throughput;
+using twiddc::benchutil::measure_throughput;
+using twiddc::core::DatapathSpec;
+using twiddc::core::DdcConfig;
+using twiddc::core::FixedDdc;
+using twiddc::core::IqSample;
+
+constexpr std::size_t kBlock = 2688 * 16;  // 16 output frames per rep
+
+void bench_figure1(const DatapathSpec& spec) {
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto input = twiddc::dsp::quantize_signal(
+      twiddc::dsp::make_tone(10.0025e6, cfg.input_rate_hz, kBlock, 0.7), 12);
+
+  FixedDdc by_push(cfg, spec);
+  std::vector<IqSample> sink;
+  const Throughput push = measure_throughput(input.size(), [&] {
+    sink.clear();
+    for (std::int64_t x : input) {
+      if (auto y = by_push.push(x)) sink.push_back(*y);
+    }
+  });
+
+  FixedDdc by_block(cfg, spec);
+  const Throughput block = measure_throughput(input.size(), [&] {
+    sink.clear();
+    by_block.process_block(input, sink);
+  });
+
+  twiddc::benchutil::throughput_json("throughput_pipeline", "figure1:" + spec.name,
+                                     push, block, input.size())
+      .print();
+}
+
+void bench_gc4016() {
+  const auto gcfg = twiddc::asic::Gc4016Config::gsm_example();
+  twiddc::asic::Gc4016 push_chip(gcfg);
+  twiddc::asic::Gc4016 block_chip(gcfg);
+  const std::size_t n = static_cast<std::size_t>(
+      push_chip.channel(0).total_decimation()) * 64;
+  const auto input = twiddc::dsp::quantize_signal(
+      twiddc::dsp::make_tone(15.0025e6, gcfg.input_rate_hz, n, 0.7), gcfg.input_bits);
+
+  std::vector<twiddc::asic::Gc4016Output> sink;
+  const Throughput push = measure_throughput(input.size(), [&] {
+    sink.clear();
+    auto& ch = push_chip.channel(0);
+    for (std::int64_t x : input) {
+      if (auto y = ch.push(x)) sink.push_back(*y);
+    }
+  });
+  const Throughput block = measure_throughput(input.size(), [&] {
+    sink.clear();
+    block_chip.channel(0).process_block(input, sink);
+  });
+
+  twiddc::benchutil::throughput_json("throughput_pipeline", "gc4016:figure4", push,
+                                     block, input.size())
+      .print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# throughput_pipeline: block process_block() vs per-sample push()\n");
+  std::printf("# one JSON object per line; speedup_block_over_push is the headline\n");
+  bench_figure1(DatapathSpec::wide16());
+  bench_figure1(DatapathSpec::fpga());
+  bench_gc4016();
+  return 0;
+}

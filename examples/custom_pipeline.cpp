@@ -1,0 +1,73 @@
+// Custom pipeline topology: the stage-pipeline layer makes the DDC dataflow
+// *data*, not code.  This example builds a chain the paper never drew -- a
+// three-stage CIC3 -> CIC2 -> compensating FIR plan for a 10 MHz front end --
+// straight from StageSpecs, runs it through the block hot path, and shows
+// the tone reappearing in baseband.
+//
+//   $ ./custom_pipeline
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/analysis.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/fixed/qformat.hpp"
+
+int main() {
+  using namespace twiddc;
+
+  // 1. Describe the topology as data.  Total decimation 10 * 5 * 2 = 100:
+  //    10 MHz in, 100 kHz complex out.
+  core::ChainPlan plan;
+  plan.name = "example:cic3-cic2-fir";
+  plan.input_rate_hz = 10.0e6;
+  plan.front_end.nco_freq_hz = 2.5e6;
+  plan.front_end.input_bits = 12;
+  plan.front_end.nco_amplitude_bits = 16;
+  plan.front_end.mixer_out_bits = 16;
+
+  core::StageSpec cic3 = core::StageSpec::cic("cic3", 3, 10, 16);
+  cic3.post_shift = fixed::cic_bit_growth(3, 10);  // normalise the CIC gain
+  cic3.narrow_bits = 16;                           // back to the 16-bit bus
+
+  core::StageSpec cic2 = core::StageSpec::cic("cic2", 2, 5, 16);
+  cic2.post_shift = fixed::cic_bit_growth(2, 5);
+  cic2.narrow_bits = 16;
+
+  // A small lowpass designed on the spot, quantised to Q1.13.
+  const auto ideal = dsp::design_lowpass(31, 0.83 * 0.25, dsp::Window::kBlackman);
+  const auto q = dsp::quantize_coefficients(ideal, 13);
+  core::StageSpec fir = core::StageSpec::polyphase_fir(
+      "fir31", std::vector<std::int64_t>(q.begin(), q.end()), ideal, 2);
+  fir.post_shift = 13;  // drop the coefficient fraction, keep 16-bit output
+  fir.narrow_bits = 16;
+
+  plan.stages = {cic3, cic2, fir};
+  plan.validate();
+
+  // 2. Build the pipeline and feed it 50 ms of antenna signal in one block.
+  core::DdcPipeline ddc(plan);
+  const double tone_offset = 20.0e3;  // 20 kHz above the carrier
+  const std::size_t n = static_cast<std::size_t>(plan.input_rate_hz * 50e-3);
+  const auto input = dsp::quantize_signal(
+      dsp::make_tone(plan.front_end.nco_freq_hz + tone_offset, plan.input_rate_hz,
+                     n, 0.8),
+      12);
+  const auto out = ddc.process(input);
+
+  std::printf("plan '%s': %zu stages, total decimation %d\n", plan.name.c_str(),
+              plan.stages.size(), plan.total_decimation());
+  std::printf("pushed %zu samples at %.1f MHz, received %zu I/Q samples at %.0f kHz\n",
+              input.size(), plan.input_rate_hz / 1e6, out.size(),
+              plan.output_rate_hz() / 1e3);
+
+  // 3. The tone reappears at +20 kHz in the complex baseband.
+  auto iq = core::to_complex(out, 1.0 / 32768.0);
+  iq.erase(iq.begin(), iq.begin() + 16);  // drop the filter warm-up
+  double power = 0.0;
+  for (const auto& v : iq) power += std::norm(v);
+  std::printf("mean output power: %.4f of full scale\n",
+              power / static_cast<double>(iq.size()));
+  return 0;
+}

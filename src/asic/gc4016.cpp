@@ -1,6 +1,7 @@
 #include "src/asic/gc4016.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "src/common/error.hpp"
@@ -75,46 +76,24 @@ Gc4016Config Gc4016Config::gsm_example() {
   return cfg;
 }
 
-Gc4016Channel::Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz,
-                             int input_bits)
-    : cfg_(config),
-      nco_([&] {
-        dsp::Nco::Config nc;
-        nc.freq_hz = config.nco_freq_hz;
-        nc.sample_rate_hz = input_rate_hz;
-        nc.amplitude_bits = kNcoBits;
-        nc.table_bits = 10;
-        return dsp::Nco(nc);
-      }()),
-      mixer_([&] {
-        dsp::ComplexMixer::Config mc;
-        mc.input_bits = input_bits;
-        mc.nco_amplitude_bits = kNcoBits;
-        mc.output_bits = kInternalBits;
-        return dsp::ComplexMixer(mc);
-      }()) {
-  // CFIR: the droop compensator for the CIC5 that runs at cic_decimation
-  // times this filter's rate.  Passband up to 80% of the post-CFIR Nyquist.
-  const auto cfir_ideal = dsp::design_cic_compensator(
-      Gc4016Limits::kCfirTaps, 0.8 * 0.25, 5, config.cic_decimation);
-  cfir_taps_ = widen(dsp::quantize_coefficients(cfir_ideal, kCoeffFrac));
-  if (config.pfir_coeffs.empty()) {
-    const auto pfir_ideal =
-        dsp::design_lowpass(Gc4016Limits::kPfirTaps, 0.8 * 0.25, dsp::Window::kBlackman);
-    pfir_taps_ = widen(dsp::quantize_coefficients(pfir_ideal, kCoeffFrac));
-  } else {
-    pfir_taps_ = widen(config.pfir_coeffs);
-  }
+core::ChainPlan Gc4016Channel::figure4_plan(const Gc4016ChannelConfig& config,
+                                            double input_rate_hz, int input_bits) {
+  core::ChainPlan plan;
+  plan.name = "gc4016:figure4";
+  plan.input_rate_hz = input_rate_hz;
+  plan.front_end.nco_freq_hz = config.nco_freq_hz;
+  plan.front_end.nco_amplitude_bits = kNcoBits;
+  plan.front_end.nco_table_bits = 10;
+  plan.front_end.input_bits = input_bits;
+  plan.front_end.mixer_out_bits = kInternalBits;
 
-  dsp::CicDecimator::Config cic_cfg;
-  cic_cfg.stages = 5;
-  cic_cfg.decimation = config.cic_decimation;
-  cic_cfg.input_bits = kInternalBits;
+  core::StageSpec cic =
+      core::StageSpec::cic("cic5", 5, config.cic_decimation, kInternalBits);
   // Large decimations grow past a 63-bit register (5*log2(4096) = 60 bits of
   // growth on a 16-bit input).  Real silicon prunes LSBs through the
   // integrator cascade (Hogenauer); distribute the required discard over the
   // stages, weighting the later stages (whose noise is least amplified).
-  const int growth = fixed::cic_bit_growth(cic_cfg.stages, cic_cfg.decimation);
+  const int growth = fixed::cic_bit_growth(5, config.cic_decimation);
   int prune_total = std::max(0, kInternalBits + growth - 63);
   if (prune_total > 0) {
     std::vector<int> shifts(5, 0);
@@ -122,62 +101,72 @@ Gc4016Channel::Gc4016Channel(const Gc4016ChannelConfig& config, double input_rat
       ++shifts[static_cast<std::size_t>(s)];
       --prune_total;
     }
-    cic_cfg.prune_shifts = shifts;
+    cic.prune_shifts = shifts;
   }
   int pruned_bits = 0;
-  for (int s : cic_cfg.prune_shifts) pruned_bits += s;
-  cic_cfg.register_bits = kInternalBits + growth - pruned_bits;
-  for (int r = 0; r < 2; ++r) {
-    rails_.push_back(Rail{dsp::CicDecimator(cic_cfg),
-                          dsp::FirDecimator<std::int64_t>(cfir_taps_, 2),
-                          dsp::FirDecimator<std::int64_t>(pfir_taps_, 2)});
+  for (int s : cic.prune_shifts) pruned_bits += s;
+  cic.register_bits = kInternalBits + growth - pruned_bits;
+  cic.post_shift = growth - pruned_bits;
+  cic.narrow_bits = kInternalBits;
+  cic.rounding = fixed::Rounding::kNearest;
+  cic.post_scale = std::ldexp(1.0, -cic.post_shift);
+
+  // CFIR: the droop compensator for the CIC5 that runs at cic_decimation
+  // times this filter's rate.  Passband up to 80% of the post-CFIR Nyquist.
+  const auto cfir_ideal = dsp::design_cic_compensator(
+      Gc4016Limits::kCfirTaps, 0.8 * 0.25, 5, config.cic_decimation);
+  core::StageSpec cfir = core::StageSpec::fir(
+      "cfir", widen(dsp::quantize_coefficients(cfir_ideal, kCoeffFrac)), cfir_ideal, 2);
+  cfir.post_shift = kCoeffFrac;
+  cfir.narrow_bits = kInternalBits;
+  cfir.rounding = fixed::Rounding::kNearest;
+
+  std::vector<std::int64_t> pfir_quantised;
+  std::vector<double> pfir_float;
+  if (config.pfir_coeffs.empty()) {
+    pfir_float =
+        dsp::design_lowpass(Gc4016Limits::kPfirTaps, 0.8 * 0.25, dsp::Window::kBlackman);
+    pfir_quantised = widen(dsp::quantize_coefficients(pfir_float, kCoeffFrac));
+  } else {
+    pfir_quantised = widen(config.pfir_coeffs);
+    // Float-rail equivalent of the user's Q1.15 coefficients.
+    pfir_float.reserve(pfir_quantised.size());
+    for (std::int64_t c : pfir_quantised)
+      pfir_float.push_back(std::ldexp(static_cast<double>(c), -kCoeffFrac));
   }
-  cic_shift_ = growth - pruned_bits;
+  core::StageSpec pfir =
+      core::StageSpec::fir("pfir", std::move(pfir_quantised), std::move(pfir_float), 2);
+  // Final requantisation to the configured output width.
+  pfir.post_shift = kCoeffFrac + (kInternalBits - config.output_bits);
+  pfir.narrow_bits = config.output_bits;
+  pfir.rounding = fixed::Rounding::kNearest;
+
+  plan.stages = {std::move(cic), std::move(cfir), std::move(pfir)};
+  return plan;
 }
 
-void Gc4016Channel::reset() {
-  nco_.reset();
-  for (auto& rail : rails_) {
-    rail.cic.reset();
-    rail.cfir.reset();
-    rail.pfir.reset();
-  }
-}
+Gc4016Channel::Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz,
+                             int input_bits)
+    : cfg_(config), pipeline_(figure4_plan(config, input_rate_hz, input_bits)) {}
+
+void Gc4016Channel::reset() { pipeline_.reset(); }
 
 double Gc4016Channel::output_scale() const {
   return 1.0 / static_cast<double>(std::int64_t{1} << (cfg_.output_bits - 1));
 }
 
 std::optional<Gc4016Output> Gc4016Channel::push(std::int64_t x) {
-  const dsp::SinCos sc = nco_.next();
-  const dsp::Iq mixed = mixer_.mix(x, sc.cos, sc.sin);
+  const auto y = pipeline_.push(x);
+  if (!y) return std::nullopt;
+  return Gc4016Output{channel_index_, y->i, y->q};
+}
 
-  std::array<std::optional<std::int64_t>, 2> outs{};
-  const std::array<std::int64_t, 2> ins{mixed.i, mixed.q};
-  for (int r = 0; r < 2; ++r) {
-    auto& rail = rails_[static_cast<std::size_t>(r)];
-    auto cic_out = rail.cic.push(ins[static_cast<std::size_t>(r)]);
-    if (!cic_out) continue;
-    const std::int64_t v = fixed::narrow(
-        fixed::shift_right(*cic_out, cic_shift_, fixed::Rounding::kNearest),
-        kInternalBits, fixed::Overflow::kSaturate);
-    auto cfir_out = rail.cfir.push(v);
-    if (!cfir_out) continue;
-    const std::int64_t w = fixed::narrow(
-        fixed::shift_right(*cfir_out, kCoeffFrac, fixed::Rounding::kNearest),
-        kInternalBits, fixed::Overflow::kSaturate);
-    auto pfir_out = rail.pfir.push(w);
-    if (!pfir_out) continue;
-    // Final requantisation to the configured output width.
-    const int out_shift = kCoeffFrac + (kInternalBits - cfg_.output_bits);
-    outs[static_cast<std::size_t>(r)] = fixed::narrow(
-        fixed::shift_right(*pfir_out, out_shift, fixed::Rounding::kNearest),
-        cfg_.output_bits, fixed::Overflow::kSaturate);
-  }
-  if (outs[0].has_value() != outs[1].has_value())
-    throw SimulationError("Gc4016Channel: I/Q rails lost rate lock");
-  if (!outs[0]) return std::nullopt;
-  return Gc4016Output{channel_index_, *outs[0], *outs[1]};
+void Gc4016Channel::process_block(std::span<const std::int64_t> in,
+                                  std::vector<Gc4016Output>& out) {
+  scratch_.clear();
+  pipeline_.process_block(in, scratch_);
+  out.reserve(out.size() + scratch_.size());
+  for (const auto& y : scratch_) out.push_back(Gc4016Output{channel_index_, y.i, y.q});
 }
 
 Gc4016::Gc4016(const Gc4016Config& config) : config_(config) {

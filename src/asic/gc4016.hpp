@@ -13,15 +13,12 @@
 // 0.25 um.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
-#include "src/dsp/cic.hpp"
-#include "src/dsp/fir.hpp"
-#include "src/dsp/mixer.hpp"
-#include "src/dsp/nco.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/energy/technology.hpp"
 
 namespace twiddc::asic {
@@ -78,35 +75,39 @@ struct Gc4016Output {
   std::int64_t q = 0;
 };
 
-/// One channel's datapath.
+/// One channel's datapath.  Since the stage-pipeline refactor this is a thin
+/// shim over core::DdcPipeline: the Figure 4 topology (CIC5 -> CFIR -> PFIR)
+/// is expressed as a ChainPlan and the shared pipeline does the processing.
 class Gc4016Channel {
  public:
   Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz, int input_bits);
 
   std::optional<Gc4016Output> push(std::int64_t x);
+  /// Block hot path: bit-exact with a push() loop.
+  void process_block(std::span<const std::int64_t> in, std::vector<Gc4016Output>& out);
   void reset();
 
   [[nodiscard]] int total_decimation() const { return cfg_.cic_decimation * 4; }
   [[nodiscard]] double output_rate_hz(double input_rate_hz) const {
     return input_rate_hz / total_decimation();
   }
-  [[nodiscard]] const std::vector<std::int64_t>& cfir_taps() const { return cfir_taps_; }
-  [[nodiscard]] const std::vector<std::int64_t>& pfir_taps() const { return pfir_taps_; }
+  /// The underlying pipeline (shared-architecture access point).
+  [[nodiscard]] core::DdcPipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const std::vector<std::int64_t>& cfir_taps() const {
+    return pipeline_.plan().stages[1].taps;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& pfir_taps() const {
+    return pipeline_.plan().stages[2].taps;
+  }
   [[nodiscard]] double output_scale() const;
 
  private:
+  static core::ChainPlan figure4_plan(const Gc4016ChannelConfig& config,
+                                      double input_rate_hz, int input_bits);
+
   Gc4016ChannelConfig cfg_;
-  dsp::Nco nco_;
-  dsp::ComplexMixer mixer_;
-  std::vector<std::int64_t> cfir_taps_;
-  std::vector<std::int64_t> pfir_taps_;
-  struct Rail {
-    dsp::CicDecimator cic;
-    dsp::FirDecimator<std::int64_t> cfir;
-    dsp::FirDecimator<std::int64_t> pfir;
-  };
-  std::vector<Rail> rails_;
-  int cic_shift_ = 0;
+  core::DdcPipeline pipeline_;
+  std::vector<core::IqSample> scratch_;
   int channel_index_ = 0;
   friend class Gc4016;
 };

@@ -1,155 +1,72 @@
 #include "src/core/fixed_ddc.hpp"
 
-#include <string>
+#include <utility>
 
 #include "src/common/error.hpp"
-#include "src/dsp/fir_design.hpp"
 
 namespace twiddc::core {
-namespace {
-
-dsp::CicDecimator make_cic(int stages, int decimation, int input_bits) {
-  dsp::CicDecimator::Config c;
-  c.stages = stages;
-  c.decimation = decimation;
-  c.input_bits = input_bits;
-  return dsp::CicDecimator(c);
-}
-
-std::vector<std::int64_t> widen(const std::vector<std::int32_t>& v) {
-  return {v.begin(), v.end()};
-}
-
-}  // namespace
 
 FixedDdc::FixedDdc(const DdcConfig& config, const DatapathSpec& spec)
-    : config_(config),
-      spec_(spec),
-      nco_([&] {
-        config.validate();
-        spec.validate(config.fir_taps);
-        dsp::Nco::Config nc;
-        nc.freq_hz = config.nco_freq_hz;
-        nc.sample_rate_hz = config.input_rate_hz;
-        nc.amplitude_bits = spec.nco_amplitude_bits;
-        nc.table_bits = spec.nco_table_bits;
-        nc.mode = spec.nco_mode;
-        return dsp::Nco(nc);
-      }()),
-      mixer_([&] {
-        dsp::ComplexMixer::Config mc;
-        mc.input_bits = spec.input_bits;
-        mc.nco_amplitude_bits = spec.nco_amplitude_bits;
-        mc.output_bits = spec.mixer_out_bits;
-        mc.rounding = spec.rounding;
-        return dsp::ComplexMixer(mc);
-      }()) {
-  // Coefficients: the reference 125-tap design scaled to the FIR stage's
-  // actual rate plan (cutoff just below the output Nyquist).
-  const double stage_rate = config_.cic5_output_rate_hz();
-  const double cutoff = 0.83 * (config_.output_rate_hz() / 2.0) / stage_rate;
-  fir_ideal_ = dsp::design_lowpass(config_.fir_taps, cutoff, dsp::Window::kBlackman);
-  fir_taps_ = widen(dsp::quantize_coefficients(fir_ideal_, spec_.fir_coeff_frac_bits));
+    : config_(config), spec_(spec), pipeline_(ChainPlan::figure1(config, spec)) {}
 
-  for (int r = 0; r < 2; ++r) {
-    rails_.push_back(Rail{
-        make_cic(config_.cic2_stages, config_.cic2_decimation, spec_.mixer_out_bits),
-        make_cic(config_.cic5_stages, config_.cic5_decimation, spec_.interstage_bits),
-        dsp::PolyphaseFirDecimator<std::int64_t>(fir_taps_, config_.fir_decimation),
-        std::nullopt});
+FixedDdc::FixedDdc(FixedDdc&& other) noexcept
+    : config_(std::move(other.config_)),
+      spec_(std::move(other.spec_)),
+      pipeline_(std::move(other.pipeline_)),
+      tracing_(other.tracing_),
+      trace_(std::move(other.trace_)) {
+  set_tracing(tracing_);  // re-point the taps at this object's trace_
+}
+
+FixedDdc& FixedDdc::operator=(FixedDdc&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    spec_ = std::move(other.spec_);
+    pipeline_ = std::move(other.pipeline_);
+    tracing_ = other.tracing_;
+    trace_ = std::move(other.trace_);
+    set_tracing(tracing_);
   }
-  cic2_shift_ = rails_[0].cic2.growth_bits();
-  cic5_shift_ = rails_[0].cic5.growth_bits();
-  fir_shift_ = spec_.fir_coeff_frac_bits + (spec_.interstage_bits - spec_.output_bits);
-  if (fir_shift_ < 0)
-    throw ConfigError("DatapathSpec '" + spec_.name +
-                      "': output_bits wider than interstage_bits is not supported");
+  return *this;
 }
 
 void FixedDdc::reset() {
-  nco_.reset();
-  for (auto& rail : rails_) {
-    rail.cic2.reset();
-    rail.cic5.reset();
-    rail.fir.reset();
-    rail.last_out.reset();
-  }
+  pipeline_.reset();
   trace_ = StageTrace{};
-  samples_in_ = 0;
-  samples_out_ = 0;
 }
 
-void FixedDdc::set_tracing(bool enabled) { tracing_ = enabled; }
+void FixedDdc::set_tracing(bool enabled) {
+  tracing_ = enabled;
+  auto& rail = pipeline_.rail(0);
+  if (enabled) {
+    pipeline_.set_mixer_tap(&trace_.mixer_i);
+    rail.set_tap(0, &trace_.cic2_i);
+    rail.set_tap(1, &trace_.cic5_i);
+    rail.set_tap(2, &trace_.fir_i);
+  } else {
+    pipeline_.set_mixer_tap(nullptr);
+    rail.clear_taps();
+  }
+}
 
 double FixedDdc::output_scale() const {
   return 1.0 / static_cast<double>(std::int64_t{1} << (spec_.output_bits - 1));
 }
 
 void FixedDdc::set_nco_frequency(double freq_hz) {
-  if (freq_hz < 0.0 || freq_hz >= config_.input_rate_hz / 2.0)
-    throw ConfigError("set_nco_frequency: frequency out of range");
+  pipeline_.set_nco_frequency(freq_hz);
   config_.nco_freq_hz = freq_hz;
-  nco_.set_frequency(freq_hz);
 }
 
-std::optional<std::int64_t> FixedDdc::advance_rail(Rail& rail, std::int64_t mixed,
-                                                   bool trace_this_rail) {
-  if (trace_this_rail) trace_.mixer_i.push_back(mixed);
+std::optional<IqSample> FixedDdc::push(std::int64_t x) { return pipeline_.push(x); }
 
-  auto cic2_out = rail.cic2.push(mixed);
-  if (!cic2_out) return std::nullopt;
-  // Normalise the CIC gain by its bit growth and narrow to the inter-stage
-  // bus (saturating; a correctly sized CIC cannot exceed the bound, the
-  // saturation guards future spec changes).
-  const std::int64_t v2 = fixed::narrow(
-      fixed::shift_right(*cic2_out, cic2_shift_, spec_.rounding),
-      spec_.interstage_bits, fixed::Overflow::kSaturate);
-  if (trace_this_rail) trace_.cic2_i.push_back(v2);
-
-  auto cic5_out = rail.cic5.push(v2);
-  if (!cic5_out) return std::nullopt;
-  const std::int64_t v5 = fixed::narrow(
-      fixed::shift_right(*cic5_out, cic5_shift_, spec_.rounding),
-      spec_.interstage_bits, fixed::Overflow::kSaturate);
-  if (trace_this_rail) trace_.cic5_i.push_back(v5);
-
-  auto acc = rail.fir.push(v5);
-  if (!acc) return std::nullopt;
-  // The FIR accumulator holds interstage+coeff_frac fractional bits; shift
-  // back to the output format and saturate (the paper's "11 LSBs + sign,
-  // with saturation").
-  const std::int64_t y = fixed::narrow(
-      fixed::shift_right(*acc, fir_shift_, spec_.rounding), spec_.output_bits,
-      fixed::Overflow::kSaturate);
-  if (trace_this_rail) trace_.fir_i.push_back(y);
-  return y;
-}
-
-std::optional<IqSample> FixedDdc::push(std::int64_t x) {
-  if (!fixed::fits_bits(x, spec_.input_bits))
-    throw SimulationError("FixedDdc::push: input " + std::to_string(x) +
-                          " does not fit " + std::to_string(spec_.input_bits) + " bits");
-  ++samples_in_;
-  const dsp::SinCos sc = nco_.next();
-  const dsp::Iq mixed = mixer_.mix(x, sc.cos, sc.sin);
-
-  const auto i_out = advance_rail(rails_[0], mixed.i, tracing_);
-  const auto q_out = advance_rail(rails_[1], mixed.q, false);
-  // The two rails are rate-locked: they decimate identically.
-  if (i_out.has_value() != q_out.has_value())
-    throw SimulationError("FixedDdc: I/Q rails lost rate lock");
-  if (!i_out) return std::nullopt;
-  ++samples_out_;
-  return IqSample{*i_out, *q_out};
+void FixedDdc::process_block(std::span<const std::int64_t> in,
+                             std::vector<IqSample>& out) {
+  pipeline_.process_block(in, out);
 }
 
 std::vector<IqSample> FixedDdc::process(const std::vector<std::int64_t>& in) {
-  std::vector<IqSample> out;
-  out.reserve(in.size() / static_cast<std::size_t>(config_.total_decimation()) + 1);
-  for (std::int64_t x : in) {
-    if (auto y = push(x)) out.push_back(*y);
-  }
-  return out;
+  return pipeline_.process(in);
 }
 
 }  // namespace twiddc::core

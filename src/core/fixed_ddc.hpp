@@ -9,27 +9,24 @@
 // bit-exact functional twin of the FPGA RTL model (fpga()), the Montium
 // mapping and the GPP program (wide16()).  One output I/Q pair is produced
 // every total_decimation() == 2688 input samples.
+//
+// Since the stage-pipeline refactor this class is a thin configuration shim:
+// it derives a ChainPlan (ChainPlan::figure1) from its DdcConfig +
+// DatapathSpec and delegates all processing to a shared DdcPipeline.  The
+// bit-exactness with the pre-pipeline implementation is pinned by
+// tests/core/golden_fixed_ddc.inc.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
-#include "src/dsp/cic.hpp"
-#include "src/dsp/fir.hpp"
-#include "src/dsp/mixer.hpp"
-#include "src/dsp/nco.hpp"
+#include "src/core/pipeline.hpp"
 
 namespace twiddc::core {
-
-/// One complex output sample (raw integers in spec.output_bits).
-struct IqSample {
-  std::int64_t i = 0;
-  std::int64_t q = 0;
-  friend bool operator==(const IqSample&, const IqSample&) = default;
-};
 
 /// Optional per-stage observation points, filled when tracing is enabled;
 /// used by the Figure 1 bench to plot the spectrum after every stage.
@@ -44,9 +41,20 @@ class FixedDdc {
  public:
   FixedDdc(const DdcConfig& config, const DatapathSpec& spec);
 
+  // Moves must re-point the pipeline's observation taps at the new object's
+  // trace_ member; copying is not supported (the pipeline owns unique
+  // stages).
+  FixedDdc(FixedDdc&& other) noexcept;
+  FixedDdc& operator=(FixedDdc&& other) noexcept;
+  FixedDdc(const FixedDdc&) = delete;
+  FixedDdc& operator=(const FixedDdc&) = delete;
+
   /// Pushes one raw input sample (must fit spec.input_bits; checked) and
   /// returns an output every total_decimation() inputs.
   std::optional<IqSample> push(std::int64_t x);
+
+  /// Block hot path: bit-exact with a push() loop, substantially faster.
+  void process_block(std::span<const std::int64_t> in, std::vector<IqSample>& out);
 
   /// Feeds a whole block; returns the produced outputs.
   std::vector<IqSample> process(const std::vector<std::int64_t>& in);
@@ -59,12 +67,19 @@ class FixedDdc {
 
   [[nodiscard]] const DdcConfig& config() const { return config_; }
   [[nodiscard]] const DatapathSpec& spec() const { return spec_; }
+  /// The underlying pipeline (shared-architecture access point).
+  [[nodiscard]] DdcPipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const DdcPipeline& pipeline() const { return pipeline_; }
   /// The quantised FIR coefficients in Q1.<fir_coeff_frac_bits>.
-  [[nodiscard]] const std::vector<std::int64_t>& fir_taps() const { return fir_taps_; }
+  [[nodiscard]] const std::vector<std::int64_t>& fir_taps() const {
+    return pipeline_.plan().stages.back().taps;
+  }
   /// The ideal (double) coefficients the quantised taps were derived from.
-  [[nodiscard]] const std::vector<double>& fir_taps_ideal() const { return fir_ideal_; }
-  [[nodiscard]] std::uint64_t samples_in() const { return samples_in_; }
-  [[nodiscard]] std::uint64_t samples_out() const { return samples_out_; }
+  [[nodiscard]] const std::vector<double>& fir_taps_ideal() const {
+    return pipeline_.plan().stages.back().taps_float;
+  }
+  [[nodiscard]] std::uint64_t samples_in() const { return pipeline_.samples_in(); }
+  [[nodiscard]] std::uint64_t samples_out() const { return pipeline_.samples_out(); }
   /// Multiplies full-rate raw output values into normalised doubles
   /// (divide by 2^(output_bits-1)).
   [[nodiscard]] double output_scale() const;
@@ -73,31 +88,11 @@ class FixedDdc {
   void set_nco_frequency(double freq_hz);
 
  private:
-  struct Rail {
-    dsp::CicDecimator cic2;
-    dsp::CicDecimator cic5;
-    dsp::PolyphaseFirDecimator<std::int64_t> fir;
-    std::optional<std::int64_t> last_out;
-  };
-
-  /// Runs one mixed sample through a rail; returns FIR output when produced.
-  std::optional<std::int64_t> advance_rail(Rail& rail, std::int64_t mixed,
-                                           bool trace_this_rail);
-
   DdcConfig config_;
   DatapathSpec spec_;
-  dsp::Nco nco_;
-  dsp::ComplexMixer mixer_;
-  std::vector<std::int64_t> fir_taps_;
-  std::vector<double> fir_ideal_;
-  std::vector<Rail> rails_;  // [0]=I, [1]=Q
-  int cic2_shift_ = 0;
-  int cic5_shift_ = 0;
-  int fir_shift_ = 0;
+  DdcPipeline pipeline_;
   bool tracing_ = false;
   StageTrace trace_;
-  std::uint64_t samples_in_ = 0;
-  std::uint64_t samples_out_ = 0;
 };
 
 }  // namespace twiddc::core

@@ -5,16 +5,21 @@
 // and uses exact sin/cos and unquantised FIR coefficients.  Comparing a
 // FixedDdc output stream against this chain isolates the architecture's
 // quantisation noise -- the per-datapath SNR reported in EXPERIMENTS.md.
+//
+// Since the stage-pipeline refactor the rails are float StageChains built
+// from the same ChainPlan::figure1 the fixed chain uses (make_float_rail
+// swaps each CIC for a moving-average cascade and each shift for a
+// power-of-two scale); only the exact-sin/cos front end stays bespoke.
 #pragma once
 
 #include <complex>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/ddc_config.hpp"
-#include "src/dsp/fir.hpp"
-#include "src/dsp/moving_average.hpp"
+#include "src/core/pipeline.hpp"
 
 namespace twiddc::core {
 
@@ -26,29 +31,31 @@ class FloatDdc {
   /// total_decimation() inputs.
   std::optional<std::complex<double>> push(double x);
 
+  /// Block hot path: bit-exact with a push() loop.
+  void process_block(std::span<const double> in,
+                     std::vector<std::complex<double>>& out);
+
   std::vector<std::complex<double>> process(const std::vector<double>& in);
 
   void reset();
+
+  /// Retunes the NCO without resetting phase (parity with
+  /// FixedDdc::set_nco_frequency; uses the same quantised tuning word).
+  void set_nco_frequency(double freq_hz);
 
   [[nodiscard]] const DdcConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<double>& fir_taps() const { return fir_taps_; }
 
  private:
-  struct Rail {
-    dsp::MovingAverageCascade<double> cic2;
-    dsp::MovingAverageCascade<double> cic5;
-    dsp::PolyphaseFirDecimator<double> fir;
-  };
-
-  std::optional<double> advance_rail(Rail& rail, double mixed);
-
   DdcConfig config_;
   std::vector<double> fir_taps_;
-  std::vector<Rail> rails_;
+  std::vector<StageChain<double>> rails_;  // [0]=I, [1]=Q
+  std::vector<double> mix_i_;
+  std::vector<double> mix_q_;
+  std::vector<double> out_i_;
+  std::vector<double> out_q_;
   double phase_ = 0.0;
   double phase_step_ = 0.0;
-  double cic2_norm_ = 1.0;
-  double cic5_norm_ = 1.0;
   std::uint64_t samples_in_ = 0;
 };
 

@@ -88,12 +88,58 @@ std::optional<std::int64_t> CicDecimator::push(std::int64_t x) {
   return v;
 }
 
+void CicDecimator::process_block(std::span<const std::int64_t> in,
+                                 std::vector<std::int64_t>& out) {
+  const int stages = config_.stages;
+  const int decimation = config_.decimation;
+  out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation) + 1);
+
+  // Hoist the integrator state into a stack array so the inner loop keeps it
+  // in registers, and wrap with a shift pair (sign extension by left/right
+  // shift equals fixed::wrap for register_bits_ <= 63; the addition is done
+  // in uint64 so it is defined for any operand pair).
+  std::int64_t acc[8];
+  for (int s = 0; s < stages; ++s) acc[s] = integrators_[static_cast<std::size_t>(s)];
+  const int wrap_shift = 64 - register_bits_;
+  const bool prune = !config_.prune_shifts.empty();
+  int count = decim_count_;
+
+  for (std::int64_t x : in) {
+    std::int64_t v = x;
+    for (int s = 0; s < stages; ++s) {
+      if (prune)
+        v = fixed::shift_right(v, config_.prune_shifts[static_cast<std::size_t>(s)],
+                               fixed::Rounding::kTruncate);
+      const std::uint64_t sum =
+          static_cast<std::uint64_t>(acc[s]) + static_cast<std::uint64_t>(v);
+      acc[s] = static_cast<std::int64_t>(sum << wrap_shift) >> wrap_shift;
+      v = acc[s];
+    }
+    if (++count < decimation) continue;
+    count = 0;
+    for (int s = 0; s < stages; ++s) {
+      const std::size_t base = static_cast<std::size_t>(s * config_.diff_delay);
+      const std::int64_t delayed =
+          comb_delays_[base + static_cast<std::size_t>(config_.diff_delay - 1)];
+      for (int d = config_.diff_delay - 1; d > 0; --d)
+        comb_delays_[base + static_cast<std::size_t>(d)] =
+            comb_delays_[base + static_cast<std::size_t>(d - 1)];
+      comb_delays_[base] = v;
+      v = fixed::wrap_sub(v, delayed, register_bits_);
+    }
+    ++samples_out_;
+    out.push_back(v);
+  }
+
+  for (int s = 0; s < stages; ++s) integrators_[static_cast<std::size_t>(s)] = acc[s];
+  decim_count_ = count;
+  samples_in_ += in.size();
+}
+
 std::vector<std::int64_t> CicDecimator::process(const std::vector<std::int64_t>& in) {
   std::vector<std::int64_t> out;
   out.reserve(in.size() / static_cast<std::size_t>(config_.decimation) + 1);
-  for (std::int64_t x : in) {
-    if (auto y = push(x)) out.push_back(*y);
-  }
+  process_block(in, out);
   return out;
 }
 

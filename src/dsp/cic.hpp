@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace twiddc::dsp {
@@ -33,6 +34,12 @@ class CicDecimator {
   /// inputs (full register width, gain (R*M)^N / 2^sum(prune_shifts), not
   /// yet normalised -- callers shift by growth_bits() or divide by gain()).
   std::optional<std::int64_t> push(std::int64_t x);
+
+  /// Block hot path: feeds every sample of `in`, appending produced outputs
+  /// to `out`.  Bit-exact with a push() loop, but keeps the integrator state
+  /// in registers across the whole block and never materialises a
+  /// std::optional per input sample.
+  void process_block(std::span<const std::int64_t> in, std::vector<std::int64_t>& out);
 
   /// Block helper: feeds all of `in`, appends produced outputs to a vector.
   std::vector<std::int64_t> process(const std::vector<std::int64_t>& in);

@@ -42,6 +42,12 @@ T FirFilter<T>::push(T x) {
   return acc;
 }
 
+template <typename T>
+void FirFilter<T>::process_block(std::span<const T> in, std::vector<T>& out) {
+  out.reserve(out.size() + in.size());
+  for (T x : in) out.push_back(push(x));
+}
+
 // ------------------------------------------------------------- FirDecimator
 
 template <typename T>
@@ -73,6 +79,26 @@ std::optional<T> FirDecimator<T>::push(T x) {
     idx = idx == 0 ? history_.size() - 1 : idx - 1;
   }
   return acc;
+}
+
+template <typename T>
+void FirDecimator<T>::process_block(std::span<const T> in, std::vector<T>& out) {
+  out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
+  const std::size_t n = history_.size();
+  for (T x : in) {
+    history_[head_] = x;
+    const std::size_t newest = head_;
+    head_ = head_ + 1 == n ? 0 : head_ + 1;
+    if (++phase_ < decimation_) continue;
+    phase_ = 0;
+    T acc{};
+    std::size_t idx = newest;
+    for (std::size_t k = 0; k < taps_.size(); ++k) {
+      acc += taps_[k] * history_[idx];
+      idx = idx == 0 ? n - 1 : idx - 1;
+    }
+    out.push_back(acc);
+  }
 }
 
 // ---------------------------------------------------- PolyphaseFirDecimator
@@ -129,6 +155,33 @@ std::optional<T> PolyphaseFirDecimator<T>::push(T x) {
     }
   }
   return acc;
+}
+
+template <typename T>
+void PolyphaseFirDecimator<T>::process_block(std::span<const T> in, std::vector<T>& out) {
+  out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
+  for (T x : in) {
+    const auto p = static_cast<std::size_t>(decimation_ - 1 - rotor_);
+    auto& hist = histories_[p];
+    auto& head = heads_[p];
+    hist[head] = x;
+    const std::size_t newest = head;
+    head = head + 1 == hist.size() ? 0 : head + 1;
+
+    if (++rotor_ < decimation_) continue;
+    rotor_ = 0;
+    T acc{};
+    for (std::size_t q = 0; q < phases_.size(); ++q) {
+      const auto& e = phases_[q];
+      const auto& h = histories_[q];
+      std::size_t idx = q == p ? newest : (heads_[q] == 0 ? h.size() - 1 : heads_[q] - 1);
+      for (std::size_t j = 0; j < e.size(); ++j) {
+        acc += e[j] * h[idx];
+        idx = idx == 0 ? h.size() - 1 : idx - 1;
+      }
+    }
+    out.push_back(acc);
+  }
 }
 
 template class FirFilter<double>;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace twiddc::dsp {
@@ -27,6 +28,9 @@ class FirFilter {
 
   /// Pushes one sample, returns one output: y[n] = sum_k h[k] x[n-k].
   T push(T x);
+
+  /// Block hot path: one output per input, appended to `out`.
+  void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
   [[nodiscard]] const std::vector<T>& taps() const { return taps_; }
@@ -48,6 +52,10 @@ class FirDecimator {
 
   /// Pushes one sample; produces an output on every D-th input.
   std::optional<T> push(T x);
+
+  /// Block hot path: appends one output per D inputs to `out`; bit-exact
+  /// with a push() loop but skips the per-sample optional.
+  void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
   [[nodiscard]] const std::vector<T>& taps() const { return taps_; }
@@ -75,6 +83,10 @@ class PolyphaseFirDecimator {
 
   /// Pushes one sample; produces an output on every D-th input.
   std::optional<T> push(T x);
+
+  /// Block hot path: appends one output per D inputs to `out`; bit-exact
+  /// with a push() loop but skips the per-sample optional.
+  void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
   [[nodiscard]] int decimation() const { return decimation_; }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -59,6 +60,16 @@ class MovingAverageCascade {
       }
     }
     return v;
+  }
+
+  /// Block helper: appends one output per `decimation` inputs to `out`.
+  /// Routed through push() so the periodic float-drift refresh fires on the
+  /// exact same schedule as sample-by-sample use (bit-exactness invariant).
+  void process_block(std::span<const T> in, std::vector<T>& out) {
+    out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
+    for (T x : in) {
+      if (auto y = push(x)) out.push_back(*y);
+    }
   }
 
   void reset() {

@@ -216,5 +216,35 @@ TEST(Gc4016, ResetReproducesRun) {
   }
 }
 
+TEST(Gc4016Channel, Figure4PlanHasFloatRailEquivalents) {
+  // The channel's ChainPlan must carry the float-rail view too, so
+  // make_float_rail(channel.pipeline().plan()) yields a sanely scaled
+  // golden twin (unity-order outputs, not 2^growth too large).
+  auto cfg = one_channel(69.333e6, 64);
+  Gc4016 chip(cfg);
+  auto& ch = chip.channel(0);
+  const auto& plan = ch.pipeline().plan();
+  for (const auto& stage : plan.stages) {
+    EXPECT_FALSE(stage.taps.empty() && stage.taps_float.empty() &&
+                 stage.kind != core::StageSpec::Kind::kCic)
+        << stage.label;
+  }
+  EXPECT_DOUBLE_EQ(plan.stages[0].post_scale,
+                   std::ldexp(1.0, -plan.stages[0].post_shift));
+  EXPECT_EQ(plan.stages[1].taps_float.size(), plan.stages[1].taps.size());
+  EXPECT_EQ(plan.stages[2].taps_float.size(), plan.stages[2].taps.size());
+
+  auto rail = core::make_float_rail(plan);
+  std::vector<double> out;
+  // Enough input to fill the 63-tap PFIR delay line (it runs at 1/256 of
+  // the input rate), so the final outputs reflect the full DC gain.
+  std::vector<double> in(static_cast<std::size_t>(ch.total_decimation()) * 80, 0.5);
+  rail.process_block(in, out);
+  ASSERT_FALSE(out.empty());
+  // DC input of 0.5 through a normalised chain stays order-of-unity.
+  EXPECT_LT(std::abs(out.back()), 4.0);
+  EXPECT_GT(std::abs(out.back()), 0.01);
+}
+
 }  // namespace
 }  // namespace twiddc::asic
