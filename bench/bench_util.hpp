@@ -115,6 +115,41 @@ inline JsonLine throughput_json(const std::string& bench, const std::string& cha
   return j;
 }
 
+/// One kernel's block throughput (cic/fir/nco...) as a JSON line.  The keys
+/// are additive to the schema above: existing consumers keyed on "chain"
+/// ignore "kernel" lines and vice versa.
+inline JsonLine kernel_json(const std::string& bench, const std::string& kernel,
+                            const Throughput& block, std::size_t block_samples) {
+  JsonLine j;
+  j.field("bench", bench)
+      .field("kernel", kernel)
+      .field("block_msamples_per_s", block.msamples_per_s())
+      .field("block_samples", block_samples);
+  return j;
+}
+
+/// A multi-channel batch measurement: `aggregate` counts channel-samples
+/// (inputs x channels) per second; `scaling_vs_single` is aggregate relative
+/// to the measured one-channel single-worker rate.
+inline JsonLine channel_bank_json(const std::string& bench, const std::string& chain,
+                                  std::size_t channels, int workers,
+                                  const Throughput& aggregate,
+                                  double single_channel_msamples_per_s,
+                                  std::size_t block_samples) {
+  JsonLine j;
+  j.field("bench", bench)
+      .field("chain", chain)
+      .field("channels", channels)
+      .field("workers", static_cast<std::size_t>(workers))
+      .field("aggregate_msamples_per_s", aggregate.msamples_per_s())
+      .field("per_channel_msamples_per_s",
+             aggregate.msamples_per_s() / static_cast<double>(channels))
+      .field("scaling_vs_single", aggregate.msamples_per_s() /
+                                      single_channel_msamples_per_s)
+      .field("block_samples", block_samples);
+  return j;
+}
+
 /// Standard main body: print the report, then run registered benchmarks.
 inline int run(int argc, char** argv, void (*report)()) {
   report();

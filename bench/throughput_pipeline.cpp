@@ -1,19 +1,37 @@
 // Pipeline hot-path throughput: block-based process_block() vs per-sample
 // push() on the paper's Figure 1 chain (and the GC4016 Figure 4 channel),
-// emitted as machine-readable JSON lines so successive PRs can track the
-// performance trajectory.
+// per-kernel block rates (the SIMD-shim kernels NCO/mixer and polyphase
+// FIR, plus the unrolled-cascade CIC kernel, which is scalar by nature),
+// and multi-channel ChannelBank batch scaling -- emitted as machine-
+// readable JSON lines so successive PRs can track the performance
+// trajectory.  The "simd" field records the build's compiled ISA path; for
+// the cic2/cic5 lines it identifies the build, not a vector kernel.
 //
 // Output format (one JSON object per line, prefixed section aside):
 //   {"bench": "throughput_pipeline", "chain": "figure1:wide16",
 //    "push_msamples_per_s": ..., "block_msamples_per_s": ...,
-//    "speedup_block_over_push": ..., "block_samples": ...}
+//    "speedup_block_over_push": ..., "block_samples": ..., "simd": "avx2"}
+//   {"bench": "throughput_pipeline", "kernel": "cic2", ...}
+//   {"bench": "throughput_pipeline", "chain": "channel_bank:figure1",
+//    "channels": 8, "workers": 2, "aggregate_msamples_per_s": ...,
+//    "scaling_vs_single": ...}
+// Keys are stable and additive across PRs; "kernel" and "channels" lines are
+// new in PR 2, "chain" lines keep the PR 1 schema plus the "simd" tag.
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/asic/gc4016.hpp"
+#include "src/common/simd.hpp"
+#include "src/core/channel_bank.hpp"
 #include "src/core/fixed_ddc.hpp"
 #include "src/core/float_ddc.hpp"
+#include "src/dsp/cic.hpp"
+#include "src/dsp/fir.hpp"
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/mixer.hpp"
+#include "src/dsp/nco.hpp"
 #include "src/dsp/signal.hpp"
 
 namespace {
@@ -21,6 +39,8 @@ namespace {
 using twiddc::benchutil::JsonLine;
 using twiddc::benchutil::Throughput;
 using twiddc::benchutil::measure_throughput;
+using twiddc::core::ChainPlan;
+using twiddc::core::ChannelBank;
 using twiddc::core::DatapathSpec;
 using twiddc::core::DdcConfig;
 using twiddc::core::FixedDdc;
@@ -28,10 +48,14 @@ using twiddc::core::IqSample;
 
 constexpr std::size_t kBlock = 2688 * 16;  // 16 output frames per rep
 
+std::vector<std::int64_t> figure1_stimulus(const DdcConfig& cfg, std::size_t n) {
+  return twiddc::dsp::quantize_signal(
+      twiddc::dsp::make_tone(10.0025e6, cfg.input_rate_hz, n, 0.7), 12);
+}
+
 void bench_figure1(const DatapathSpec& spec) {
   const auto cfg = DdcConfig::reference(10.0e6);
-  const auto input = twiddc::dsp::quantize_signal(
-      twiddc::dsp::make_tone(10.0025e6, cfg.input_rate_hz, kBlock, 0.7), 12);
+  const auto input = figure1_stimulus(cfg, kBlock);
 
   FixedDdc by_push(cfg, spec);
   std::vector<IqSample> sink;
@@ -50,6 +74,7 @@ void bench_figure1(const DatapathSpec& spec) {
 
   twiddc::benchutil::throughput_json("throughput_pipeline", "figure1:" + spec.name,
                                      push, block, input.size())
+      .field("simd", twiddc::simd::isa_name())
       .print();
 }
 
@@ -77,7 +102,109 @@ void bench_gc4016() {
 
   twiddc::benchutil::throughput_json("throughput_pipeline", "gc4016:figure4", push,
                                      block, input.size())
+      .field("simd", twiddc::simd::isa_name())
       .print();
+}
+
+// ------------------------------------------------------------- kernel rates
+
+void kernel_line(const std::string& kernel, const Throughput& t, std::size_t n) {
+  twiddc::benchutil::kernel_json("throughput_pipeline", kernel, t, n)
+      .field("simd", twiddc::simd::isa_name())
+      .print();
+}
+
+void bench_kernel_nco_mixer() {
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto input = figure1_stimulus(cfg, kBlock);
+  twiddc::dsp::Nco::Config nc;
+  nc.freq_hz = cfg.nco_freq_hz;
+  nc.sample_rate_hz = cfg.input_rate_hz;
+  twiddc::dsp::Nco nco(nc);
+  twiddc::dsp::ComplexMixer mixer(twiddc::dsp::ComplexMixer::Config{});
+  std::vector<std::int32_t> cos_v(input.size());
+  std::vector<std::int32_t> sin_v(input.size());
+  std::vector<std::int64_t> out_i(input.size());
+  std::vector<std::int64_t> out_q(input.size());
+  const Throughput t = measure_throughput(input.size(), [&] {
+    nco.next_block(cos_v, sin_v);
+    mixer.mix_block(input, cos_v, sin_v, out_i, out_q);
+  });
+  kernel_line("nco_mixer", t, input.size());
+}
+
+void bench_kernel_cic(const std::string& name, int stages, int decimation) {
+  twiddc::dsp::CicDecimator::Config cc;
+  cc.stages = stages;
+  cc.decimation = decimation;
+  cc.input_bits = 16;
+  twiddc::dsp::CicDecimator cic(cc);
+  std::vector<std::int64_t> input(kBlock);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<std::int64_t>((i * 2654435761u) % 32768) - 16384;
+  std::vector<std::int64_t> out;
+  const Throughput t = measure_throughput(input.size(), [&] {
+    out.clear();
+    cic.process_block(input, out);
+  });
+  kernel_line(name, t, input.size());
+}
+
+void bench_kernel_fir125() {
+  const auto ideal = twiddc::dsp::design_lowpass(125, 0.1, twiddc::dsp::Window::kBlackman);
+  const auto q16 = twiddc::dsp::quantize_coefficients(ideal, 15);
+  twiddc::dsp::PolyphaseFirDecimator<std::int64_t> fir(
+      std::vector<std::int64_t>(q16.begin(), q16.end()), 8);
+  std::vector<std::int64_t> input(kBlock);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<std::int64_t>((i * 2654435761u) % 32768) - 16384;
+  std::vector<std::int64_t> out;
+  const Throughput t = measure_throughput(input.size(), [&] {
+    out.clear();
+    fir.process_block(input, out);
+  });
+  kernel_line("fir125_polyphase", t, input.size());
+}
+
+// ------------------------------------------------------- multi-channel bank
+
+void bench_channel_bank() {
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  // Larger blocks than the single-chain bench: sharded mode amortises one
+  // pool wake per block, and realistic batch serving hands the bank multi-
+  // millisecond chunks.
+  const auto input = figure1_stimulus(cfg, 2688 * 64);
+  // At least 2 so a sharded line always exists (the CI gate reads it), even
+  // on hosts where hardware_concurrency() reports 1 or 0.
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+
+  double single_rate = 0.0;
+  for (std::size_t channels : {1u, 2u, 4u, 8u}) {
+    std::vector<ChainPlan> plans;
+    for (std::size_t c = 0; c < channels; ++c) {
+      // Slightly detuned per-channel NCOs, GC4016-style multi-carrier use.
+      auto ch_cfg = cfg;
+      ch_cfg.nco_freq_hz = cfg.nco_freq_hz + 25.0e3 * static_cast<double>(c);
+      plans.push_back(ChainPlan::figure1(ch_cfg, spec));
+    }
+    for (int workers : {1, hw}) {
+      if (workers != 1 && channels == 1) continue;
+      ChannelBank bank(plans, workers);
+      std::vector<std::vector<IqSample>> planar;
+      const std::size_t channel_samples = input.size() * channels;
+      const Throughput t = measure_throughput(channel_samples, [&] {
+        for (auto& p : planar) p.clear();
+        bank.process_block(input, planar);
+      });
+      if (channels == 1 && workers == 1) single_rate = t.msamples_per_s();
+      twiddc::benchutil::channel_bank_json("throughput_pipeline",
+                                           "channel_bank:figure1", channels, workers,
+                                           t, single_rate, input.size())
+          .field("simd", twiddc::simd::isa_name())
+          .print();
+    }
+  }
 }
 
 }  // namespace
@@ -85,8 +212,15 @@ void bench_gc4016() {
 int main() {
   std::printf("# throughput_pipeline: block process_block() vs per-sample push()\n");
   std::printf("# one JSON object per line; speedup_block_over_push is the headline\n");
+  std::printf("# kernel lines give block rates per vectorised kernel; channel_bank\n");
+  std::printf("# lines give multi-channel aggregate (channel-samples/s) scaling\n");
   bench_figure1(DatapathSpec::wide16());
   bench_figure1(DatapathSpec::fpga());
   bench_gc4016();
+  bench_kernel_nco_mixer();
+  bench_kernel_cic("cic2", 2, 16);
+  bench_kernel_cic("cic5", 5, 21);
+  bench_kernel_fir125();
+  bench_channel_bank();
   return 0;
 }

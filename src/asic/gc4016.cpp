@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 #include "src/dsp/fir_design.hpp"
 #include "src/fixed/qformat.hpp"
 
@@ -145,18 +146,14 @@ core::ChainPlan Gc4016Channel::figure4_plan(const Gc4016ChannelConfig& config,
   return plan;
 }
 
-Gc4016Channel::Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz,
-                             int input_bits)
-    : cfg_(config), pipeline_(figure4_plan(config, input_rate_hz, input_bits)) {}
-
-void Gc4016Channel::reset() { pipeline_.reset(); }
+void Gc4016Channel::reset() { pipeline_->reset(); }
 
 double Gc4016Channel::output_scale() const {
   return 1.0 / static_cast<double>(std::int64_t{1} << (cfg_.output_bits - 1));
 }
 
 std::optional<Gc4016Output> Gc4016Channel::push(std::int64_t x) {
-  const auto y = pipeline_.push(x);
+  const auto y = pipeline_->push(x);
   if (!y) return std::nullopt;
   return Gc4016Output{channel_index_, y->i, y->q};
 }
@@ -164,16 +161,104 @@ std::optional<Gc4016Output> Gc4016Channel::push(std::int64_t x) {
 void Gc4016Channel::process_block(std::span<const std::int64_t> in,
                                   std::vector<Gc4016Output>& out) {
   scratch_.clear();
-  pipeline_.process_block(in, scratch_);
+  pipeline_->process_block(in, scratch_);
   out.reserve(out.size() + scratch_.size());
   for (const auto& y : scratch_) out.push_back(Gc4016Output{channel_index_, y.i, y.q});
 }
 
-Gc4016::Gc4016(const Gc4016Config& config) : config_(config) {
+namespace {
+std::vector<core::ChainPlan> figure4_plans(const Gc4016Config& config) {
   config.validate();
+  std::vector<core::ChainPlan> plans;
+  plans.reserve(config.channels.size());
+  for (const auto& ch : config.channels)
+    plans.push_back(
+        Gc4016Channel::figure4_plan(ch, config.input_rate_hz, config.input_bits));
+  return plans;
+}
+}  // namespace
+
+Gc4016::Gc4016(const Gc4016Config& config)
+    : config_(config), bank_(figure4_plans(config)) {
   for (std::size_t c = 0; c < config.channels.size(); ++c) {
-    channels_.emplace_back(config.channels[c], config.input_rate_hz, config.input_bits);
-    channels_.back().channel_index_ = static_cast<int>(c);
+    channels_.push_back(Gc4016Channel(config.channels[c], &bank_.channel(c),
+                                      static_cast<int>(c)));
+    bank_.set_enabled(c, config.channels[c].enabled);
+  }
+}
+
+void Gc4016::process_block(std::span<const std::int64_t> in,
+                           std::vector<Gc4016Output>& out) {
+  if (in.empty()) return;
+  // All-or-nothing: reject the whole block before any channel advances.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  simd::minmax_i64(in.data(), in.size(), lo, hi);
+  if (!fixed::fits_bits(lo, config_.input_bits) ||
+      !fixed::fits_bits(hi, config_.input_bits))
+    throw SimulationError("Gc4016::process_block: input does not fit " +
+                          std::to_string(config_.input_bits) + " bits");
+  // Capture each enabled channel's input count before the batch pass so the
+  // planar outputs can be replayed in push()'s time order afterwards.
+  struct Cursor {
+    std::size_t channel;
+    std::uint64_t next_out_at;  // local input index after which output k emerges
+    std::uint64_t decimation;
+    std::size_t k = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (!config_.channels[c].enabled) continue;
+    auto& pipe = bank_.channel(c);
+    const auto d = static_cast<std::uint64_t>(pipe.total_decimation());
+    // The pre-block sample count is mid-revolution in general; the first
+    // output of this block appears once the count reaches the next multiple
+    // of the channel's total decimation.
+    const std::uint64_t pre = pipe.samples_in();
+    cursors.push_back(Cursor{c, (pre / d + 1) * d - pre, d});
+  }
+
+  for (auto& p : planar_) p.clear();
+  bank_.process_block(in, planar_);
+
+  // Merge planar outputs back into the per-cycle order push() produces:
+  // ascending output instant, channel index breaking ties; kAdd sums
+  // simultaneous outputs into the virtual channel -1.
+  std::size_t remaining = 0;
+  for (const auto& cur : cursors) remaining += planar_[cur.channel].size();
+  out.reserve(out.size() + remaining);
+  while (remaining > 0) {
+    // Earliest next output instant across channels (<= 4 of them).
+    std::uint64_t t = 0;
+    bool have = false;
+    for (const auto& cur : cursors) {
+      if (cur.k >= planar_[cur.channel].size()) continue;
+      if (!have || cur.next_out_at < t) {
+        t = cur.next_out_at;
+        have = true;
+      }
+    }
+    // Collect every output of this instant (channel order == push order).
+    Gc4016Output cycle[Gc4016Limits::kChannels14Bit];
+    int produced = 0;
+    for (auto& cur : cursors) {
+      if (cur.k >= planar_[cur.channel].size() || cur.next_out_at != t) continue;
+      const core::IqSample& y = planar_[cur.channel][cur.k];
+      ++cur.k;
+      cur.next_out_at += cur.decimation;
+      --remaining;
+      cycle[produced++] = Gc4016Output{static_cast<int>(cur.channel), y.i, y.q};
+    }
+    if (config_.combine == Gc4016Config::Combine::kAdd && produced > 1) {
+      Gc4016Output sum{-1, 0, 0};
+      for (int j = 0; j < produced; ++j) {
+        sum.i += cycle[j].i;
+        sum.q += cycle[j].q;
+      }
+      out.push_back(sum);
+    } else {
+      for (int j = 0; j < produced; ++j) out.push_back(cycle[j]);
+    }
   }
 }
 

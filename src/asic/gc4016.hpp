@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/channel_bank.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/energy/technology.hpp"
 
@@ -76,12 +77,11 @@ struct Gc4016Output {
 };
 
 /// One channel's datapath.  Since the stage-pipeline refactor this is a thin
-/// shim over core::DdcPipeline: the Figure 4 topology (CIC5 -> CFIR -> PFIR)
-/// is expressed as a ChainPlan and the shared pipeline does the processing.
+/// shim: the Figure 4 topology (CIC5 -> CFIR -> PFIR) is expressed as a
+/// ChainPlan and the chip's shared core::ChannelBank owns the pipeline; the
+/// channel object only binds its configuration to the bank slot.
 class Gc4016Channel {
  public:
-  Gc4016Channel(const Gc4016ChannelConfig& config, double input_rate_hz, int input_bits);
-
   std::optional<Gc4016Output> push(std::int64_t x);
   /// Block hot path: bit-exact with a push() loop.
   void process_block(std::span<const std::int64_t> in, std::vector<Gc4016Output>& out);
@@ -92,27 +92,34 @@ class Gc4016Channel {
     return input_rate_hz / total_decimation();
   }
   /// The underlying pipeline (shared-architecture access point).
-  [[nodiscard]] core::DdcPipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] core::DdcPipeline& pipeline() { return *pipeline_; }
   [[nodiscard]] const std::vector<std::int64_t>& cfir_taps() const {
-    return pipeline_.plan().stages[1].taps;
+    return pipeline_->plan().stages[1].taps;
   }
   [[nodiscard]] const std::vector<std::int64_t>& pfir_taps() const {
-    return pipeline_.plan().stages[2].taps;
+    return pipeline_->plan().stages[2].taps;
   }
   [[nodiscard]] double output_scale() const;
 
- private:
+  /// The Figure 4 topology as a ChainPlan (also what the bank is built of).
   static core::ChainPlan figure4_plan(const Gc4016ChannelConfig& config,
                                       double input_rate_hz, int input_bits);
 
+ private:
+  Gc4016Channel(const Gc4016ChannelConfig& config, core::DdcPipeline* pipeline,
+                int index)
+      : cfg_(config), pipeline_(pipeline), channel_index_(index) {}
+
   Gc4016ChannelConfig cfg_;
-  core::DdcPipeline pipeline_;
+  core::DdcPipeline* pipeline_ = nullptr;  // owned by the chip's ChannelBank
   std::vector<core::IqSample> scratch_;
   int channel_index_ = 0;
   friend class Gc4016;
 };
 
-/// The quad chip.
+/// The quad chip.  The four channels are slots of one core::ChannelBank, so
+/// the chip-level block path is a shared-input batch pass (optionally
+/// sharded across worker threads).
 class Gc4016 {
  public:
   explicit Gc4016(const Gc4016Config& config);
@@ -122,10 +129,23 @@ class Gc4016 {
   /// its channel, kAdd sums simultaneous outputs into channel -1).
   std::vector<Gc4016Output> push(std::int64_t x);
 
+  /// Block hot path: runs the whole block through every enabled channel via
+  /// the ChannelBank, then merges the planar per-channel outputs back into
+  /// push()'s time order (and kAdd's summing of simultaneous outputs).
+  /// Bit-exact with a push() loop.
+  void process_block(std::span<const std::int64_t> in, std::vector<Gc4016Output>& out);
+
+  /// Worker threads used by process_block to shard channels (default 1).
+  void set_workers(int workers) { bank_.set_workers(workers); }
+
   void reset();
 
   [[nodiscard]] const Gc4016Config& config() const { return config_; }
   [[nodiscard]] int enabled_channels() const;
+  /// Read-only: channel enablement lives in the chip config (the bank's
+  /// enable flags mirror it and must not be toggled independently, or the
+  /// push and block paths would disagree about which channels run).
+  [[nodiscard]] const core::ChannelBank& bank() const { return bank_; }
   [[nodiscard]] Gc4016Channel& channel(int idx) { return channels_.at(static_cast<std::size_t>(idx)); }
 
   /// Power at the chip's native 0.25 um node for the configured clock:
@@ -139,7 +159,9 @@ class Gc4016 {
 
  private:
   Gc4016Config config_;
+  core::ChannelBank bank_;
   std::vector<Gc4016Channel> channels_;
+  std::vector<std::vector<core::IqSample>> planar_;  // process_block scratch
 };
 
 }  // namespace twiddc::asic

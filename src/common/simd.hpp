@@ -1,0 +1,312 @@
+// twiddc::simd -- portable SIMD shim for the block hot-path kernels.
+//
+// Every kernel here has two realisations selected at compile time:
+//
+//   * an intrinsic path (`__AVX2__`; the ideas port directly to NEON) used
+//     when the translation unit is compiled with the matching -march, and
+//   * a scalar fallback written as tight restrict/unrolled loops the
+//     compiler can auto-vectorise on any ISA (SSE2 baseline, NEON, ...).
+//
+// Both paths are *bit-exact* for the fixed-point chain: all accumulation is
+// two's-complement (mod 2^64) where reordering is an identity, 64-bit
+// multiplies either use the 32x32->64 instruction when both operands are
+// proven to fit 32 bits or an exact low-64 emulation, and shifts/saturation
+// reproduce fixed::shift_right / fixed::narrow operation by operation.
+//
+// A process-wide kill switch (`set_enabled(false)`) forces the scalar
+// fallback at runtime so the test suite can diff the two paths on the same
+// build; it is not meant for production use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+#include "src/fixed/qformat.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace twiddc::simd {
+
+/// Name of the intrinsic path this build was compiled with ("avx2" when the
+/// AVX2 kernels are active, "scalar" when only the autovectorisable fallback
+/// loops exist).  Reported in the bench JSON so trajectories are comparable.
+inline const char* isa_name() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(_M_X64)
+  return "sse2-autovec";
+#elif defined(__ARM_NEON)
+  return "neon-autovec";
+#else
+  return "scalar";
+#endif
+}
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+/// Runtime kill switch: when false every kernel takes its scalar fallback.
+/// Used by the bit-exactness tests to diff the intrinsic path against the
+/// scalar path within one binary.
+inline bool enabled() { return detail::enabled_flag().load(std::memory_order_relaxed); }
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII helper for tests: forces the given SIMD state within a scope.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) : prev_(enabled()) { set_enabled(on); }
+  ~ScopedEnable() { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when every element of v[0..n) fits a signed 32-bit field (the
+/// precondition for the single-instruction 32x32->64 multiply path).
+inline bool all_fit_i32(const std::int64_t* v, std::size_t n) {
+  // Branch-free: (v + 2^31) fits uint32 iff v fits int32; OR the high words.
+  std::uint64_t high = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    high |= (static_cast<std::uint64_t>(v[i]) + 0x80000000ull) >> 32;
+  return high == 0;
+}
+
+// --------------------------------------------------------------- dot product
+//
+// y = sum_j a[j] * b[j] over int64, accumulated mod 2^64 (two's complement;
+// order-independent, hence SIMD-reorder-safe and bit-exact vs any scalar
+// loop).  `narrow_ok` asserts every a[j] and b[j] fits int32, enabling the
+// one-multiply AVX2 path; otherwise an exact low-64 multiply emulation runs.
+
+inline std::int64_t dot_i64_scalar(const std::int64_t* a, const std::int64_t* b,
+                                   std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t j = 0; j < n; ++j)
+    acc += static_cast<std::uint64_t>(a[j]) * static_cast<std::uint64_t>(b[j]);
+  return static_cast<std::int64_t>(acc);
+}
+
+#if defined(__AVX2__)
+namespace detail {
+/// Exact low 64 bits of a 64x64 multiply from 32-bit partial products.
+inline __m256i mullo_epi64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+/// Arithmetic shift right of 4x int64 by s in [1, 63] (AVX2 has no sra64).
+inline __m256i sra_epi64(__m256i v, int s) {
+  const __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), v);
+  return _mm256_or_si256(_mm256_srli_epi64(v, s), _mm256_slli_epi64(sign, 64 - s));
+}
+
+inline std::int64_t hsum_epi64(__m256i v) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(lanes[0]) + static_cast<std::uint64_t>(lanes[1]) +
+      static_cast<std::uint64_t>(lanes[2]) + static_cast<std::uint64_t>(lanes[3]));
+}
+}  // namespace detail
+#endif
+
+inline std::int64_t dot_i64(const std::int64_t* a, const std::int64_t* b,
+                            std::size_t n, bool narrow_ok) {
+#if defined(__AVX2__)
+  if (enabled() && n >= 8) {
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t j = 0;
+    if (narrow_ok) {
+      for (; j + 4 <= n; j += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(va, vb));
+      }
+    } else {
+      for (; j + 4 <= n; j += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+        acc = _mm256_add_epi64(acc, detail::mullo_epi64(va, vb));
+      }
+    }
+    std::uint64_t sum = static_cast<std::uint64_t>(detail::hsum_epi64(acc));
+    for (; j < n; ++j)
+      sum += static_cast<std::uint64_t>(a[j]) * static_cast<std::uint64_t>(b[j]);
+    return static_cast<std::int64_t>(sum);
+  }
+#endif
+  (void)narrow_ok;
+  return dot_i64_scalar(a, b, n);
+}
+
+// -------------------------------------------------- quarter-LUT sin/cos fill
+//
+// Fills cos_out/sin_out with the quarter-wave LUT expansion of an
+// arithmetically advancing 32-bit phase (phase, phase+step, ...), exactly
+// mirroring dsp::lut_sincos's quadrant logic.  `table` has 2^table_bits
+// entries.  Returns the phase after n steps.
+
+inline std::uint32_t lut_sincos_block_scalar(std::uint32_t phase, std::uint32_t step,
+                                             const std::int32_t* table, int table_bits,
+                                             std::size_t n, std::int32_t* cos_out,
+                                             std::int32_t* sin_out) {
+  const std::uint32_t mask = (std::uint32_t{1} << table_bits) - 1;
+  const std::uint32_t top = mask;  // table size - 1
+  const int shift = 30 - table_bits;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t quadrant = phase >> 30;
+    const std::uint32_t index = (phase >> shift) & mask;
+    const std::int32_t fwd = table[index];
+    const std::int32_t mir = table[top - index];
+    switch (quadrant) {
+      case 0: sin_out[k] = fwd;  cos_out[k] = mir;  break;
+      case 1: sin_out[k] = mir;  cos_out[k] = -fwd; break;
+      case 2: sin_out[k] = -fwd; cos_out[k] = -mir; break;
+      default: sin_out[k] = -mir; cos_out[k] = fwd; break;
+    }
+    phase += step;
+  }
+  return phase;
+}
+
+inline std::uint32_t lut_sincos_block(std::uint32_t phase, std::uint32_t step,
+                                      const std::int32_t* table, int table_bits,
+                                      std::size_t n, std::int32_t* cos_out,
+                                      std::int32_t* sin_out) {
+#if defined(__AVX2__)
+  if (enabled() && n >= 16) {
+    const std::uint32_t mask = (std::uint32_t{1} << table_bits) - 1;
+    const int shift = 30 - table_bits;
+    const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+    const __m256i vtop = vmask;
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i two = _mm256_set1_epi32(2);
+    __m256i vphase = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(phase)),
+        _mm256_mullo_epi32(_mm256_set1_epi32(static_cast<int>(step)),
+                           _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7)));
+    const __m256i vstep8 = _mm256_set1_epi32(static_cast<int>(step * 8u));
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i quadrant = _mm256_srli_epi32(vphase, 30);
+      const __m256i index =
+          _mm256_and_si256(_mm256_srli_epi32(vphase, shift), vmask);
+      const __m256i fwd = _mm256_i32gather_epi32(table, index, 4);
+      const __m256i mir =
+          _mm256_i32gather_epi32(table, _mm256_sub_epi32(vtop, index), 4);
+      // Quadrant bit 0 swaps fwd/mir; the negation masks follow the scalar
+      // switch: sin negates in quadrants 2,3 (bit 1), cos in 1,2 (bit0^bit1).
+      const __m256i bit0 = _mm256_cmpeq_epi32(_mm256_and_si256(quadrant, one), one);
+      const __m256i bit1 = _mm256_cmpeq_epi32(_mm256_and_si256(quadrant, two), two);
+      const __m256i sin_base = _mm256_blendv_epi8(fwd, mir, bit0);
+      const __m256i cos_base = _mm256_blendv_epi8(mir, fwd, bit0);
+      const __m256i sin_v =
+          _mm256_blendv_epi8(sin_base, _mm256_sub_epi32(zero, sin_base), bit1);
+      const __m256i cos_neg = _mm256_xor_si256(bit0, bit1);
+      const __m256i cos_v =
+          _mm256_blendv_epi8(cos_base, _mm256_sub_epi32(zero, cos_base), cos_neg);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sin_out + k), sin_v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cos_out + k), cos_v);
+      vphase = _mm256_add_epi32(vphase, vstep8);
+    }
+    phase += static_cast<std::uint32_t>(k) * step;
+    return lut_sincos_block_scalar(phase, step, table, table_bits, n - k,
+                                   cos_out + k, sin_out + k);
+  }
+#endif
+  return lut_sincos_block_scalar(phase, step, table, table_bits, n, cos_out, sin_out);
+}
+
+// ----------------------------------------- mixer multiply / shift / narrow
+//
+// out[k] = narrow(shift_right(x[k] * m[k], shift, rounding), bits, overflow)
+// -- one rail of the complex mixer over planar buffers.  Precondition for
+// the AVX2 path: |x[k]| and |m[k]| fit int32 (the pipeline validates inputs
+// against front_end.input_bits <= 32 and NCO amplitudes are <= 24 bits); the
+// kernel falls back to scalar otherwise via `narrow_ok`.
+
+inline void mul_shift_narrow_scalar(const std::int64_t* x, const std::int32_t* m,
+                                    std::size_t n, int shift, int bits,
+                                    fixed::Rounding rounding, fixed::Overflow overflow,
+                                    std::int64_t* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int64_t wide = fixed::shift_right(x[k] * m[k], shift, rounding);
+    out[k] = bits == 0 ? wide : fixed::narrow(wide, bits, overflow);
+  }
+}
+
+inline void mul_shift_narrow_block(const std::int64_t* x, const std::int32_t* m,
+                                   std::size_t n, int shift, int bits,
+                                   fixed::Rounding rounding, fixed::Overflow overflow,
+                                   bool narrow_ok, std::int64_t* out) {
+#if defined(__AVX2__)
+  if (enabled() && narrow_ok && n >= 8) {
+    const __m256i round_add =
+        rounding == fixed::Rounding::kNearest && shift > 0
+            ? _mm256_set1_epi64x(std::int64_t{1} << (shift - 1))
+            : _mm256_setzero_si256();
+    const bool saturate = bits != 0 && overflow == fixed::Overflow::kSaturate;
+    const bool wrap = bits != 0 && overflow == fixed::Overflow::kWrap;
+    const __m256i sat_hi = _mm256_set1_epi64x(bits ? fixed::max_for_bits(bits) : 0);
+    const __m256i sat_lo = _mm256_set1_epi64x(bits ? fixed::min_for_bits(bits) : 0);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+      const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + k));
+      const __m256i vm = _mm256_cvtepi32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + k)));
+      __m256i v = _mm256_mul_epi32(vx, vm);
+      if (shift > 0) {
+        v = _mm256_add_epi64(v, round_add);
+        v = detail::sra_epi64(v, shift);
+      }
+      if (saturate) {
+        v = _mm256_blendv_epi8(v, sat_hi, _mm256_cmpgt_epi64(v, sat_hi));
+        v = _mm256_blendv_epi8(v, sat_lo, _mm256_cmpgt_epi64(sat_lo, v));
+      } else if (wrap) {
+        const int ws = 64 - bits;
+        v = detail::sra_epi64(_mm256_slli_epi64(v, ws), ws);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), v);
+    }
+    mul_shift_narrow_scalar(x + k, m + k, n - k, shift, bits, rounding, overflow,
+                            out + k);
+    return;
+  }
+#endif
+  (void)narrow_ok;
+  mul_shift_narrow_scalar(x, m, n, shift, bits, rounding, overflow, out);
+}
+
+// --------------------------------------------------------------- block scans
+
+/// Min/max of a block in one pass (used to range-check pipeline inputs
+/// without a per-sample branch).  n must be >= 1.
+inline void minmax_i64(const std::int64_t* v, std::size_t n, std::int64_t& lo,
+                       std::int64_t& hi) {
+  std::int64_t mn = v[0];
+  std::int64_t mx = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    mn = v[i] < mn ? v[i] : mn;
+    mx = v[i] > mx ? v[i] : mx;
+  }
+  lo = mn;
+  hi = mx;
+}
+
+}  // namespace twiddc::simd

@@ -1,0 +1,179 @@
+#include "src/core/channel_bank.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::core {
+namespace {
+// Channels are advanced tile by tile so each channel's per-block scratch
+// (mixer planar buffers, rail ping-pong buffers) stays cache-resident
+// instead of streaming a full block's worth per channel.  Pipelines are
+// streaming-composable, so tiling is bit-exact with one monolithic call.
+constexpr std::size_t kTileSamples = 8192;
+}  // namespace
+
+/// Persistent worker pool.  std::thread is spawned once per worker, not per
+/// block: sandboxed and oversubscribed hosts make thread creation orders of
+/// magnitude more expensive than a futex wake, which would swallow the
+/// sharding win for realistic block sizes.
+struct ChannelBank::Pool {
+  explicit Pool(int n_workers) {
+    threads.reserve(static_cast<std::size_t>(n_workers));
+    for (int w = 0; w < n_workers; ++w)
+      threads.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  /// Publishes job(worker_index) to every pool thread.  The caller overlaps
+  /// its own shard between begin() and finish().
+  void begin(const std::function<void(int)>& job_fn) {
+    errors.assign(threads.size(), nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      job = &job_fn;
+      ++epoch;
+      pending = static_cast<int>(threads.size());
+    }
+    work_cv.notify_all();
+  }
+
+  /// Waits for every pool thread to finish the published job; rethrows the
+  /// first captured worker exception.
+  void finish() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [this] { return pending == 0; });
+      job = nullptr;
+    }
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        fn = job;
+      }
+      try {
+        (*fn)(w);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        last = --pending == 0;
+      }
+      if (last) done_cv.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors;
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* job = nullptr;
+  std::uint64_t epoch = 0;
+  int pending = 0;
+  bool stop = false;
+};
+
+ChannelBank::ChannelBank(const std::vector<ChainPlan>& plans, int workers) {
+  if (plans.empty()) throw ConfigError("ChannelBank: needs at least one plan");
+  channels_.reserve(plans.size());
+  for (const auto& plan : plans) channels_.emplace_back(plan);
+  enabled_.assign(channels_.size(), 1);
+  set_workers(workers);
+}
+
+ChannelBank::~ChannelBank() = default;
+ChannelBank::ChannelBank(ChannelBank&&) noexcept = default;
+ChannelBank& ChannelBank::operator=(ChannelBank&&) noexcept = default;
+
+void ChannelBank::set_workers(int workers) {
+  workers_ = std::clamp(workers, 1, static_cast<int>(channels_.size()));
+  // The pool holds workers_-1 threads; the calling thread works shard 0.
+  const auto pool_size = static_cast<std::size_t>(workers_ - 1);
+  if (pool_ && pool_->threads.size() != pool_size) pool_.reset();
+  if (!pool_ && pool_size > 0) pool_ = std::make_unique<Pool>(static_cast<int>(pool_size));
+}
+
+void ChannelBank::process_block(std::span<const std::int64_t> in,
+                                std::vector<std::vector<IqSample>>& out) {
+  out.resize(channels_.size());
+  std::vector<std::size_t> active;
+  active.reserve(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c)
+    if (enabled_[c]) active.push_back(c);
+  if (active.empty() || in.empty()) return;
+
+  // Tile-outer, channel-inner: every enabled channel advances through tile t
+  // before any channel starts tile t+1.
+  const auto run_channels = [&](std::size_t first, std::size_t stride) {
+    for (std::size_t off = 0; off < in.size(); off += kTileSamples) {
+      const std::span<const std::int64_t> tile =
+          in.subspan(off, std::min(kTileSamples, in.size() - off));
+      for (std::size_t k = first; k < active.size(); k += stride)
+        channels_[active[k]].process_block(tile, out[active[k]]);
+    }
+  };
+
+  const auto n_workers =
+      static_cast<std::size_t>(std::min<int>(workers_, static_cast<int>(active.size())));
+  if (n_workers <= 1 || !pool_) {
+    run_channels(0, 1);
+    return;
+  }
+
+  // Shard the active channels across the pool (pool worker w owns channels
+  // w+1, w+1+n, ...) while the caller works shard 0.  Channels are fully
+  // independent state machines writing disjoint output vectors, so sharding
+  // is bit-exact with serial execution; the only shared read is `in`.
+  const std::function<void(int)> job = [&](int w) {
+    if (static_cast<std::size_t>(w) + 1 < n_workers)
+      run_channels(static_cast<std::size_t>(w) + 1, n_workers);
+  };
+  pool_->begin(job);
+  std::exception_ptr local_error;
+  try {
+    run_channels(0, n_workers);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  pool_->finish();
+  if (local_error) std::rethrow_exception(local_error);
+}
+
+std::vector<std::vector<IqSample>> ChannelBank::process(
+    const std::vector<std::int64_t>& in) {
+  std::vector<std::vector<IqSample>> out;
+  process_block(in, out);
+  return out;
+}
+
+void ChannelBank::reset() {
+  for (auto& ch : channels_) ch.reset();
+}
+
+}  // namespace twiddc::core

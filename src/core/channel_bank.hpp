@@ -1,0 +1,82 @@
+// twiddc::core -- multi-channel batch engine over the stage pipeline.
+//
+// A ChannelBank owns N independent DdcPipeline channels (GC4016-style: same
+// antenna feed, per-channel NCO/decimation/topology) and processes them all
+// against ONE shared input block.  Outputs stay planar (one vector per
+// channel), so a channel's stream is contiguous and the block pass touches
+// the shared input once per channel while it is hot in cache.
+//
+// Two execution modes:
+//   * workers == 1 (default): channels run back to back on the caller's
+//     thread -- deterministic, no synchronisation;
+//   * workers > 1: channels are partitioned across a persistent worker pool
+//     (spawned once, woken per block; per-call thread creation is far too
+//     expensive on sandboxed hosts).  Channels are fully independent state
+//     machines, so sharding is bit-exact with serial execution, in any
+//     partition order.
+//
+// In both modes the block is walked in cache-sized tiles, channel-inner, so
+// per-channel scratch buffers stay hot instead of streaming the full block
+// once per channel.
+//
+// The GC4016 quad-channel model (src/asic/gc4016.cpp) is a shim over this
+// class; the throughput bench sweeps channel counts through it to track
+// scaling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+
+namespace twiddc::core {
+
+class ChannelBank {
+ public:
+  /// Builds one pipeline per plan.  Throws ConfigError if any plan is
+  /// invalid or the list is empty.
+  explicit ChannelBank(const std::vector<ChainPlan>& plans, int workers = 1);
+  ~ChannelBank();
+  ChannelBank(ChannelBank&&) noexcept;
+  ChannelBank& operator=(ChannelBank&&) noexcept;
+  ChannelBank(const ChannelBank&) = delete;
+  ChannelBank& operator=(const ChannelBank&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return channels_.size(); }
+  [[nodiscard]] DdcPipeline& channel(std::size_t i) { return channels_.at(i); }
+  [[nodiscard]] const DdcPipeline& channel(std::size_t i) const {
+    return channels_.at(i);
+  }
+
+  /// Disabled channels are skipped by process_block (their state freezes).
+  void set_enabled(std::size_t i, bool on) { enabled_.at(i) = on; }
+  [[nodiscard]] bool enabled(std::size_t i) const { return enabled_.at(i); }
+
+  /// Worker threads used by process_block (clamped to [1, channels]).
+  void set_workers(int workers);
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Block hot path: runs every enabled channel over the shared input span.
+  /// `out` is resized to size(); channel i's outputs are *appended* to
+  /// out[i], so a caller can stream blocks into persistent planar buffers.
+  /// Bit-exact with calling each channel's process_block serially.
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<std::vector<IqSample>>& out);
+
+  /// Convenience wrapper: fresh planar buffers per call.
+  std::vector<std::vector<IqSample>> process(const std::vector<std::int64_t>& in);
+
+  void reset();
+
+ private:
+  struct Pool;
+
+  std::vector<DdcPipeline> channels_;
+  std::vector<char> enabled_;  // vector<bool> has no per-element data()
+  int workers_ = 1;
+  std::unique_ptr<Pool> pool_;  // workers_ - 1 persistent threads
+};
+
+}  // namespace twiddc::core

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
 #include "src/dsp/cic.hpp"
@@ -597,24 +598,25 @@ std::optional<IqSample> DdcPipeline::push(std::int64_t x) {
 void DdcPipeline::process_block(std::span<const std::int64_t> in,
                                 std::vector<IqSample>& out) {
   // Validate the whole block up front: a mid-block throw would otherwise
-  // leave the NCO advanced past the rails (all-or-nothing semantics, and no
-  // branch in the mixing loop).
+  // leave the NCO advanced past the rails (all-or-nothing semantics).  One
+  // min/max sweep replaces the per-sample branch.
   const int input_bits = plan_.front_end.input_bits;
-  for (std::int64_t x : in) {
-    if (!fixed::fits_bits(x, input_bits))
-      throw SimulationError("DdcPipeline::process_block: input " + std::to_string(x) +
+  if (!in.empty()) {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    simd::minmax_i64(in.data(), in.size(), lo, hi);
+    if (!fixed::fits_bits(lo, input_bits) || !fixed::fits_bits(hi, input_bits)) {
+      const std::int64_t bad = fixed::fits_bits(lo, input_bits) ? hi : lo;
+      throw SimulationError("DdcPipeline::process_block: input " + std::to_string(bad) +
                             " does not fit " + std::to_string(input_bits) + " bits");
+    }
   }
-  mix_i_.clear();
-  mix_q_.clear();
-  mix_i_.reserve(in.size());
-  mix_q_.reserve(in.size());
-  for (std::int64_t x : in) {
-    const dsp::SinCos sc = nco_.next();
-    const dsp::Iq mixed = mixer_.mix(x, sc.cos, sc.sin);
-    mix_i_.push_back(mixed.i);
-    mix_q_.push_back(mixed.q);
-  }
+  cos_.resize(in.size());
+  sin_.resize(in.size());
+  nco_.next_block(cos_, sin_);
+  mix_i_.resize(in.size());
+  mix_q_.resize(in.size());
+  mixer_.mix_block(in, cos_, sin_, mix_i_, mix_q_);
   if (mixer_tap_) mixer_tap_->insert(mixer_tap_->end(), mix_i_.begin(), mix_i_.end());
 
   out_i_.clear();

@@ -237,6 +237,8 @@ class DdcPipeline {
   dsp::ComplexMixer mixer_;
   std::vector<StageChain<std::int64_t>> rails_;  // [0]=I, [1]=Q
   std::vector<std::int64_t>* mixer_tap_ = nullptr;
+  std::vector<std::int32_t> cos_;
+  std::vector<std::int32_t> sin_;
   std::vector<std::int64_t> mix_i_;
   std::vector<std::int64_t> mix_q_;
   std::vector<std::int64_t> out_i_;

@@ -90,38 +90,66 @@ std::optional<std::int64_t> CicDecimator::push(std::int64_t x) {
 
 void CicDecimator::process_block(std::span<const std::int64_t> in,
                                  std::vector<std::int64_t>& out) {
-  const int stages = config_.stages;
-  const int decimation = config_.decimation;
-  out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation) + 1);
-
-  // Hoist the integrator state into a stack array so the inner loop keeps it
-  // in registers, and wrap with a shift pair (sign extension by left/right
-  // shift equals fixed::wrap for register_bits_ <= 63; the addition is done
-  // in uint64 so it is defined for any operand pair).
-  std::int64_t acc[8];
-  for (int s = 0; s < stages; ++s) acc[s] = integrators_[static_cast<std::size_t>(s)];
-  const int wrap_shift = 64 - register_bits_;
+  out.reserve(out.size() + in.size() / static_cast<std::size_t>(config_.decimation) + 1);
+  // Dispatch to a kernel with a compile-time stage count so the integrator
+  // cascade unrolls completely (the cascade is a loop-carried dependency
+  // chain; the win is removing the per-stage loop/branch overhead, not SIMD).
   const bool prune = !config_.prune_shifts.empty();
+  switch (config_.stages) {
+    case 1: prune ? run_block<1, true>(in, out) : run_block<1, false>(in, out); break;
+    case 2: prune ? run_block<2, true>(in, out) : run_block<2, false>(in, out); break;
+    case 3: prune ? run_block<3, true>(in, out) : run_block<3, false>(in, out); break;
+    case 4: prune ? run_block<4, true>(in, out) : run_block<4, false>(in, out); break;
+    case 5: prune ? run_block<5, true>(in, out) : run_block<5, false>(in, out); break;
+    case 6: prune ? run_block<6, true>(in, out) : run_block<6, false>(in, out); break;
+    case 7: prune ? run_block<7, true>(in, out) : run_block<7, false>(in, out); break;
+    default: prune ? run_block<8, true>(in, out) : run_block<8, false>(in, out); break;
+  }
+}
+
+template <int Stages, bool Prune>
+void CicDecimator::run_block(std::span<const std::int64_t> in,
+                             std::vector<std::int64_t>& out) {
+  // Hoist the integrator state into a stack array so the inner loop keeps it
+  // in registers.  Without pruning the accumulators run *unwrapped* in uint64
+  // arithmetic: additions commute with truncation to the low register_bits_,
+  // so the wrap (a sign-extending shift pair) is only applied to the value
+  // handed to the combs and when the state is stored back -- the result is
+  // bit-identical to wrapping on every add, at one add per stage per sample.
+  // With pruning each stage's output feeds an arithmetic right shift, which
+  // reads the bits above register_bits_, so the wrap must happen per read.
+  std::uint64_t acc[Stages];
+  for (int s = 0; s < Stages; ++s)
+    acc[s] = static_cast<std::uint64_t>(integrators_[static_cast<std::size_t>(s)]);
+  [[maybe_unused]] int shifts[Stages] = {};
+  if constexpr (Prune) {
+    for (int s = 0; s < Stages; ++s)
+      shifts[s] = config_.prune_shifts[static_cast<std::size_t>(s)];
+  }
+  const int wrap_shift = 64 - register_bits_;
+  const int decimation = config_.decimation;
+  const int diff_delay = config_.diff_delay;
   int count = decim_count_;
 
   for (std::int64_t x : in) {
     std::int64_t v = x;
-    for (int s = 0; s < stages; ++s) {
-      if (prune)
-        v = fixed::shift_right(v, config_.prune_shifts[static_cast<std::size_t>(s)],
-                               fixed::Rounding::kTruncate);
-      const std::uint64_t sum =
-          static_cast<std::uint64_t>(acc[s]) + static_cast<std::uint64_t>(v);
-      acc[s] = static_cast<std::int64_t>(sum << wrap_shift) >> wrap_shift;
-      v = acc[s];
+    if constexpr (Prune) {
+      for (int s = 0; s < Stages; ++s) {
+        acc[s] += static_cast<std::uint64_t>(v >> shifts[s]);
+        v = static_cast<std::int64_t>(acc[s] << wrap_shift) >> wrap_shift;
+      }
+    } else {
+      acc[0] += static_cast<std::uint64_t>(x);
+      for (int s = 1; s < Stages; ++s) acc[s] += acc[s - 1];
+      v = static_cast<std::int64_t>(acc[Stages - 1] << wrap_shift) >> wrap_shift;
     }
     if (++count < decimation) continue;
     count = 0;
-    for (int s = 0; s < stages; ++s) {
-      const std::size_t base = static_cast<std::size_t>(s * config_.diff_delay);
+    for (int s = 0; s < Stages; ++s) {
+      const std::size_t base = static_cast<std::size_t>(s * diff_delay);
       const std::int64_t delayed =
-          comb_delays_[base + static_cast<std::size_t>(config_.diff_delay - 1)];
-      for (int d = config_.diff_delay - 1; d > 0; --d)
+          comb_delays_[base + static_cast<std::size_t>(diff_delay - 1)];
+      for (int d = diff_delay - 1; d > 0; --d)
         comb_delays_[base + static_cast<std::size_t>(d)] =
             comb_delays_[base + static_cast<std::size_t>(d - 1)];
       comb_delays_[base] = v;
@@ -131,7 +159,9 @@ void CicDecimator::process_block(std::span<const std::int64_t> in,
     out.push_back(v);
   }
 
-  for (int s = 0; s < stages; ++s) integrators_[static_cast<std::size_t>(s)] = acc[s];
+  for (int s = 0; s < Stages; ++s)
+    integrators_[static_cast<std::size_t>(s)] =
+        static_cast<std::int64_t>(acc[s] << wrap_shift) >> wrap_shift;
   decim_count_ = count;
   samples_in_ += in.size();
 }

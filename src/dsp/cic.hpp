@@ -63,6 +63,11 @@ class CicDecimator {
   [[nodiscard]] std::int64_t output_bound() const;
 
  private:
+  // Block kernel specialised on the stage count (fully unrolled integrator
+  // cascade) and on the presence of pruning; see cic.cpp.
+  template <int Stages, bool Prune>
+  void run_block(std::span<const std::int64_t> in, std::vector<std::int64_t>& out);
+
   Config config_;
   int register_bits_ = 0;
   std::vector<std::int64_t> integrators_;

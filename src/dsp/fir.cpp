@@ -1,8 +1,10 @@
 #include "src/dsp/fir.hpp"
 
 #include <string>
+#include <type_traits>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 
 namespace twiddc::dsp {
 namespace {
@@ -12,6 +14,41 @@ void check_taps(std::size_t taps) {
 void check_decimation(int d) {
   if (d < 1) throw ConfigError("FIR: decimation must be >= 1, got " + std::to_string(d));
 }
+
+template <typename T>
+std::vector<T> reversed(const std::vector<T>& taps) {
+  return {taps.rbegin(), taps.rend()};
+}
+
+bool fits_i32(const std::vector<std::int64_t>& v) {
+  return simd::all_fit_i32(v.data(), v.size());
+}
+
+// Shared idiom of the integer ring-buffer block paths (FirFilter and
+// FirDecimator): materialise [previous n-1 ring samples | block] as one
+// contiguous window, and afterwards re-seat the ring from the window tail.
+
+/// Fills `window` and returns whether every element fits int32 (combined
+/// with the precomputed tap check, this gates the 32x32->64 SIMD multiply).
+inline bool load_window(const std::vector<std::int64_t>& history, std::size_t head,
+                        bool taps_fit, std::span<const std::int64_t> in,
+                        std::vector<std::int64_t>& window) {
+  const std::size_t n = history.size();
+  window.clear();
+  window.reserve(n - 1 + in.size());
+  for (std::size_t j = 0; j + 1 < n; ++j) window.push_back(history[(head + 1 + j) % n]);
+  window.insert(window.end(), in.begin(), in.end());
+  return taps_fit && simd::all_fit_i32(window.data(), window.size());
+}
+
+/// Newest sample lands at slot n-1 with head = 0 -- any layout push() reads
+/// back identically is equivalent state.
+inline void reseat_ring(std::vector<std::int64_t>& history, std::size_t& head,
+                        const std::vector<std::int64_t>& window) {
+  const std::size_t n = history.size();
+  for (std::size_t j = 0; j < n; ++j) history[j] = window[window.size() - n + j];
+  head = 0;
+}
 }  // namespace
 
 // ---------------------------------------------------------------- FirFilter
@@ -20,6 +57,10 @@ template <typename T>
 FirFilter<T>::FirFilter(std::vector<T> taps) : taps_(std::move(taps)) {
   check_taps(taps_.size());
   history_.assign(taps_.size(), T{});
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps_);
+    taps_fit_i32_ = fits_i32(taps_);
+  }
 }
 
 template <typename T>
@@ -45,7 +86,21 @@ T FirFilter<T>::push(T x) {
 template <typename T>
 void FirFilter<T>::process_block(std::span<const T> in, std::vector<T>& out) {
   out.reserve(out.size() + in.size());
-  for (T x : in) out.push_back(push(x));
+  if constexpr (std::is_integral_v<T>) {
+    // Contiguous-window hot path: every output is a forward dot product of
+    // the reversed taps against a sliding window -- unit-stride loads the
+    // SIMD kernel can chew on.  Integer sums are order-independent, so this
+    // is bit-exact with the ring-buffer push() loop.
+    const std::size_t n = taps_.size();
+    const std::size_t m = in.size();
+    if (m == 0) return;
+    const bool narrow_ok = load_window(history_, head_, taps_fit_i32_, in, window_);
+    for (std::size_t i = 0; i < m; ++i)
+      out.push_back(simd::dot_i64(rev_taps_.data(), window_.data() + i, n, narrow_ok));
+    reseat_ring(history_, head_, window_);
+  } else {
+    for (T x : in) out.push_back(push(x));
+  }
 }
 
 // ------------------------------------------------------------- FirDecimator
@@ -56,6 +111,10 @@ FirDecimator<T>::FirDecimator(std::vector<T> taps, int decimation)
   check_taps(taps_.size());
   check_decimation(decimation);
   history_.assign(taps_.size(), T{});
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps_);
+    taps_fit_i32_ = fits_i32(taps_);
+  }
 }
 
 template <typename T>
@@ -85,19 +144,32 @@ template <typename T>
 void FirDecimator<T>::process_block(std::span<const T> in, std::vector<T>& out) {
   out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
   const std::size_t n = history_.size();
-  for (T x : in) {
-    history_[head_] = x;
-    const std::size_t newest = head_;
-    head_ = head_ + 1 == n ? 0 : head_ + 1;
-    if (++phase_ < decimation_) continue;
-    phase_ = 0;
-    T acc{};
-    std::size_t idx = newest;
-    for (std::size_t k = 0; k < taps_.size(); ++k) {
-      acc += taps_[k] * history_[idx];
-      idx = idx == 0 ? n - 1 : idx - 1;
+  if constexpr (std::is_integral_v<T>) {
+    // Same contiguous-window scheme as FirFilter, computing only the kept
+    // outputs: input i produces one when phase_ + i + 1 is a multiple of D.
+    const std::size_t m = in.size();
+    if (m == 0) return;
+    const bool narrow_ok = load_window(history_, head_, taps_fit_i32_, in, window_);
+    const std::size_t d = static_cast<std::size_t>(decimation_);
+    for (std::size_t i = d - 1 - static_cast<std::size_t>(phase_); i < m; i += d)
+      out.push_back(simd::dot_i64(rev_taps_.data(), window_.data() + i, n, narrow_ok));
+    phase_ = static_cast<int>((static_cast<std::size_t>(phase_) + m) % d);
+    reseat_ring(history_, head_, window_);
+  } else {
+    for (T x : in) {
+      history_[head_] = x;
+      const std::size_t newest = head_;
+      head_ = head_ + 1 == n ? 0 : head_ + 1;
+      if (++phase_ < decimation_) continue;
+      phase_ = 0;
+      T acc{};
+      std::size_t idx = newest;
+      for (std::size_t k = 0; k < taps_.size(); ++k) {
+        acc += taps_[k] * history_[idx];
+        idx = idx == 0 ? n - 1 : idx - 1;
+      }
+      out.push_back(acc);
     }
-    out.push_back(acc);
   }
 }
 
@@ -108,6 +180,10 @@ PolyphaseFirDecimator<T>::PolyphaseFirDecimator(std::vector<T> taps, int decimat
     : decimation_(decimation), total_taps_(taps.size()) {
   check_taps(taps.size());
   check_decimation(decimation);
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps);
+    taps_fit_i32_ = fits_i32(taps);
+  }
   phases_.resize(static_cast<std::size_t>(decimation));
   for (std::size_t k = 0; k < taps.size(); ++k)
     phases_[k % static_cast<std::size_t>(decimation)].push_back(taps[k]);
@@ -160,27 +236,70 @@ std::optional<T> PolyphaseFirDecimator<T>::push(T x) {
 template <typename T>
 void PolyphaseFirDecimator<T>::process_block(std::span<const T> in, std::vector<T>& out) {
   out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
-  for (T x : in) {
-    const auto p = static_cast<std::size_t>(decimation_ - 1 - rotor_);
-    auto& hist = histories_[p];
-    auto& head = heads_[p];
-    hist[head] = x;
-    const std::size_t newest = head;
-    head = head + 1 == hist.size() ? 0 : head + 1;
-
-    if (++rotor_ < decimation_) continue;
-    rotor_ = 0;
-    T acc{};
-    for (std::size_t q = 0; q < phases_.size(); ++q) {
-      const auto& e = phases_[q];
-      const auto& h = histories_[q];
-      std::size_t idx = q == p ? newest : (heads_[q] == 0 ? h.size() - 1 : heads_[q] - 1);
-      for (std::size_t j = 0; j < e.size(); ++j) {
-        acc += e[j] * h[idx];
-        idx = idx == 0 ? h.size() - 1 : idx - 1;
+  if constexpr (std::is_integral_v<T>) {
+    // The polyphase MAC set per output equals the direct form's, and integer
+    // sums are order-independent, so each block output can be one contiguous
+    // dot product.  The flat window's past samples are reconstructed from the
+    // per-phase rings by walking the commutator backwards (sample at depth d
+    // behind the newest lives in the ring of phase D-1-((r_last - d) mod D));
+    // every window slot an output actually reads is backed by a live ring
+    // entry because push() stores exactly the samples its MACs revisit.
+    const std::size_t n = total_taps_;
+    const std::size_t m = in.size();
+    if (m == 0) return;
+    const int d = decimation_;
+    window_.assign(n - 1 + m, T{});
+    if (n >= 2) {
+      std::vector<std::size_t> cursor = heads_;
+      int residue = (rotor_ + d - 1) % d;  // residue of the most recent sample
+      for (std::size_t depth = 0; depth + 1 < n; ++depth) {
+        const auto q = static_cast<std::size_t>(d - 1 - residue);
+        auto& c = cursor[q];
+        const auto& h = histories_[q];
+        c = c == 0 ? h.size() - 1 : c - 1;
+        window_[n - 2 - depth] = h[c];
+        residue = residue == 0 ? d - 1 : residue - 1;
       }
     }
-    out.push_back(acc);
+    std::copy(in.begin(), in.end(), window_.begin() + static_cast<std::ptrdiff_t>(n - 1));
+    const bool narrow_ok =
+        taps_fit_i32_ && simd::all_fit_i32(window_.data(), window_.size());
+    // Commutator stores keep the per-phase rings state-exact for later
+    // push() calls; the MACs run on the flat window instead.
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto p = static_cast<std::size_t>(decimation_ - 1 - rotor_);
+      auto& hist = histories_[p];
+      auto& head = heads_[p];
+      hist[head] = in[i];
+      head = head + 1 == hist.size() ? 0 : head + 1;
+      if (++rotor_ < decimation_) continue;
+      rotor_ = 0;
+      out.push_back(simd::dot_i64(rev_taps_.data(), window_.data() + i, n, narrow_ok));
+    }
+  } else {
+    for (T x : in) {
+      const auto p = static_cast<std::size_t>(decimation_ - 1 - rotor_);
+      auto& hist = histories_[p];
+      auto& head = heads_[p];
+      hist[head] = x;
+      const std::size_t newest = head;
+      head = head + 1 == hist.size() ? 0 : head + 1;
+
+      if (++rotor_ < decimation_) continue;
+      rotor_ = 0;
+      T acc{};
+      for (std::size_t q = 0; q < phases_.size(); ++q) {
+        const auto& e = phases_[q];
+        const auto& h = histories_[q];
+        std::size_t idx =
+            q == p ? newest : (heads_[q] == 0 ? h.size() - 1 : heads_[q] - 1);
+        for (std::size_t j = 0; j < e.size(); ++j) {
+          acc += e[j] * h[idx];
+          idx = idx == 0 ? h.size() - 1 : idx - 1;
+        }
+      }
+      out.push_back(acc);
+    }
   }
 }
 

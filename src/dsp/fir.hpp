@@ -41,6 +41,11 @@ class FirFilter {
   std::vector<T> taps_;
   std::vector<T> history_;  // ring buffer
   std::size_t head_ = 0;
+  // Integer block path: reversed taps + contiguous window scratch feeding the
+  // SIMD dot-product kernel (see fir.cpp); unused for floating-point T.
+  std::vector<T> rev_taps_;
+  std::vector<T> window_;
+  bool taps_fit_i32_ = false;
 };
 
 /// Direct-form decimating FIR: identical output to FirFilter + keep-1-in-D,
@@ -69,6 +74,10 @@ class FirDecimator {
   std::size_t head_ = 0;
   int phase_ = 0;
   int decimation_ = 1;
+  // Integer block path scratch (see FirFilter).
+  std::vector<T> rev_taps_;
+  std::vector<T> window_;
+  bool taps_fit_i32_ = false;
 };
 
 /// Polyphase decimating FIR: the taps are decomposed into D subfilters
@@ -104,6 +113,13 @@ class PolyphaseFirDecimator {
   int rotor_ = 0;  // residue of the next input sample index mod D
   int decimation_ = 1;
   std::size_t total_taps_ = 0;
+  // Integer block path: the polyphase MAC set equals the direct form's, and
+  // integer sums are order-independent, so the block path computes each
+  // output as one contiguous dot product over a reconstructed flat window
+  // while the per-phase rings keep tracking state for push().
+  std::vector<T> rev_taps_;
+  std::vector<T> window_;
+  bool taps_fit_i32_ = false;
 };
 
 extern template class FirFilter<double>;

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 #include "src/fixed/qformat.hpp"
 
 namespace twiddc::dsp {
@@ -52,6 +54,23 @@ class ComplexMixer {
     const std::int64_t q_wide = fixed::shift_right(x * sin_v, shift_, config_.rounding);
     return Iq{fixed::narrow(i_wide, config_.output_bits, config_.overflow),
               fixed::narrow(q_wide, config_.output_bits, config_.overflow)};
+  }
+
+  /// Block hot path over planar buffers: i_out[k]/q_out[k] = mix(x[k],
+  /// cos[k], sin[k]).  All spans must have equal length.  Bit-exact with a
+  /// mix() loop; runs through the SIMD shim when the operand widths allow
+  /// the 32x32->64 multiply (input_bits and nco_amplitude_bits <= 32, which
+  /// every datapath in the paper satisfies).
+  void mix_block(std::span<const std::int64_t> x, std::span<const std::int32_t> cos_v,
+                 std::span<const std::int32_t> sin_v, std::span<std::int64_t> i_out,
+                 std::span<std::int64_t> q_out) const {
+    const bool narrow_ok = config_.input_bits <= 32 && config_.nco_amplitude_bits <= 32;
+    simd::mul_shift_narrow_block(x.data(), cos_v.data(), x.size(), shift_,
+                                 config_.output_bits, config_.rounding,
+                                 config_.overflow, narrow_ok, i_out.data());
+    simd::mul_shift_narrow_block(x.data(), sin_v.data(), x.size(), shift_,
+                                 config_.output_bits, config_.rounding,
+                                 config_.overflow, narrow_ok, q_out.data());
   }
 
   [[nodiscard]] const Config& config() const { return config_; }

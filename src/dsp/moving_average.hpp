@@ -62,14 +62,40 @@ class MovingAverageCascade {
     return v;
   }
 
-  /// Block helper: appends one output per `decimation` inputs to `out`.
-  /// Routed through push() so the periodic float-drift refresh fires on the
-  /// exact same schedule as sample-by-sample use (bit-exactness invariant).
+  /// Block hot path: appends one output per `decimation` inputs to `out`.
+  /// Performs exactly push()'s operations in exactly push()'s order --
+  /// including the periodic float-drift refresh on the same output schedule
+  /// -- so it is bit-exact with sample-by-sample use, but never materialises
+  /// a per-sample std::optional and keeps the ring cursors in locals.
   void process_block(std::span<const T> in, std::vector<T>& out) {
     out.reserve(out.size() + in.size() / static_cast<std::size_t>(decimation_) + 1);
+    const std::size_t stages = rings_.size();
+    int count = count_;
     for (T x : in) {
-      if (auto y = push(x)) out.push_back(*y);
+      T v = x;
+      for (std::size_t s = 0; s < stages; ++s) {
+        auto& ring = rings_[s];
+        auto& head = heads_[s];
+        sums_[s] += v - ring[head];
+        ring[head] = v;
+        head = head + 1 == ring.size() ? 0 : head + 1;
+        v = sums_[s];
+      }
+      if (++count < decimation_) continue;
+      count = 0;
+      if constexpr (std::is_floating_point_v<T>) {
+        if (++outputs_since_refresh_ >= 4096) {
+          outputs_since_refresh_ = 0;
+          for (std::size_t s = 0; s < stages; ++s) {
+            T exact{};
+            for (T e : rings_[s]) exact += e;
+            sums_[s] = exact;
+          }
+        }
+      }
+      out.push_back(v);
     }
+    count_ = count;
   }
 
   void reset() {

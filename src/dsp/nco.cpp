@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 
 namespace twiddc::dsp {
 namespace {
@@ -95,6 +96,24 @@ SinCos Nco::next() {
   if (config_.mode == Mode::kLookupTable)
     return lut_sincos(phase, table_, config_.table_bits);
   return taylor_sincos(phase, config_.amplitude_bits);
+}
+
+void Nco::next_block(std::span<std::int32_t> cos_out, std::span<std::int32_t> sin_out) {
+  const std::size_t n = cos_out.size();
+  if (sin_out.size() != n)
+    throw ConfigError("Nco::next_block: cos/sin spans must have equal length");
+  if (config_.mode == Mode::kLookupTable) {
+    const std::uint32_t end = twiddc::simd::lut_sincos_block(
+        acc_.phase(), acc_.step(), table_.data(), config_.table_bits, n,
+        cos_out.data(), sin_out.data());
+    acc_.reset(end);
+    return;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const SinCos sc = taylor_sincos(acc_.next(), config_.amplitude_bits);
+    cos_out[k] = sc.cos;
+    sin_out[k] = sc.sin;
+  }
 }
 
 void Nco::set_frequency(double freq_hz) {

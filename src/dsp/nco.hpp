@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace twiddc::dsp {
@@ -79,6 +80,11 @@ class Nco {
 
   /// Produces the sin/cos pair for the current sample and advances phase.
   SinCos next();
+
+  /// Block hot path: fills `cos_out`/`sin_out` (planar, equal length) with
+  /// the next cos_out.size() samples and advances phase by as many steps.
+  /// Bit-exact with a next() loop; the LUT mode runs through the SIMD shim.
+  void next_block(std::span<std::int32_t> cos_out, std::span<std::int32_t> sin_out);
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const std::vector<std::int32_t>& table() const { return table_; }

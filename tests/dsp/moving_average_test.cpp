@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
@@ -67,6 +70,38 @@ TEST(MovingAverage, DoubleVariantTracksIntegerExactly) {
     const auto b = md.push(static_cast<double>(x));
     ASSERT_EQ(a.has_value(), b.has_value());
     if (a) { EXPECT_NEAR(static_cast<double>(*a), *b, 1e-9); }
+  }
+}
+
+TEST(MovingAverage, BlockPathBitExactWithPush) {
+  // The block fast path performs push()'s operations in push()'s order, so
+  // even the float rail must agree to the last bit -- including across the
+  // 4096-output drift-refresh boundary, which the 70000-output run crosses
+  // multiple times whichever path is taken.
+  Rng rng(12);
+  for (int stages : {1, 3}) {
+    for (int decim : {1, 4, 7}) {
+      MovingAverageCascade<double> by_push(stages, decim);
+      MovingAverageCascade<double> by_block(stages, decim);
+      std::vector<double> input(static_cast<std::size_t>(decim) * 70000);
+      for (auto& x : input) x = rng.uniform(-1.0, 1.0);
+
+      std::vector<double> want;
+      for (double x : input) {
+        if (auto y = by_push.push(x)) want.push_back(*y);
+      }
+      std::vector<double> got;
+      std::size_t pos = 0;
+      while (pos < input.size()) {
+        const auto len = std::min<std::size_t>(
+            static_cast<std::size_t>(rng.uniform_int(1, 257)), input.size() - pos);
+        by_block.process_block(std::span<const double>(input.data() + pos, len), got);
+        pos += len;
+      }
+      ASSERT_EQ(got.size(), want.size()) << "N=" << stages << " R=" << decim;
+      for (std::size_t k = 0; k < want.size(); ++k)
+        ASSERT_EQ(got[k], want[k]) << "N=" << stages << " R=" << decim << " k=" << k;
+    }
   }
 }
 
