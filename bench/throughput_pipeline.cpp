@@ -23,7 +23,9 @@
 
 #include "bench/bench_util.hpp"
 #include "src/asic/gc4016.hpp"
+#include "src/backends/builtin.hpp"
 #include "src/common/simd.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/channel_bank.hpp"
 #include "src/core/fixed_ddc.hpp"
 #include "src/core/float_ddc.hpp"
@@ -166,6 +168,56 @@ void bench_kernel_fir125() {
   kernel_line("fir125_polyphase", t, input.size());
 }
 
+// ------------------------------------------------------ backend plan rates
+//
+// One line per registered ArchitectureBackend running its own lowering of
+// the reference rate plan through the uniform process_block() interface:
+//   {"bench": "throughput_pipeline", "backend": "montium",
+//    "plan": "figure1:wide-16bit", "block_msamples_per_s": ..., ...}
+// The functional backends track the hot path; the cycle-true simulators
+// (fpga-rtl, montium, gpp-arm) are orders of magnitude slower by design --
+// the lines exist so a regression in *any* execution path shows up in the
+// trajectory.
+
+void bench_backends() {
+  twiddc::backends::register_builtin();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  for (auto& backend : twiddc::core::BackendRegistry::instance().create_all()) {
+    twiddc::core::ChainPlan plan;
+    try {
+      plan = backend->plan_for(cfg);
+      backend->configure(plan);
+    } catch (const twiddc::core::LoweringError&) {
+      continue;
+    }
+    // Cycle-level simulators get a short block and budget; functional
+    // backends get the full hot-path block.
+    const bool cycle_sim = !backend->capabilities().arbitrary_topology;
+    const std::size_t n = cycle_sim ? 2688 * 4 : kBlock;
+    const auto input = figure1_stimulus(cfg, n);
+    std::vector<IqSample> sink;
+    const Throughput t = measure_throughput(
+        input.size(),
+        [&] {
+          // Reset per rep: the ARM backend re-runs its batch kernel over
+          // everything since reset, so an unbounded stream would grow
+          // quadratically; a per-block reset keeps every rep identical.
+          backend->reset();
+          sink.clear();
+          backend->process_block(input, sink);
+        },
+        cycle_sim ? 0.1 : 0.3);
+    JsonLine j;
+    j.field("bench", std::string("throughput_pipeline"))
+        .field("backend", backend->name())
+        .field("plan", plan.name)
+        .field("block_msamples_per_s", t.msamples_per_s())
+        .field("block_samples", input.size())
+        .field("simd", twiddc::simd::isa_name());
+    j.print();
+  }
+}
+
 // ------------------------------------------------------- multi-channel bank
 
 void bench_channel_bank() {
@@ -221,6 +273,7 @@ int main() {
   bench_kernel_cic("cic2", 2, 16);
   bench_kernel_cic("cic5", 5, 21);
   bench_kernel_fir125();
+  bench_backends();
   bench_channel_bank();
   return 0;
 }

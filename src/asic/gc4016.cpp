@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/simd.hpp"
+#include "src/core/backend.hpp"
 #include "src/dsp/fir_design.hpp"
 #include "src/fixed/qformat.hpp"
 
@@ -144,6 +145,68 @@ core::ChainPlan Gc4016Channel::figure4_plan(const Gc4016ChannelConfig& config,
 
   plan.stages = {std::move(cic), std::move(cfir), std::move(pfir)};
   return plan;
+}
+
+Gc4016Config Gc4016::lower_plan(const core::ChainPlan& plan) {
+  const std::string who = "asic-gc4016";
+  plan.validate();
+
+  // Structural pattern of Figure 4: CIC5 -> CFIR (D=2) -> PFIR (D=2).
+  if (plan.stages.size() != 3)
+    throw core::LoweringError(who, "the channel datapath is the fixed Figure 4 "
+                              "chain (CIC5 -> CFIR -> PFIR); plan has " +
+                              std::to_string(plan.stages.size()) + " stages");
+  const core::StageSpec& cic = plan.stages[0];
+  const core::StageSpec& cfir = plan.stages[1];
+  const core::StageSpec& pfir = plan.stages[2];
+  if (cic.kind != core::StageSpec::Kind::kCic || cic.cic_stages != 5)
+    throw core::LoweringError(who, "the first stage must be the chip's 5-stage CIC");
+  if (cic.decimation < Gc4016Limits::kMinCicDecimation ||
+      cic.decimation > Gc4016Limits::kMaxCicDecimation)
+    throw core::LoweringError(who, "CIC decimation " + std::to_string(cic.decimation) +
+                              " outside the chip's [8,4096] range (Table 2)");
+  auto check_fir = [&](const core::StageSpec& s, const char* name, int taps) {
+    if (s.kind != core::StageSpec::Kind::kFirDecimator || s.decimation != 2 ||
+        s.taps.size() != static_cast<std::size_t>(taps))
+      throw core::LoweringError(who, std::string("stage '") + s.label + "' must be "
+                                "the chip's " + std::to_string(taps) + "-tap " + name +
+                                " decimating by 2");
+  };
+  check_fir(cfir, "CFIR", Gc4016Limits::kCfirTaps);
+  check_fir(pfir, "PFIR", Gc4016Limits::kPfirTaps);
+
+  // Recover the chip configuration.
+  Gc4016Config config;
+  config.input_rate_hz = plan.input_rate_hz;
+  config.input_bits = plan.front_end.input_bits;
+  Gc4016ChannelConfig ch;
+  ch.nco_freq_hz = plan.front_end.nco_freq_hz;
+  ch.cic_decimation = cic.decimation;
+  ch.output_bits = pfir.narrow_bits;
+  ch.pfir_coeffs.reserve(pfir.taps.size());
+  for (std::int64_t c : pfir.taps) {
+    if (c < INT32_MIN || c > INT32_MAX)
+      throw core::LoweringError(who, "PFIR coefficient " + std::to_string(c) +
+                                " does not fit the chip's coefficient registers");
+    ch.pfir_coeffs.push_back(static_cast<std::int32_t>(c));
+  }
+  config.channels = {ch};
+  try {
+    config.validate();
+  } catch (const ConfigError& e) {
+    throw core::LoweringError(who, std::string("recovered chip configuration is "
+                              "invalid: ") + e.what());
+  }
+
+  // The plan must be exactly the chip's realisation of that configuration
+  // (NCO format, internal 16-bit precision class, droop-compensating CFIR,
+  // Hogenauer pruning pattern, per-stage conditioning).  The PFIR taps were
+  // carried into `ch`, so the programmable filter matches by construction;
+  // everything else must equal the chip's own derivation.
+  const core::ChainPlan ref =
+      Gc4016Channel::figure4_plan(ch, config.input_rate_hz, config.input_bits);
+  core::check_plan_matches_reference(plan, ref, who, "gc4016-internal16");
+  return config;
 }
 
 void Gc4016Channel::reset() { pipeline_->reset(); }

@@ -124,6 +124,13 @@ class Gc4016 {
  public:
   explicit Gc4016(const Gc4016Config& config);
 
+  /// Plan -> chip lowering: accepts exactly the Figure 4 family (CIC5 with
+  /// a decimation in [8,4096] -> 21-tap CFIR -> 63-tap programmable PFIR,
+  /// each FIR decimating by 2) at a 14/16-bit input and a Table 2 output
+  /// width, and returns the single-channel chip configuration realising the
+  /// plan.  Throws core::LoweringError naming the first unmappable feature.
+  static Gc4016Config lower_plan(const core::ChainPlan& plan);
+
   /// Pushes one input sample into every enabled channel; returns any outputs
   /// produced this cycle (combined per `Combine`: kMultiplex tags each with
   /// its channel, kAdd sums simultaneous outputs into channel -1).

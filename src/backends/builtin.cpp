@@ -1,0 +1,489 @@
+#include "src/backends/builtin.hpp"
+
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <utility>
+
+#include "src/asic/gc4016.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/dsp/nco.hpp"
+#include "src/dsp/signal.hpp"
+#include "src/fpga/ddc_fpga.hpp"
+#include "src/gpp/ddc_program.hpp"
+#include "src/montium/ddc_mapping.hpp"
+
+namespace twiddc::backends {
+namespace {
+
+using core::ArchitectureBackend;
+using core::BackendCapabilities;
+using core::BackendPowerProfile;
+using core::ChainPlan;
+using core::DatapathSpec;
+using core::DdcConfig;
+using core::IqSample;
+using core::LoweringError;
+using core::SwapMode;
+
+/// Shared name/plan plumbing for the concrete backends.
+class BackendBase : public ArchitectureBackend {
+ public:
+  explicit BackendBase(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const ChainPlan& plan() const override {
+    require_configured();
+    return plan_;
+  }
+  [[nodiscard]] double output_scale() const override {
+    require_configured();
+    return core::plan_output_scale(plan_);
+  }
+
+ protected:
+  std::string name_;
+  ChainPlan plan_;
+};
+
+// ----------------------------------------------------------- native-pipeline
+
+class NativeBackend final : public BackendBase {
+ public:
+  NativeBackend() : BackendBase(kNative) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    c.arbitrary_topology = true;
+    c.supports_splice = true;
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return DatapathSpec::wide16();
+  }
+  void configure(const ChainPlan& plan) override {
+    try {
+      core::DdcPipeline pipe(plan);
+      pipe_ = std::move(pipe);
+    } catch (const LoweringError&) {
+      throw;
+    } catch (const ConfigError& e) {
+      throw LoweringError(name_, e.what());
+    }
+    plan_ = plan;
+  }
+  [[nodiscard]] bool is_configured() const override { return pipe_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    pipe_->process_block(in, out);
+  }
+  void reset() override {
+    require_configured();
+    pipe_->reset();
+  }
+  void swap_plan(const ChainPlan& plan, SwapMode mode) override {
+    require_configured();
+    try {
+      pipe_->swap_plan(plan, mode);
+    } catch (const LoweringError&) {
+      throw;
+    } catch (const ConfigError& e) {
+      // Keep the documented contract: lowering/compatibility failures are
+      // typed, and the old plan stays active (swap_plan guarantees that).
+      throw LoweringError(name_, e.what());
+    }
+    plan_ = pipe_->plan();
+  }
+
+ private:
+  std::optional<core::DdcPipeline> pipe_;
+};
+
+// ----------------------------------------------------------------- fixed-ddc
+
+class FixedDdcBackend final : public BackendBase {
+ public:
+  FixedDdcBackend() : BackendBase(kFixedDdc) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    c.arbitrary_topology = true;
+    c.supports_splice = true;
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return DatapathSpec::wide16();
+  }
+  void configure(const ChainPlan& plan) override {
+    try {
+      core::FixedDdc ddc(plan);
+      ddc_ = std::move(ddc);
+    } catch (const LoweringError&) {
+      throw;
+    } catch (const ConfigError& e) {
+      throw LoweringError(name_, e.what());
+    }
+    plan_ = plan;
+  }
+  [[nodiscard]] bool is_configured() const override { return ddc_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    ddc_->process_block(in, out);
+  }
+  void reset() override {
+    require_configured();
+    ddc_->reset();
+  }
+  void swap_plan(const ChainPlan& plan, SwapMode mode) override {
+    require_configured();
+    try {
+      ddc_->swap_plan(plan, mode);
+    } catch (const LoweringError&) {
+      throw;
+    } catch (const ConfigError& e) {
+      throw LoweringError(name_, e.what());
+    }
+    plan_ = ddc_->pipeline().plan();
+  }
+
+ private:
+  std::optional<core::FixedDdc> ddc_;
+};
+
+// ----------------------------------------------------------------- float-ddc
+
+/// Double-precision realisation of an arbitrary plan: exact sin/cos front
+/// end (at the NCO's quantised tuning frequency), float rails from the same
+/// specs, outputs requantised to the plan's output width for comparison.
+class FloatDdcBackend final : public BackendBase {
+ public:
+  FloatDdcBackend() : BackendBase(kFloatDdc) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = false;
+    c.arbitrary_topology = true;
+    c.min_snr_db = 35.0;  // 12-bit rails; wider plans do much better
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return DatapathSpec::ideal();
+  }
+  void configure(const ChainPlan& plan) override {
+    try {
+      plan.validate();
+      std::vector<core::StageChain<double>> rails;
+      rails.push_back(core::make_float_rail(plan));
+      rails.push_back(core::make_float_rail(plan));
+      rails_ = std::move(rails);
+    } catch (const ConfigError& e) {
+      throw LoweringError(name_, e.what());
+    }
+    plan_ = plan;
+    phase_ = 0.0;
+    phase_step_ = kTwoPi *
+                  static_cast<double>(dsp::PhaseAccumulator::tuning_word(
+                      plan.front_end.nco_freq_hz, plan.input_rate_hz)) *
+                  0x1p-32;
+    configured_ = true;
+  }
+  [[nodiscard]] bool is_configured() const override { return configured_; }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    const double in_scale =
+        std::ldexp(1.0, -(plan_.front_end.input_bits - 1));
+    const double out_gain =
+        std::ldexp(1.0, core::plan_output_bits(plan_) - 1);
+    mix_i_.clear();
+    mix_q_.clear();
+    mix_i_.reserve(in.size());
+    mix_q_.reserve(in.size());
+    for (std::int64_t x : in) {
+      const double xf = static_cast<double>(x) * in_scale;
+      mix_i_.push_back(xf * std::cos(phase_));
+      mix_q_.push_back(xf * std::sin(phase_));
+      phase_ += phase_step_;
+      if (phase_ >= kTwoPi) phase_ -= kTwoPi;
+    }
+    out_i_.clear();
+    out_q_.clear();
+    rails_[0].process_block(mix_i_, out_i_);
+    rails_[1].process_block(mix_q_, out_q_);
+    out.reserve(out.size() + out_i_.size());
+    for (std::size_t j = 0; j < out_i_.size(); ++j)
+      out.push_back(IqSample{std::llround(out_i_[j] * out_gain),
+                             std::llround(out_q_[j] * out_gain)});
+  }
+  void reset() override {
+    require_configured();
+    for (auto& r : rails_) r.reset();
+    phase_ = 0.0;
+  }
+
+ private:
+  static constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+
+  bool configured_ = false;
+  std::vector<core::StageChain<double>> rails_;
+  double phase_ = 0.0;
+  double phase_step_ = 0.0;
+  std::vector<double> mix_i_, mix_q_, out_i_, out_q_;
+};
+
+// --------------------------------------------------------------- asic-gc4016
+
+class Gc4016Backend final : public BackendBase {
+ public:
+  Gc4016Backend() : BackendBase(kGc4016) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    // The chip's internal precision class: 16-bit words, Q1.15 coefficients.
+    auto s = DatapathSpec::wide16();
+    s.name = "gc4016-internal16";
+    s.input_bits = 14;
+    return s;
+  }
+  [[nodiscard]] ChainPlan plan_for(const DdcConfig& config) const override {
+    // The chip's own lowering of a rate plan is its Figure 4 chain; it fits
+    // only decimations of the form 4 * CIC with CIC in [8,4096].
+    if (config.total_decimation() % 4 != 0 ||
+        config.total_decimation() / 4 < asic::Gc4016Limits::kMinCicDecimation ||
+        config.total_decimation() / 4 > asic::Gc4016Limits::kMaxCicDecimation)
+      throw LoweringError(name_, "total decimation " +
+                          std::to_string(config.total_decimation()) +
+                          " does not split as 4 x CIC with CIC in [8,4096]");
+    asic::Gc4016ChannelConfig ch;
+    ch.nco_freq_hz = config.nco_freq_hz;
+    ch.cic_decimation = config.total_decimation() / 4;
+    return asic::Gc4016Channel::figure4_plan(ch, config.input_rate_hz, 14);
+  }
+  void configure(const ChainPlan& plan) override {
+    const auto config = asic::Gc4016::lower_plan(plan);
+    chip_.emplace(config);
+    plan_ = plan;
+  }
+  [[nodiscard]] bool is_configured() const override { return chip_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    scratch_.clear();
+    chip_->process_block(in, scratch_);
+    out.reserve(out.size() + scratch_.size());
+    for (const auto& y : scratch_) out.push_back(IqSample{y.i, y.q});
+  }
+  void reset() override {
+    require_configured();
+    chip_->reset();
+  }
+  [[nodiscard]] BackendPowerProfile power_profile() const override {
+    require_configured();
+    BackendPowerProfile p;
+    p.modeled = true;
+    p.active_power_mw = chip_->power_mw_native();
+    p.idle_power_mw = 1.0;  // dedicated silicon: standby leakage all day
+    p.reusable_when_idle = false;
+    return p;
+  }
+
+ private:
+  std::optional<asic::Gc4016> chip_;
+  std::vector<asic::Gc4016Output> scratch_;
+};
+
+// ------------------------------------------------------------------ fpga-rtl
+
+class FpgaBackend final : public BackendBase {
+ public:
+  FpgaBackend() : BackendBase(kFpga) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return fpga::DdcFpgaTop::spec();
+  }
+  void configure(const ChainPlan& plan) override {
+    config_ = fpga::DdcFpgaTop::lower_plan(plan);
+    top_.emplace(config_);
+    plan_ = plan;
+  }
+  [[nodiscard]] bool is_configured() const override { return top_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    for (std::int64_t x : in) {
+      if (auto y = top_->clock(x)) out.push_back(*y);
+    }
+  }
+  void reset() override {
+    require_configured();
+    top_.emplace(config_);  // registers reset to their power-on state
+  }
+  [[nodiscard]] BackendPowerProfile power_profile() const override {
+    require_configured();
+    // Measure a representative toggle rate on a scratch instance (the
+    // conformance state of top_ must not advance), then apply the
+    // PowerPlay-style Cyclone II model.
+    fpga::DdcFpgaTop probe(config_);
+    Rng rng(7);
+    probe.process(dsp::random_samples(
+        12, static_cast<std::size_t>(config_.total_decimation()) * 4, rng));
+    const double toggle = probe.toggle_summary().rate_percent();
+    BackendPowerProfile p;
+    p.modeled = true;
+    p.active_power_mw = fpga::PowerModel::cyclone2().total_mw(toggle);
+    p.idle_power_mw = 0.0;
+    p.reusable_when_idle = true;  // fabric reprogrammed for other tasks
+    p.reconfig_bytes = 1.2e6 / 8.0;  // EP2C5 bitstream ~1.2 Mb
+    p.reconfig_power_mw = p.active_power_mw;
+    return p;
+  }
+
+ private:
+  DdcConfig config_;
+  std::optional<fpga::DdcFpgaTop> top_;
+};
+
+// ------------------------------------------------------------------- gpp-arm
+
+class GppBackend final : public BackendBase {
+ public:
+  GppBackend() : BackendBase(kGpp) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    c.in_phase_only = true;  // the paper's C code computes only the I rail
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return DatapathSpec::wide16();
+  }
+  void configure(const ChainPlan& plan) override {
+    const auto config = gpp::DdcProgram::lower_plan(plan);
+    prog_.emplace(config);
+    config_ = config;
+    plan_ = plan;
+    buffer_.clear();
+    emitted_ = 0;
+  }
+  [[nodiscard]] bool is_configured() const override { return prog_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    // The program is a batch kernel (one run over a memory image), not a
+    // streaming machine: re-run it over everything seen since reset and
+    // emit only the outputs that are new.  The history cannot be trimmed
+    // without changing results -- the CIC integrators accumulate from
+    // sample 0, so bit-exactness with the twin requires the full run.
+    // Streaming consumers of this backend must bound their blocks-per-
+    // reset (cost is quadratic in block count); the suite and bench do.
+    buffer_.insert(buffer_.end(), in.begin(), in.end());
+    const auto result = prog_->run(buffer_);
+    out.reserve(out.size() + result.outputs.size() - emitted_);
+    for (std::size_t k = emitted_; k < result.outputs.size(); ++k)
+      out.push_back(IqSample{result.outputs[k], 0});
+    emitted_ = result.outputs.size();
+  }
+  void reset() override {
+    require_configured();
+    buffer_.clear();
+    emitted_ = 0;
+  }
+  [[nodiscard]] BackendPowerProfile power_profile() const override {
+    require_configured();
+    Rng rng(11);
+    const std::size_t n = static_cast<std::size_t>(config_.total_decimation()) * 4;
+    const auto run = prog_->run(dsp::random_samples(12, n, rng));
+    BackendPowerProfile p;
+    p.modeled = true;
+    p.active_power_mw = run.power_mw(n, config_.input_rate_hz);
+    p.idle_power_mw = 0.0;
+    p.reusable_when_idle = true;  // the processor runs other code when idle
+    p.reconfig_bytes = static_cast<double>(prog_->program().code.size()) * 4.0;
+    p.reconfig_power_mw = p.active_power_mw;
+    return p;
+  }
+
+ private:
+  DdcConfig config_;
+  std::optional<gpp::DdcProgram> prog_;
+  std::vector<std::int64_t> buffer_;
+  std::size_t emitted_ = 0;
+};
+
+// ------------------------------------------------------------------- montium
+
+class MontiumBackend final : public BackendBase {
+ public:
+  MontiumBackend() : BackendBase(kMontium) {}
+
+  [[nodiscard]] BackendCapabilities capabilities() const override {
+    BackendCapabilities c;
+    c.bit_exact = true;
+    return c;
+  }
+  [[nodiscard]] DatapathSpec datapath() const override {
+    return montium::DdcMapping::spec();
+  }
+  void configure(const ChainPlan& plan) override {
+    config_ = montium::DdcMapping::lower_plan(plan);
+    map_.emplace(config_);
+    plan_ = plan;
+  }
+  [[nodiscard]] bool is_configured() const override { return map_.has_value(); }
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<IqSample>& out) override {
+    require_configured();
+    for (std::int64_t x : in) {
+      if (auto y = map_->step(x)) out.push_back(*y);
+    }
+  }
+  void reset() override {
+    require_configured();
+    map_.emplace(config_);  // reload the already-lowered configuration
+  }
+  [[nodiscard]] BackendPowerProfile power_profile() const override {
+    require_configured();
+    BackendPowerProfile p;
+    p.modeled = true;
+    p.active_power_mw = map_->power_mw();
+    p.idle_power_mw = 0.0;
+    p.reusable_when_idle = true;  // the tile hosts other kernels when idle
+    p.reconfig_bytes = static_cast<double>(map_->serialize_config().size());
+    p.reconfig_power_mw = p.active_power_mw;
+    return p;
+  }
+
+ private:
+  DdcConfig config_;
+  std::optional<montium::DdcMapping> map_;
+};
+
+}  // namespace
+
+void register_builtin() {
+  auto& registry = core::BackendRegistry::instance();
+  registry.add(kNative, [] { return std::make_unique<NativeBackend>(); });
+  registry.add(kFixedDdc, [] { return std::make_unique<FixedDdcBackend>(); });
+  registry.add(kFloatDdc, [] { return std::make_unique<FloatDdcBackend>(); });
+  registry.add(kGc4016, [] { return std::make_unique<Gc4016Backend>(); });
+  registry.add(kFpga, [] { return std::make_unique<FpgaBackend>(); });
+  registry.add(kGpp, [] { return std::make_unique<GppBackend>(); });
+  registry.add(kMontium, [] { return std::make_unique<MontiumBackend>(); });
+}
+
+}  // namespace twiddc::backends

@@ -1,0 +1,38 @@
+// twiddc::backends -- the built-in ArchitectureBackend set.
+//
+// One backend per execution path in the repo:
+//
+//   native-pipeline  core::DdcPipeline (the functional twin itself); runs
+//                    any valid plan, supports kSplice reconfiguration.
+//   fixed-ddc        core::FixedDdc shim (plan-constructed); any plan,
+//                    kSplice via the shared pipeline.
+//   float-ddc        double-precision rails built from the same plan;
+//                    any plan, quantisation-bounded agreement.
+//   asic-gc4016      the GC4016 quad-DDC chip model (one channel); only
+//                    the Figure 4 family lowers.
+//   fpga-rtl         the cycle-true FPGA design; only its 12-bit Figure-1
+//                    family lowers.
+//   gpp-arm          the ARM-like program; only the wide16 Figure-1 family
+//                    lowers, in-phase rail only (as the paper's C code).
+//   montium          the Montium tile mapping; only its wide16/7-bit-table
+//                    Figure-1 family lowers, reconfigures by flushing (a
+//                    configuration reload, the paper's 1110-byte blob).
+#pragma once
+
+#include "src/core/backend.hpp"
+
+namespace twiddc::backends {
+
+inline constexpr const char* kNative = "native-pipeline";
+inline constexpr const char* kFixedDdc = "fixed-ddc";
+inline constexpr const char* kFloatDdc = "float-ddc";
+inline constexpr const char* kGc4016 = "asic-gc4016";
+inline constexpr const char* kFpga = "fpga-rtl";
+inline constexpr const char* kGpp = "gpp-arm";
+inline constexpr const char* kMontium = "montium";
+
+/// Registers every built-in backend with core::BackendRegistry::instance().
+/// Idempotent; call before iterating the registry.
+void register_builtin();
+
+}  // namespace twiddc::backends

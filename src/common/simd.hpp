@@ -88,6 +88,8 @@ inline bool all_fit_i32(const std::int64_t* v, std::size_t n) {
 // order-independent, hence SIMD-reorder-safe and bit-exact vs any scalar
 // loop).  `narrow_ok` asserts every a[j] and b[j] fits int32, enabling the
 // one-multiply AVX2 path; otherwise an exact low-64 multiply emulation runs.
+// Odd tails (n % 4) stay on the vector path via masked loads, so FIR and
+// polyphase windows of any length run vector-only.
 
 inline std::int64_t dot_i64_scalar(const std::int64_t* a, const std::int64_t* b,
                                    std::size_t n) {
@@ -125,6 +127,16 @@ inline std::int64_t hsum_epi64(__m256i v) {
 }  // namespace detail
 #endif
 
+#if defined(__AVX2__)
+namespace detail {
+/// Lane mask whose first r (of 4) int64 lanes are selected, for the masked
+/// tail loads below.  A sliding window over this table produces the mask
+/// without branches: offset 4-r yields r leading all-ones lanes.
+alignas(32) inline constexpr std::int64_t kTailMask[8] = {-1, -1, -1, -1,
+                                                          0,  0,  0,  0};
+}  // namespace detail
+#endif
+
 inline std::int64_t dot_i64(const std::int64_t* a, const std::int64_t* b,
                             std::size_t n, bool narrow_ok) {
 #if defined(__AVX2__)
@@ -144,10 +156,20 @@ inline std::int64_t dot_i64(const std::int64_t* a, const std::int64_t* b,
         acc = _mm256_add_epi64(acc, detail::mullo_epi64(va, vb));
       }
     }
-    std::uint64_t sum = static_cast<std::uint64_t>(detail::hsum_epi64(acc));
-    for (; j < n; ++j)
-      sum += static_cast<std::uint64_t>(a[j]) * static_cast<std::uint64_t>(b[j]);
-    return static_cast<std::int64_t>(sum);
+    if (j < n) {
+      // Masked tail: the 1..3 leftover lanes stay on the vector path.
+      // Masked-out lanes load as zero, contributing zero products, so the
+      // mod-2^64 accumulation stays bit-exact with the scalar loop.
+      const __m256i mask = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(detail::kTailMask + (4 - (n - j))));
+      const __m256i va =
+          _mm256_maskload_epi64(reinterpret_cast<const long long*>(a + j), mask);
+      const __m256i vb =
+          _mm256_maskload_epi64(reinterpret_cast<const long long*>(b + j), mask);
+      acc = _mm256_add_epi64(acc, narrow_ok ? _mm256_mul_epi32(va, vb)
+                                            : detail::mullo_epi64(va, vb));
+    }
+    return detail::hsum_epi64(acc);
   }
 #endif
   (void)narrow_ok;

@@ -1,0 +1,226 @@
+#include "src/core/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/core/ddc_config.hpp"
+
+namespace twiddc::core {
+namespace {
+
+std::string stage_who(const ChainPlan& plan, std::size_t i) {
+  return "stage " + std::to_string(i) + " ('" + plan.stages[i].label + "')";
+}
+
+const char* kind_name(StageSpec::Kind k) {
+  switch (k) {
+    case StageSpec::Kind::kPassthrough: return "passthrough";
+    case StageSpec::Kind::kScale: return "scale";
+    case StageSpec::Kind::kCic: return "cic";
+    case StageSpec::Kind::kFirDecimator: return "fir";
+    case StageSpec::Kind::kPolyphaseFir: return "polyphase-fir";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ArchitectureBackend
+
+void ArchitectureBackend::require_configured() const {
+  if (!is_configured())
+    throw SimulationError(name() + ": backend used before configure()");
+}
+
+ChainPlan ArchitectureBackend::plan_for(const DdcConfig& config) const {
+  try {
+    return ChainPlan::figure1(config, datapath());
+  } catch (const ConfigError& e) {
+    throw LoweringError(name(), e.what());
+  }
+}
+
+void ArchitectureBackend::swap_plan(const ChainPlan& plan, SwapMode mode) {
+  require_configured();
+  if (mode == SwapMode::kSplice)
+    throw LoweringError(name(),
+                        "kSplice reconfiguration is not supported by this "
+                        "architecture (only kFlush)");
+  // Flush contract: reload the configuration as-if freshly configured.  A
+  // failed lowering must leave the old configuration running, which
+  // configure() implementations guarantee by lowering before committing.
+  configure(plan);
+}
+
+// --------------------------------------------------------- BackendRegistry
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(const std::string& name, Factory factory) {
+  for (auto& [n, f] : factories_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& p) { return p.first == name; });
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<ArchitectureBackend> BackendRegistry::create(
+    const std::string& name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return f();
+  }
+  throw ConfigError("BackendRegistry: no backend named '" + name + "' registered");
+}
+
+std::vector<std::unique_ptr<ArchitectureBackend>> BackendRegistry::create_all() const {
+  std::vector<std::unique_ptr<ArchitectureBackend>> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(f());
+  return out;
+}
+
+// ---------------------------------------------------------------- lowering
+
+DdcConfig lower_figure1_plan(const ChainPlan& plan, const DatapathSpec& spec,
+                             const std::string& backend) {
+  plan.validate();
+
+  // 1. Structural pattern: CIC -> CIC -> polyphase FIR.
+  if (plan.stages.size() != 3)
+    throw LoweringError(backend, "the datapath realises a 3-stage chain "
+                        "(CIC -> CIC -> FIR); plan has " +
+                        std::to_string(plan.stages.size()) + " stages");
+  const StageSpec& cic2 = plan.stages[0];
+  const StageSpec& cic5 = plan.stages[1];
+  const StageSpec& fir = plan.stages[2];
+  if (cic2.kind != StageSpec::Kind::kCic)
+    throw LoweringError(backend, stage_who(plan, 0) + " is " +
+                        kind_name(cic2.kind) + " but the first stage must be a CIC");
+  if (cic5.kind != StageSpec::Kind::kCic)
+    throw LoweringError(backend, stage_who(plan, 1) + " is " +
+                        kind_name(cic5.kind) + " but the second stage must be a CIC");
+  if (fir.kind != StageSpec::Kind::kPolyphaseFir)
+    throw LoweringError(backend, stage_who(plan, 2) + " is " + kind_name(fir.kind) +
+                        " but the last stage must be a polyphase FIR");
+
+  // 2. Recover the rate plan.
+  DdcConfig config;
+  config.input_rate_hz = plan.input_rate_hz;
+  config.nco_freq_hz = plan.front_end.nco_freq_hz;
+  config.cic2_stages = cic2.cic_stages;
+  config.cic2_decimation = cic2.decimation;
+  config.cic5_stages = cic5.cic_stages;
+  config.cic5_decimation = cic5.decimation;
+  config.fir_taps = static_cast<int>(fir.taps.size());
+  config.fir_decimation = fir.decimation;
+  try {
+    config.validate();
+  } catch (const ConfigError& e) {
+    throw LoweringError(backend, std::string("recovered rate plan is invalid: ") +
+                        e.what());
+  }
+
+  // 3. The plan must be exactly this architecture's lowering of that rate
+  // plan: re-derive it and diff every field the fixed datapath consumes.
+  ChainPlan ref;
+  try {
+    ref = ChainPlan::figure1(config, spec);
+  } catch (const ConfigError& e) {
+    throw LoweringError(backend, std::string("datapath '") + spec.name +
+                        "' cannot realise the recovered rate plan: " + e.what());
+  }
+  check_plan_matches_reference(plan, ref, backend, spec.name);
+  return config;
+}
+
+void check_plan_matches_reference(const ChainPlan& plan, const ChainPlan& ref,
+                                  const std::string& backend,
+                                  const std::string& datapath_name) {
+  if (plan.stages.size() != ref.stages.size())
+    throw LoweringError(backend, "plan has " + std::to_string(plan.stages.size()) +
+                        " stages but the '" + datapath_name + "' chain has " +
+                        std::to_string(ref.stages.size()));
+
+  const FrontEndSpec& fe = plan.front_end;
+  const FrontEndSpec& rfe = ref.front_end;
+  auto fe_mismatch = [&](const char* field, int got, int want) {
+    throw LoweringError(backend, std::string("front end ") + field + " = " +
+                        std::to_string(got) + " but the '" + datapath_name +
+                        "' datapath implements " + std::to_string(want));
+  };
+  if (fe.nco_amplitude_bits != rfe.nco_amplitude_bits)
+    fe_mismatch("nco_amplitude_bits", fe.nco_amplitude_bits, rfe.nco_amplitude_bits);
+  if (fe.nco_table_bits != rfe.nco_table_bits)
+    fe_mismatch("nco_table_bits", fe.nco_table_bits, rfe.nco_table_bits);
+  if (fe.nco_mode != rfe.nco_mode)
+    throw LoweringError(backend, "front end NCO mode differs from the '" +
+                        datapath_name + "' datapath's table-lookup NCO");
+  if (fe.input_bits != rfe.input_bits)
+    fe_mismatch("input_bits", fe.input_bits, rfe.input_bits);
+  if (fe.mixer_out_bits != rfe.mixer_out_bits)
+    fe_mismatch("mixer_out_bits", fe.mixer_out_bits, rfe.mixer_out_bits);
+  if (fe.mixer_rounding != rfe.mixer_rounding)
+    throw LoweringError(backend, "front end mixer rounding differs from the '" +
+                        datapath_name + "' datapath");
+
+  for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+    const StageSpec& got = plan.stages[i];
+    const StageSpec& want = ref.stages[i];
+    const std::string who = stage_who(plan, i);
+    auto mismatch = [&](const char* field, long long g, long long w) {
+      throw LoweringError(backend, who + " " + field + " = " + std::to_string(g) +
+                          " but the '" + datapath_name + "' lowering requires " +
+                          std::to_string(w));
+    };
+    if (got.kind != want.kind)
+      throw LoweringError(backend, who + " is " + kind_name(got.kind) +
+                          " but the '" + datapath_name + "' chain has a " +
+                          kind_name(want.kind) + " stage there");
+    if (got.decimation != want.decimation)
+      mismatch("decimation", got.decimation, want.decimation);
+    if (got.kind == StageSpec::Kind::kCic) {
+      if (got.cic_stages != want.cic_stages)
+        mismatch("cic_stages", got.cic_stages, want.cic_stages);
+      if (got.diff_delay != want.diff_delay)
+        mismatch("diff_delay", got.diff_delay, want.diff_delay);
+      if (got.input_bits != want.input_bits)
+        mismatch("input_bits", got.input_bits, want.input_bits);
+      if (got.register_bits != want.register_bits)
+        mismatch("register_bits", got.register_bits, want.register_bits);
+      if (got.prune_shifts != want.prune_shifts)
+        throw LoweringError(backend, who + " Hogenauer register pruning differs "
+                            "from the '" + datapath_name + "' implementation");
+    } else if (got.taps != want.taps) {
+      throw LoweringError(backend, who + " taps differ from the '" + datapath_name +
+                          "' derivation (coefficient sets this architecture does "
+                          "not itself derive are not realised)");
+    }
+    if (got.post_shift != want.post_shift)
+      mismatch("post_shift", got.post_shift, want.post_shift);
+    if (got.narrow_bits != want.narrow_bits)
+      mismatch("narrow_bits", got.narrow_bits, want.narrow_bits);
+    if (got.rounding != want.rounding)
+      throw LoweringError(backend, who + " rounding mode differs from the '" +
+                          datapath_name + "' datapath");
+  }
+}
+
+}  // namespace twiddc::core

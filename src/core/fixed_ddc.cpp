@@ -9,6 +9,53 @@ namespace twiddc::core {
 FixedDdc::FixedDdc(const DdcConfig& config, const DatapathSpec& spec)
     : config_(config), spec_(spec), pipeline_(ChainPlan::figure1(config, spec)) {}
 
+namespace {
+
+/// Rates/widths of an arbitrary plan, recast into the config/spec structs
+/// the accessors report.  Stage-structure fields that have no equivalent in
+/// a non-Figure-1 plan keep their defaults.
+DatapathSpec spec_from_plan(const ChainPlan& plan) {
+  DatapathSpec s;
+  s.name = "plan:" + plan.name;
+  s.input_bits = plan.front_end.input_bits;
+  s.nco_amplitude_bits = plan.front_end.nco_amplitude_bits;
+  s.nco_table_bits = plan.front_end.nco_table_bits;
+  s.nco_mode = plan.front_end.nco_mode;
+  s.mixer_out_bits = plan.front_end.mixer_out_bits;
+  s.rounding = plan.front_end.mixer_rounding;
+  s.interstage_bits = plan.front_end.mixer_out_bits;
+  s.output_bits = plan_output_bits(plan);
+  return s;
+}
+
+DdcConfig config_from_plan(const ChainPlan& plan) {
+  DdcConfig c;
+  c.input_rate_hz = plan.input_rate_hz;
+  c.nco_freq_hz = plan.front_end.nco_freq_hz;
+  return c;
+}
+
+}  // namespace
+
+FixedDdc::FixedDdc(const ChainPlan& plan)
+    : config_(config_from_plan(plan)), spec_(spec_from_plan(plan)), pipeline_(plan) {}
+
+void FixedDdc::swap_plan(const ChainPlan& plan, SwapMode mode) {
+  pipeline_.swap_plan(plan, mode);
+  config_.nco_freq_hz = plan.front_end.nco_freq_hz;
+  if (mode == SwapMode::kFlush) {
+    // The rails were rebuilt: stage taps are gone, so tracing is off.
+    config_ = config_from_plan(plan);
+    spec_ = spec_from_plan(plan);
+    tracing_ = false;
+    trace_ = StageTrace{};
+  } else {
+    // A splice may change the output conditioning (narrow_bits); keep
+    // output_scale() in sync with what the rails now produce.
+    spec_.output_bits = plan_output_bits(plan);
+  }
+}
+
 FixedDdc::FixedDdc(FixedDdc&& other) noexcept
     : config_(std::move(other.config_)),
       spec_(std::move(other.spec_)),
@@ -38,14 +85,17 @@ void FixedDdc::reset() {
 void FixedDdc::set_tracing(bool enabled) {
   tracing_ = enabled;
   auto& rail = pipeline_.rail(0);
+  rail.clear_taps();
   if (enabled) {
+    // Figure 1 maps the trace points 1:1; arbitrary plans tap the first,
+    // second and final stage of whatever chain is running.
     pipeline_.set_mixer_tap(&trace_.mixer_i);
-    rail.set_tap(0, &trace_.cic2_i);
-    rail.set_tap(1, &trace_.cic5_i);
-    rail.set_tap(2, &trace_.fir_i);
+    const std::size_t n = rail.size();
+    if (n > 0) rail.set_tap(0, &trace_.cic2_i);
+    if (n > 1) rail.set_tap(1, &trace_.cic5_i);
+    if (n > 2) rail.set_tap(n - 1, &trace_.fir_i);
   } else {
     pipeline_.set_mixer_tap(nullptr);
-    rail.clear_taps();
   }
 }
 

@@ -41,6 +41,12 @@ class FixedDdc {
  public:
   FixedDdc(const DdcConfig& config, const DatapathSpec& spec);
 
+  /// Builds the DDC from an arbitrary ChainPlan (any topology, not just
+  /// Figure 1).  The stored DdcConfig/DatapathSpec are synthesised from the
+  /// plan's rates and widths; stage tracing taps the first, second and last
+  /// stage of the chain.
+  explicit FixedDdc(const ChainPlan& plan);
+
   // Moves must re-point the pipeline's observation taps at the new object's
   // trace_ member; copying is not supported (the pipeline owns unique
   // stages).
@@ -86,6 +92,11 @@ class FixedDdc {
 
   /// Retunes the NCO (runtime-adjustable, as on every paper architecture).
   void set_nco_frequency(double freq_hz);
+
+  /// Runtime reconfiguration onto a new plan (see core::SwapMode for the
+  /// glitch contract).  Tracing is disabled by a kFlush swap (the traced
+  /// stages no longer exist); re-enable it afterwards if needed.
+  void swap_plan(const ChainPlan& plan, SwapMode mode = SwapMode::kFlush);
 
  private:
   DdcConfig config_;

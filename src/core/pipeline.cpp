@@ -40,6 +40,9 @@ class FixedPassthroughStage final : public Stage<std::int64_t> {
                      std::vector<std::int64_t>& out) override {
     out.insert(out.end(), in.begin(), in.end());
   }
+  [[nodiscard]] bool can_splice(const StageSpec& spec) const override {
+    return spec.kind == StageSpec::Kind::kPassthrough;
+  }
   void reset() override {}
   [[nodiscard]] int decimation() const override { return 1; }
   [[nodiscard]] const std::string& label() const override { return label_; }
@@ -57,6 +60,12 @@ class FixedScaleStage final : public Stage<std::int64_t> {
                      std::vector<std::int64_t>& out) override {
     out.reserve(out.size() + in.size());
     for (std::int64_t x : in) out.push_back(req_.apply(x));
+  }
+  [[nodiscard]] bool can_splice(const StageSpec& spec) const override {
+    return spec.kind == StageSpec::Kind::kScale;
+  }
+  void splice(const StageSpec& spec) override {
+    req_ = Requantizer{spec.post_shift, spec.narrow_bits, spec.rounding};
   }
   void reset() override {}
   [[nodiscard]] int decimation() const override { return 1; }
@@ -95,6 +104,18 @@ class FixedCicStage final : public Stage<std::int64_t> {
     out.reserve(out.size() + scratch_.size());
     for (std::int64_t v : scratch_) out.push_back(req_.apply(v));
   }
+  [[nodiscard]] bool can_splice(const StageSpec& spec) const override {
+    // The CIC structure (stage count, decimation, register sizing) is the
+    // filter; only the output conditioning can change under a splice.
+    const auto& c = cic_.config();
+    return spec.kind == StageSpec::Kind::kCic && spec.cic_stages == c.stages &&
+           spec.decimation == c.decimation && spec.diff_delay == c.diff_delay &&
+           spec.input_bits == c.input_bits && spec.register_bits == c.register_bits &&
+           spec.prune_shifts == c.prune_shifts;
+  }
+  void splice(const StageSpec& spec) override {
+    req_ = Requantizer{spec.post_shift, spec.narrow_bits, spec.rounding};
+  }
   void reset() override { cic_.reset(); }
   [[nodiscard]] int decimation() const override { return cic_.config().decimation; }
   [[nodiscard]] const std::string& label() const override { return label_; }
@@ -111,6 +132,7 @@ class FixedFirStage final : public Stage<std::int64_t> {
  public:
   FixedFirStage(const StageSpec& spec, Filter filter)
       : label_(spec.label),
+        kind_(spec.kind),
         fir_(std::move(filter)),
         req_{spec.post_shift, spec.narrow_bits, spec.rounding} {}
 
@@ -126,12 +148,23 @@ class FixedFirStage final : public Stage<std::int64_t> {
     out.reserve(out.size() + scratch_.size());
     for (std::int64_t v : scratch_) out.push_back(req_.apply(v));
   }
+  [[nodiscard]] bool can_splice(const StageSpec& spec) const override {
+    // Coefficients and conditioning may change; structure (form, decimation,
+    // tap count -- the delay-line geometry) may not.
+    return spec.kind == kind_ && spec.decimation == fir_.decimation() &&
+           spec.taps.size() == fir_.macs_per_output();
+  }
+  void splice(const StageSpec& spec) override {
+    fir_.retap(spec.taps);
+    req_ = Requantizer{spec.post_shift, spec.narrow_bits, spec.rounding};
+  }
   void reset() override { fir_.reset(); }
   [[nodiscard]] int decimation() const override { return fir_.decimation(); }
   [[nodiscard]] const std::string& label() const override { return label_; }
 
  private:
   std::string label_;
+  StageSpec::Kind kind_;
   Filter fir_;
   Requantizer req_;
   std::vector<std::int64_t> scratch_;
@@ -478,6 +511,17 @@ StageChain<double> make_float_rail(const ChainPlan& plan) {
   return StageChain<double>(std::move(stages));
 }
 
+int plan_output_bits(const ChainPlan& plan) {
+  for (auto it = plan.stages.rbegin(); it != plan.stages.rend(); ++it) {
+    if (it->narrow_bits != 0) return it->narrow_bits;
+  }
+  return plan.front_end.mixer_out_bits;
+}
+
+double plan_output_scale(const ChainPlan& plan) {
+  return 1.0 / static_cast<double>(std::int64_t{1} << (plan_output_bits(plan) - 1));
+}
+
 // ----------------------------------------------------------------- StageChain
 
 template <typename T>
@@ -530,6 +574,23 @@ void StageChain<T>::clear_taps() {
   taps_.assign(taps_.size(), nullptr);
 }
 
+template <typename T>
+bool StageChain<T>::can_splice(const std::vector<StageSpec>& specs) const {
+  if (specs.size() != stages_.size()) return false;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (!stages_[i]->can_splice(specs[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+void StageChain<T>::splice(const std::vector<StageSpec>& specs) {
+  if (!can_splice(specs))
+    throw ConfigError("StageChain::splice: stage list is structurally "
+                      "incompatible with the running chain (use SwapMode::kFlush)");
+  for (std::size_t i = 0; i < stages_.size(); ++i) stages_[i]->splice(specs[i]);
+}
+
 template class StageChain<std::int64_t>;
 template class StageChain<double>;
 
@@ -573,6 +634,65 @@ void DdcPipeline::set_nco_frequency(double freq_hz) {
     throw ConfigError("set_nco_frequency: frequency out of range");
   plan_.front_end.nco_freq_hz = freq_hz;
   nco_.set_frequency(freq_hz);
+}
+
+void DdcPipeline::swap_plan(const ChainPlan& plan, SwapMode mode) {
+  plan.validate();
+  if (mode == SwapMode::kSplice) {
+    // Structural compatibility: the front end's datapath may not change
+    // (only the mixing frequency), and every stage must accept the new spec
+    // with its state intact.  Check everything before touching anything so
+    // a rejected splice leaves the old plan running untouched.
+    const FrontEndSpec& a = plan_.front_end;
+    const FrontEndSpec& b = plan.front_end;
+    if (a.nco_amplitude_bits != b.nco_amplitude_bits ||
+        a.nco_table_bits != b.nco_table_bits || a.nco_mode != b.nco_mode ||
+        a.input_bits != b.input_bits || a.mixer_out_bits != b.mixer_out_bits ||
+        a.mixer_rounding != b.mixer_rounding ||
+        plan.input_rate_hz != plan_.input_rate_hz)
+      throw ConfigError("DdcPipeline::swap_plan(kSplice): front-end datapath "
+                        "differs between plans (only the NCO frequency may "
+                        "change under a splice; use SwapMode::kFlush)");
+    for (auto& rail : rails_) {
+      if (!rail.can_splice(plan.stages))
+        throw ConfigError("DdcPipeline::swap_plan(kSplice): plan '" + plan.name +
+                          "' is structurally incompatible with running plan '" +
+                          plan_.name + "' (use SwapMode::kFlush)");
+    }
+    for (auto& rail : rails_) rail.splice(plan.stages);
+    plan_ = plan;
+    nco_.set_frequency(plan_.front_end.nco_freq_hz);  // phase-continuous
+    return;
+  }
+
+  // kFlush: reconfigure as-if freshly constructed.  Rails are rebuilt (so
+  // stage observation taps vanish with their stages), the NCO/mixer are
+  // rebuilt from the new front end, and the sample counters restart.
+  std::vector<StageChain<std::int64_t>> rails;
+  rails.push_back(make_fixed_rail(plan));
+  rails.push_back(make_fixed_rail(plan));
+
+  dsp::Nco::Config nc;
+  nc.freq_hz = plan.front_end.nco_freq_hz;
+  nc.sample_rate_hz = plan.input_rate_hz;
+  nc.amplitude_bits = plan.front_end.nco_amplitude_bits;
+  nc.table_bits = plan.front_end.nco_table_bits;
+  nc.mode = plan.front_end.nco_mode;
+
+  dsp::ComplexMixer::Config mc;
+  mc.input_bits = plan.front_end.input_bits;
+  mc.nco_amplitude_bits = plan.front_end.nco_amplitude_bits;
+  mc.output_bits = plan.front_end.mixer_out_bits;
+  mc.rounding = plan.front_end.mixer_rounding;
+  dsp::ComplexMixer mixer(mc);  // may throw; construct before committing
+
+  plan_ = plan;
+  nco_ = dsp::Nco(nc);
+  mixer_ = mixer;
+  rails_ = std::move(rails);
+  mixer_tap_ = nullptr;
+  samples_in_ = 0;
+  samples_out_ = 0;
 }
 
 std::optional<IqSample> DdcPipeline::push(std::int64_t x) {

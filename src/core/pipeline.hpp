@@ -131,6 +131,26 @@ struct ChainPlan {
 
 // ------------------------------------------------------------------- runtime
 
+/// Output-glitch contract of a runtime plan swap (see DESIGN.md).
+///
+/// kFlush -- always available.  The pipeline is reconfigured as-if freshly
+/// constructed from the new plan: every filter state, decimation counter
+/// and the NCO phase is discarded, and the sample counters restart.  The
+/// glitch is a clean gap: no output mixes the two plans, and the first
+/// outputs after the swap are the new chain's settling transient (its group
+/// delay), exactly as a fresh pipeline would produce.
+///
+/// kSplice -- only for structurally compatible plans (same stage kinds,
+/// decimations, CIC geometry and tap counts; only coefficients, output
+/// conditioning and the NCO frequency may change).  All filter state is
+/// kept, so the output stream continues at the same cadence with no gap;
+/// the glitch is a transient where pre-swap history is convolved with the
+/// new coefficients.  Once the new-plan samples have flushed the filter
+/// histories, outputs are bit-exact with a chain that ran the new plan all
+/// along.  Incompatible plans throw ConfigError and leave the old plan
+/// running.
+enum class SwapMode { kFlush, kSplice };
+
 /// Runtime interface of one rail stage.
 template <typename T>
 class Stage {
@@ -148,6 +168,17 @@ class Stage {
       if (auto y = push(x)) out.push_back(*y);
     }
   }
+
+  /// True when splice(spec) would succeed: `spec` describes the same stage
+  /// structure (kind, decimation, filter geometry) and differs only in
+  /// coefficients or output conditioning.
+  [[nodiscard]] virtual bool can_splice(const StageSpec& spec) const {
+    (void)spec;
+    return false;
+  }
+  /// State-preserving reconfiguration (the SwapMode::kSplice leg).  Only
+  /// called after can_splice(spec) returned true.
+  virtual void splice(const StageSpec& spec) { (void)spec; }
 
   virtual void reset() = 0;
   [[nodiscard]] virtual int decimation() const = 0;
@@ -183,6 +214,14 @@ class StageChain {
   void set_tap(std::size_t i, std::vector<T>* sink) { taps_.at(i) = sink; }
   void clear_taps();
 
+  /// True when every stage can splice to the matching spec (same count,
+  /// structurally compatible stage by stage).
+  [[nodiscard]] bool can_splice(const std::vector<StageSpec>& specs) const;
+  /// Applies a state-preserving reconfiguration; call can_splice first
+  /// (all-or-nothing: nothing is modified when any stage is incompatible,
+  /// and ConfigError is thrown).
+  void splice(const std::vector<StageSpec>& specs);
+
  private:
   std::vector<std::unique_ptr<Stage<T>>> stages_;
   std::vector<std::vector<T>*> taps_;
@@ -196,6 +235,13 @@ extern template class StageChain<double>;
 /// Builds one rail (a StageChain) from a plan's stage list.
 StageChain<std::int64_t> make_fixed_rail(const ChainPlan& plan);
 StageChain<double> make_float_rail(const ChainPlan& plan);
+
+/// Output word width of a plan: the narrow_bits of the last narrowing
+/// stage, falling back to the mixer bus width for plans that never narrow.
+int plan_output_bits(const ChainPlan& plan);
+/// Multiplies raw plan outputs into normalised doubles:
+/// 1 / 2^(plan_output_bits - 1).
+double plan_output_scale(const ChainPlan& plan);
 
 /// The full fixed-point DDC: NCO + mixer front end feeding two rate-locked
 /// rails built from a ChainPlan.
@@ -218,6 +264,13 @@ class DdcPipeline {
 
   /// Retunes the NCO without resetting phase.
   void set_nco_frequency(double freq_hz);
+
+  /// Runtime reconfiguration onto a new plan; see SwapMode for the
+  /// output-glitch contract of each mode.  Throws ConfigError (leaving the
+  /// current plan running) when the new plan is invalid or, for kSplice,
+  /// structurally incompatible.  Observation taps are cleared on kFlush
+  /// (stage count may change) and kept on kSplice.
+  void swap_plan(const ChainPlan& plan, SwapMode mode = SwapMode::kFlush);
 
   [[nodiscard]] const ChainPlan& plan() const { return plan_; }
   [[nodiscard]] int total_decimation() const { return plan_.total_decimation(); }

@@ -70,6 +70,18 @@ void FirFilter<T>::reset() {
 }
 
 template <typename T>
+void FirFilter<T>::retap(std::vector<T> taps) {
+  if (taps.size() != taps_.size())
+    throw ConfigError("FirFilter::retap: expected " + std::to_string(taps_.size()) +
+                      " taps, got " + std::to_string(taps.size()));
+  taps_ = std::move(taps);
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps_);
+    taps_fit_i32_ = fits_i32(taps_);
+  }
+}
+
+template <typename T>
 T FirFilter<T>::push(T x) {
   // head_ points at the slot for the newest sample.
   history_[head_] = x;
@@ -122,6 +134,18 @@ void FirDecimator<T>::reset() {
   history_.assign(history_.size(), T{});
   head_ = 0;
   phase_ = 0;
+}
+
+template <typename T>
+void FirDecimator<T>::retap(std::vector<T> taps) {
+  if (taps.size() != taps_.size())
+    throw ConfigError("FirDecimator::retap: expected " + std::to_string(taps_.size()) +
+                      " taps, got " + std::to_string(taps.size()));
+  taps_ = std::move(taps);
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps_);
+    taps_fit_i32_ = fits_i32(taps_);
+  }
 }
 
 template <typename T>
@@ -192,6 +216,21 @@ PolyphaseFirDecimator<T>::PolyphaseFirDecimator(std::vector<T> taps, int decimat
   for (std::size_t p = 0; p < phases_.size(); ++p) {
     // Delay lines never shrink below one slot so empty subfilters stay benign.
     histories_[p].assign(std::max<std::size_t>(phases_[p].size(), 1), T{});
+  }
+}
+
+template <typename T>
+void PolyphaseFirDecimator<T>::retap(std::vector<T> taps) {
+  if (taps.size() != total_taps_)
+    throw ConfigError("PolyphaseFirDecimator::retap: expected " +
+                      std::to_string(total_taps_) + " taps, got " +
+                      std::to_string(taps.size()));
+  for (auto& p : phases_) p.clear();
+  for (std::size_t k = 0; k < taps.size(); ++k)
+    phases_[k % static_cast<std::size_t>(decimation_)].push_back(taps[k]);
+  if constexpr (std::is_integral_v<T>) {
+    rev_taps_ = reversed(taps);
+    taps_fit_i32_ = fits_i32(taps);
   }
 }
 

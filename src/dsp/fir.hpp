@@ -33,6 +33,10 @@ class FirFilter {
   void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
+  /// Replaces the coefficient set while keeping the delay line (runtime
+  /// reconfiguration).  The new set must have the same length; ConfigError
+  /// otherwise.
+  void retap(std::vector<T> taps);
   [[nodiscard]] const std::vector<T>& taps() const { return taps_; }
   /// Multiplications performed per input sample.
   [[nodiscard]] std::size_t macs_per_input() const { return taps_.size(); }
@@ -63,6 +67,9 @@ class FirDecimator {
   void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
+  /// Replaces the coefficient set while keeping the delay line and phase
+  /// (runtime reconfiguration).  Same length required; ConfigError otherwise.
+  void retap(std::vector<T> taps);
   [[nodiscard]] const std::vector<T>& taps() const { return taps_; }
   [[nodiscard]] int decimation() const { return decimation_; }
   /// Multiplications per *output* sample.
@@ -98,6 +105,10 @@ class PolyphaseFirDecimator {
   void process_block(std::span<const T> in, std::vector<T>& out);
 
   void reset();
+  /// Replaces the coefficient set while keeping every subfilter delay line
+  /// and the commutator position (runtime reconfiguration).  Same total
+  /// length required; ConfigError otherwise.
+  void retap(std::vector<T> taps);
   [[nodiscard]] int decimation() const { return decimation_; }
   [[nodiscard]] const std::vector<std::vector<T>>& phase_taps() const { return phases_; }
   /// Multiplications per output sample (== total taps).

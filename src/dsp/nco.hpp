@@ -89,6 +89,8 @@ class Nco {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const std::vector<std::int32_t>& table() const { return table_; }
   [[nodiscard]] std::uint32_t tuning_word() const { return acc_.step(); }
+  /// Current phase-accumulator value (32-bit phase in [0, 2^32) == [0, 2pi)).
+  [[nodiscard]] std::uint32_t phase() const { return acc_.phase(); }
   void reset() { acc_.reset(); }
 
   /// Retune without resetting phase (the paper's Montium mapping generates

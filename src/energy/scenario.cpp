@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/core/backend.hpp"
+#include "src/core/ddc_config.hpp"
 
 namespace twiddc::energy {
 
@@ -33,6 +35,28 @@ ScenarioResult evaluate_scenario(const DutyCycleModel& model, double duty_cycle,
   r.reconfig_seconds_per_day = reconfig_s;
   r.idle_time_reusable = model.reusable_when_idle;
   return r;
+}
+
+std::vector<DutyCycleModel> duty_models_from_backends(const core::DdcConfig& config) {
+  std::vector<DutyCycleModel> models;
+  for (auto& backend : core::BackendRegistry::instance().create_all()) {
+    try {
+      backend->configure(backend->plan_for(config));
+    } catch (const core::LoweringError&) {
+      continue;  // this architecture cannot realise the rate plan
+    }
+    const auto profile = backend->power_profile();
+    if (!profile.modeled) continue;  // simulation-only functional backend
+    DutyCycleModel m;
+    m.name = backend->name();
+    m.active_power_mw = profile.active_power_mw;
+    m.idle_power_mw = profile.idle_power_mw;
+    m.reusable_when_idle = profile.reusable_when_idle;
+    m.reconfig_bytes = profile.reconfig_bytes;
+    m.reconfig_power_mw = profile.reconfig_power_mw;
+    models.push_back(std::move(m));
+  }
+  return models;
 }
 
 std::vector<ScenarioResult> rank_architectures(const std::vector<DutyCycleModel>& models,

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace twiddc::core {
+struct DdcConfig;
+}  // namespace twiddc::core
+
 namespace twiddc::energy {
 
 /// How one architecture behaves in a duty-cycled deployment.
@@ -43,5 +47,14 @@ ScenarioResult evaluate_scenario(const DutyCycleModel& model, double duty_cycle,
 std::vector<ScenarioResult> rank_architectures(const std::vector<DutyCycleModel>& models,
                                                double duty_cycle,
                                                int activations_per_day);
+
+/// One DutyCycleModel per registered ArchitectureBackend that models real
+/// silicon (BackendPowerProfile::modeled): each backend is configured with
+/// its own lowering of `config`'s rate plan and its power profile becomes
+/// the model.  Backends whose architecture cannot realise the plan are
+/// skipped (their LoweringError is the documented reason), as are the
+/// simulation-only functional backends.  Call backends::register_builtin()
+/// (or register your own backends) first.
+std::vector<DutyCycleModel> duty_models_from_backends(const core::DdcConfig& config);
 
 }  // namespace twiddc::energy

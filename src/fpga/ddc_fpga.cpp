@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <string>
 
+#include <tuple>
+
 #include "src/common/error.hpp"
+#include "src/core/backend.hpp"
 #include "src/dsp/fir_design.hpp"
 #include "src/dsp/nco.hpp"
 
@@ -201,6 +204,24 @@ core::DatapathSpec DdcFpgaTop::spec() {
   s.nco_table_bits = kNcoTableBits;
   return s;
 }
+
+core::DdcConfig DdcFpgaTop::lower_plan(const core::ChainPlan& plan) {
+  const std::string who = "fpga-rtl";
+  const auto config = core::lower_figure1_plan(plan, spec(), who);
+  if (config.fir_taps > 128)
+    throw core::LoweringError(who, "the sequential FIR's M4K sample RAM holds 128 "
+                              "samples; plan needs " + std::to_string(config.fir_taps));
+  for (const auto& [stages, decimation, label] :
+       {std::tuple{config.cic2_stages, config.cic2_decimation, "first"},
+        std::tuple{config.cic5_stages, config.cic5_decimation, "second"}}) {
+    if (kBus + fixed::cic_bit_growth(stages, decimation) > 63)
+      throw core::LoweringError(who, std::string("the ") + label +
+                                " CIC's integrator registers exceed 63 bits");
+  }
+  return config;
+}
+
+DdcFpgaTop::DdcFpgaTop(const core::ChainPlan& plan) : DdcFpgaTop(lower_plan(plan)) {}
 
 DdcFpgaTop::DdcFpgaTop(const core::DdcConfig& config)
     : config_(config),

@@ -99,6 +99,16 @@ class DdcFpgaTop {
   /// efficiently").
   explicit DdcFpgaTop(const core::DdcConfig& config);
 
+  /// Builds the design from an arbitrary ChainPlan via lower_plan().
+  explicit DdcFpgaTop(const core::ChainPlan& plan);
+
+  /// Plan -> netlist lowering: accepts exactly the Figure-1 family realised
+  /// with this design's 12-bit busses (spec()), within the structural
+  /// limits of the blocks (<= 128 sequential-FIR taps, CIC register growth
+  /// <= 63 bits).  Throws core::LoweringError naming the first unmappable
+  /// feature; never silently assumes the reference topology.
+  static core::DdcConfig lower_plan(const core::ChainPlan& plan);
+
   /// One 64.512 MHz clock with a new 12-bit input sample.
   std::optional<core::IqSample> clock(std::int64_t x);
 

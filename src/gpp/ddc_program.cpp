@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/fixed_ddc.hpp"
 #include "src/dsp/nco.hpp"
 #include "src/fixed/qformat.hpp"
@@ -53,6 +54,29 @@ Operand2 imm(std::int32_t v) { return Operand2::immediate(v); }
 Operand2 rr(int reg) { return Operand2::r(reg); }
 
 }  // namespace
+
+core::DdcConfig DdcProgram::lower_plan(const core::ChainPlan& plan) {
+  const std::string who = "gpp-arm";
+  const auto config =
+      core::lower_figure1_plan(plan, core::DatapathSpec::wide16(), who);
+  if (config.cic2_stages != 2 || config.cic5_stages != 5)
+    throw core::LoweringError(who, "the ARM kernel is written for the CIC2+CIC5 "
+                              "chain (got CIC" + std::to_string(config.cic2_stages) +
+                              "+CIC" + std::to_string(config.cic5_stages) + ")");
+  if (config.fir_taps > 128)
+    throw core::LoweringError(who, "the 128-word sample ring cannot hold a " +
+                              std::to_string(config.fir_taps) + "-tap FIR");
+  for (const auto g : {fixed::cic_bit_growth(config.cic2_stages, config.cic2_decimation),
+                       fixed::cic_bit_growth(config.cic5_stages, config.cic5_decimation)}) {
+    if (g < 1 || g > 31)
+      throw core::LoweringError(who, "CIC gain-normalisation shift of " +
+                                std::to_string(g) +
+                                " is outside the 32-bit barrel shifter's range");
+  }
+  return config;
+}
+
+DdcProgram::DdcProgram(const core::ChainPlan& plan) : DdcProgram(lower_plan(plan)) {}
 
 DdcProgram::DdcProgram(const core::DdcConfig& config) : config_(config) {
   config.validate();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/core/ddc_config.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/gpp/cpu.hpp"
 
 namespace twiddc::gpp {
@@ -55,6 +56,16 @@ class DdcProgram {
   static constexpr double kMilliwattPerMhzArm9e = 0.32;
 
   explicit DdcProgram(const core::DdcConfig& config);
+
+  /// Builds the program from an arbitrary ChainPlan via lower_plan().
+  explicit DdcProgram(const core::ChainPlan& plan);
+
+  /// Plan -> program lowering: accepts exactly the Figure-1 family realised
+  /// with the wide16 datapath the kernel's arithmetic implements, within
+  /// the kernel's structural limits (the CIC2+CIC5 chain it is written for,
+  /// <= 128 FIR taps for the sample ring, 32-bit-shifter gain ranges).
+  /// Throws core::LoweringError naming the first unmappable feature.
+  static core::DdcConfig lower_plan(const core::ChainPlan& plan);
 
   /// Runs the program over `input` (values must fit 12 bits).  The input
   /// length should be a multiple of the total decimation for aligned output.

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/core/backend.hpp"
 #include "src/dsp/nco.hpp"
 #include "src/fixed/qformat.hpp"
 
@@ -28,6 +29,40 @@ core::DatapathSpec DdcMapping::spec() {
   s.nco_table_bits = kNcoTableBits;
   return s;
 }
+
+core::DdcConfig DdcMapping::lower_plan(const core::ChainPlan& plan) {
+  const std::string who = "montium";
+  const auto config = core::lower_figure1_plan(plan, spec(), who);
+  if (config.cic2_stages != 2 || config.cic5_stages != 5)
+    throw core::LoweringError(who, "the Figure 9 schedule is written for the "
+                              "CIC2+CIC5 chain (got CIC" +
+                              std::to_string(config.cic2_stages) + "+CIC" +
+                              std::to_string(config.cic5_stages) + ")");
+  if (config.fir_taps > 125)
+    throw core::LoweringError(who, "at most 125 coefficients fit the ALU4/5 local "
+                              "memories; plan needs " + std::to_string(config.fir_taps));
+  // <= 16 FIR partial sums may be live at once (the kFirAccBase ring).
+  if (config.fir_taps > 16 * config.fir_decimation)
+    throw core::LoweringError(who, "a " + std::to_string(config.fir_taps) +
+                              "-tap FIR decimating by " +
+                              std::to_string(config.fir_decimation) +
+                              " keeps more than the 16 partial sums the local "
+                              "memories provide live at once");
+  // Schedule feasibility on the time-multiplexed ALU pair: each CIC2 window
+  // spends 1 cycle on the comb and 4 on CIC5 integration, so a window of
+  // cic2_decimation cycles leaves cic2_decimation - 5 free; per 192 kHz
+  // sample the pair must also fit 3 CIC5-comb cycles and the FIR MACs.
+  const int free_cycles = (config.cic2_decimation - 5) * config.cic5_decimation;
+  const int fir_macs = (config.fir_taps + config.fir_decimation - 1) / config.fir_decimation + 1;
+  if (config.cic2_decimation < 6 || free_cycles < 3 + fir_macs)
+    throw core::LoweringError(who, "the time-multiplexed ALU pair has only " +
+                              std::to_string(free_cycles > 0 ? free_cycles : 0) +
+                              " free cycles per FIR input but the CIC5 comb and FIR "
+                              "need " + std::to_string(3 + fir_macs));
+  return config;
+}
+
+DdcMapping::DdcMapping(const core::ChainPlan& plan) : DdcMapping(lower_plan(plan)) {}
 
 DdcMapping::DdcMapping(const core::DdcConfig& config)
     : config_(config), tile_(kWideWordBits) {

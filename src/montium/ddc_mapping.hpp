@@ -49,6 +49,17 @@ class DdcMapping {
 
   explicit DdcMapping(const core::DdcConfig& config);
 
+  /// Builds the mapping from an arbitrary ChainPlan via lower_plan().
+  explicit DdcMapping(const core::ChainPlan& plan);
+
+  /// Plan -> tile-configuration lowering: accepts exactly the Figure-1
+  /// family realised with the wide16/7-bit-table datapath (spec()), within
+  /// the schedule's structural limits (CIC2+CIC5 chain, enough free cycles
+  /// on the time-multiplexed ALU pair, <= 16 live FIR partial sums, <= 125
+  /// coefficients per local memory).  Throws core::LoweringError naming the
+  /// first unmappable feature.
+  static core::DdcConfig lower_plan(const core::ChainPlan& plan);
+
   /// One 64.512 MHz clock cycle with a new input sample.
   std::optional<core::IqSample> step(std::int64_t x);
 

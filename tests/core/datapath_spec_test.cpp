@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/common/error.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/core/pipeline.hpp"
 
 namespace twiddc::core {
 namespace {
@@ -68,6 +72,65 @@ TEST(DatapathSpec, RejectsSillyWidths) {
 TEST(DatapathSpec, NamesAreDistinct) {
   EXPECT_NE(DatapathSpec::fpga().name, DatapathSpec::wide16().name);
   EXPECT_NE(DatapathSpec::fpga().name, DatapathSpec::ideal().name);
+}
+
+TEST(DatapathSpec, TooNarrowAccumulatorNamesTheShortfall) {
+  // The diagnostic must name the accumulator, the tap count and the
+  // required width so a user can fix the spec without reading the source.
+  auto s = DatapathSpec::wide16();
+  s.fir_acc_bits = 33;  // 31-bit products, 125 taps need 31 + 7 = 38
+  try {
+    s.validate(125);
+    FAIL() << "accepted a 33-bit accumulator for 125 wide16 products";
+  } catch (const twiddc::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fir_acc_bits=33"), std::string::npos) << what;
+    EXPECT_NE(what.find("125"), std::string::npos) << what;
+    EXPECT_NE(what.find("38"), std::string::npos) << what;
+  }
+}
+
+TEST(DatapathSpec, InconsistentMixerWidthIsRejected) {
+  // A 12-bit input times a 12-bit NCO yields a 23-bit product; asking for a
+  // 24-bit mixer bus claims a bit that does not exist.
+  auto s = DatapathSpec::fpga();
+  s.mixer_out_bits = 24;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+  s.mixer_out_bits = 23;
+  EXPECT_NO_THROW(s.validate(125));
+}
+
+TEST(DatapathSpec, InterstageAndOutputRangesAreChecked) {
+  auto s = DatapathSpec::wide16();
+  s.interstage_bits = 49;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::wide16();
+  s.interstage_bits = 1;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::wide16();
+  s.output_bits = 49;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::wide16();
+  s.nco_table_bits = 17;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+
+  s = DatapathSpec::wide16();
+  s.fir_coeff_frac_bits = 31;
+  EXPECT_THROW(s.validate(125), twiddc::ConfigError);
+}
+
+TEST(DatapathSpec, Figure1RejectsOutputWiderThanTheAccumulatorFormat) {
+  // The FIR's output conditioning shifts from the accumulator format
+  // (interstage + coeff fraction bits) down to the output format; an output
+  // wider than that would need bits the rail never had.
+  auto s = DatapathSpec::wide16();
+  s.output_bits = 32;  // interstage 16 + Q1.15 fraction -> at most 31
+  EXPECT_THROW(ChainPlan::figure1(DdcConfig::reference(), s), twiddc::ConfigError);
+  s.output_bits = 31;
+  EXPECT_NO_THROW(ChainPlan::figure1(DdcConfig::reference(), s));
 }
 
 }  // namespace

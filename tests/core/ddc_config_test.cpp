@@ -74,6 +74,54 @@ TEST(DdcConfig, ValidationRejectsOutOfRange) {
   EXPECT_THROW(c.validate(), twiddc::ConfigError);
 }
 
+TEST(DdcConfig, BadDecimationSplitsAreRejectedIndividually) {
+  // Each decimation factor is range-checked on its own, so a bad split is
+  // reported against the right knob instead of as a total-decimation error.
+  auto c = DdcConfig::reference();
+  c.cic2_decimation = 0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.cic2_decimation = 4097;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.cic5_decimation = -21;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.fir_decimation = 0;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.fir_decimation = 65;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.fir_taps = 4097;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  c = DdcConfig::reference();
+  c.cic2_stages = 9;
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+
+  // Degenerate-but-legal splits still validate (decimation 1 stages).
+  c = DdcConfig::reference();
+  c.cic2_decimation = 1;
+  c.cic5_decimation = 1;
+  c.fir_decimation = 1;
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.total_decimation(), 1);
+}
+
+TEST(DdcConfig, NyquistEdgeIsExclusive) {
+  auto c = DdcConfig::reference();
+  c.nco_freq_hz = c.input_rate_hz / 2.0;  // exactly Nyquist: rejected
+  EXPECT_THROW(c.validate(), twiddc::ConfigError);
+  c.nco_freq_hz = c.input_rate_hz / 2.0 - 1.0;
+  EXPECT_NO_THROW(c.validate());
+}
+
 TEST(DdcConfig, NonReferencePlansComputeRates) {
   // The GC4016 GSM example: 69.333 MHz in, decimation 256 -> 270.833 kHz.
   DdcConfig c;

@@ -1,0 +1,197 @@
+// Runtime reconfiguration: the SwapMode glitch contract on the native
+// pipeline (the paper's Montium motivation, expressed on the shared core).
+//
+//   kFlush  -- as-if freshly constructed: no output mixes the two plans,
+//              counters restart, the post-swap stream equals a fresh
+//              pipeline's.
+//   kSplice -- state-preserving: only coefficients / conditioning / NCO
+//              frequency change; the output cadence continues with no gap,
+//              and (for a pure coefficient change) the post-swap outputs are
+//              bit-exact with a chain that ran the new plan all along.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/datapath_spec.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/core/fixed_ddc.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/dsp/signal.hpp"
+
+namespace twiddc::core {
+namespace {
+
+std::vector<std::int64_t> stimulus(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return dsp::random_samples(12, n, rng);
+}
+
+ChainPlan reference_plan(double nco_freq_hz = 10.0e6) {
+  return ChainPlan::figure1(DdcConfig::reference(nco_freq_hz),
+                            DatapathSpec::wide16());
+}
+
+ChainPlan small_plan() {
+  auto cfg = DdcConfig::reference(4.0e6);
+  cfg.cic2_decimation = 8;
+  cfg.cic5_decimation = 7;
+  cfg.fir_decimation = 4;
+  cfg.fir_taps = 49;
+  return ChainPlan::figure1(cfg, DatapathSpec::wide16());
+}
+
+TEST(SwapPlan, FlushBehavesAsFreshlyConstructed) {
+  DdcPipeline pipe(reference_plan());
+  const auto pre = stimulus(2688 * 2, 1);
+  std::vector<IqSample> sink;
+  pipe.process_block(pre, sink);
+  EXPECT_EQ(pipe.samples_in(), pre.size());
+
+  const auto next = small_plan();
+  pipe.swap_plan(next, SwapMode::kFlush);
+  EXPECT_EQ(pipe.plan().name, next.name);
+  EXPECT_EQ(pipe.samples_in(), 0u);  // counters restart
+  EXPECT_EQ(pipe.total_decimation(), next.total_decimation());
+
+  const auto post = stimulus(static_cast<std::size_t>(next.total_decimation()) * 6, 2);
+  std::vector<IqSample> swapped;
+  pipe.process_block(post, swapped);
+
+  DdcPipeline fresh(next);
+  std::vector<IqSample> expected;
+  fresh.process_block(post, expected);
+  ASSERT_EQ(swapped.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(swapped[i].i, expected[i].i) << i;
+    EXPECT_EQ(swapped[i].q, expected[i].q) << i;
+  }
+}
+
+TEST(SwapPlan, FlushRejectionLeavesOldPlanRunning) {
+  DdcPipeline pipe(reference_plan());
+  ChainPlan bad = small_plan();
+  bad.stages.clear();  // invalid: no stages
+  EXPECT_THROW(pipe.swap_plan(bad, SwapMode::kFlush), ConfigError);
+  EXPECT_EQ(pipe.plan().name, reference_plan().name);
+  // Still processes with the old plan.
+  const auto in = stimulus(2688, 3);
+  std::vector<IqSample> sink;
+  EXPECT_NO_THROW(pipe.process_block(in, sink));
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(SwapPlan, SpliceKeepsStateAcrossACoefficientChange) {
+  // Same structure, different FIR coefficients.  The FIR's delay line holds
+  // upstream (CIC) samples that do not depend on the taps, so after the
+  // splice the outputs must be bit-exact with a pipeline that ran the new
+  // coefficients from the start over the same input -- with NO settling gap.
+  const auto plan_a = reference_plan();
+  ChainPlan plan_b = plan_a;
+  plan_b.name = "retapped";
+  for (std::size_t k = 0; k < plan_b.stages.back().taps.size(); k += 3)
+    plan_b.stages.back().taps[k] = -plan_b.stages.back().taps[k];
+
+  const auto in = stimulus(2688 * 8, 4);
+  const std::size_t cut = 2688 * 3 + 517;  // mid-revolution swap instant
+
+  DdcPipeline spliced(plan_a);
+  std::vector<IqSample> out_spliced;
+  spliced.process_block(std::span(in).subspan(0, cut), out_spliced);
+  spliced.swap_plan(plan_b, SwapMode::kSplice);
+  EXPECT_EQ(spliced.samples_in(), cut);  // counters continue: no flush
+  const std::size_t out_at_swap = out_spliced.size();
+  spliced.process_block(std::span(in).subspan(cut), out_spliced);
+
+  DdcPipeline all_b(plan_b);
+  std::vector<IqSample> out_b;
+  all_b.process_block(in, out_b);
+
+  // No gap: the spliced stream has exactly the unswapped cadence.
+  ASSERT_EQ(out_spliced.size(), out_b.size());
+  for (std::size_t i = out_at_swap; i < out_b.size(); ++i) {
+    EXPECT_EQ(out_spliced[i].i, out_b[i].i) << i;
+    EXPECT_EQ(out_spliced[i].q, out_b[i].q) << i;
+  }
+}
+
+TEST(SwapPlan, SpliceRetunesPhaseContinuously) {
+  // An NCO-frequency-only splice must keep the phase accumulator (hardware
+  // NCO semantics: retune, no phase jump) and the output cadence.
+  const auto plan_a = reference_plan(10.0e6);
+  ChainPlan plan_b = plan_a;
+  plan_b.front_end.nco_freq_hz = 12.5e6;
+
+  DdcPipeline pipe(plan_a);
+  const auto pre = stimulus(2688 + 1000, 5);
+  std::vector<IqSample> sink;
+  pipe.process_block(pre, sink);
+  const auto phase_before = pipe.nco().phase();
+  pipe.swap_plan(plan_b, SwapMode::kSplice);
+  EXPECT_EQ(pipe.nco().phase(), phase_before);
+  EXPECT_EQ(pipe.samples_in(), pre.size());
+
+  const auto post = stimulus(2688 * 2, 6);
+  sink.clear();
+  pipe.process_block(post, sink);
+  EXPECT_EQ(sink.size(), (pre.size() % 2688 + post.size()) / 2688);
+}
+
+TEST(SwapPlan, SpliceRejectsStructuralChanges) {
+  DdcPipeline pipe(reference_plan());
+  const auto in = stimulus(2688, 7);
+  std::vector<IqSample> sink;
+  pipe.process_block(in, sink);
+
+  // Different decimation plan: structurally incompatible.
+  EXPECT_THROW(pipe.swap_plan(small_plan(), SwapMode::kSplice), ConfigError);
+
+  // Different tap count: incompatible.
+  ChainPlan fewer_taps = reference_plan();
+  fewer_taps.stages.back().taps.pop_back();
+  fewer_taps.stages.back().taps_float.pop_back();
+  EXPECT_THROW(pipe.swap_plan(fewer_taps, SwapMode::kSplice), ConfigError);
+
+  // Different front-end width: incompatible.
+  ChainPlan wider_fe = reference_plan();
+  wider_fe.front_end.nco_amplitude_bits = 12;
+  EXPECT_THROW(pipe.swap_plan(wider_fe, SwapMode::kSplice), ConfigError);
+
+  // The rejected splices left the old plan (and its state) untouched.
+  DdcPipeline mirror(reference_plan());
+  std::vector<IqSample> mirror_sink;
+  mirror.process_block(in, mirror_sink);
+  const auto more = stimulus(2688 * 2, 8);
+  sink.clear();
+  mirror_sink.clear();
+  pipe.process_block(more, sink);
+  mirror.process_block(more, mirror_sink);
+  ASSERT_EQ(sink.size(), mirror_sink.size());
+  for (std::size_t i = 0; i < sink.size(); ++i) EXPECT_EQ(sink[i].i, mirror_sink[i].i);
+}
+
+TEST(SwapPlan, FixedDdcShimSwapsAndDisablesTracing) {
+  FixedDdc ddc(reference_plan());
+  ddc.set_tracing(true);
+  const auto in = stimulus(2688 * 2, 9);
+  ddc.process(in);
+  EXPECT_FALSE(ddc.trace().mixer_i.empty());
+
+  ddc.swap_plan(small_plan(), SwapMode::kFlush);
+  EXPECT_TRUE(ddc.trace().mixer_i.empty());  // flush resets the trace
+  const auto post = stimulus(static_cast<std::size_t>(
+      small_plan().total_decimation()) * 4, 10);
+  const auto out = ddc.process(post);
+  FixedDdc fresh(small_plan());
+  const auto expected = fresh.process(post);
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].i, expected[i].i) << i;
+    EXPECT_EQ(out[i].q, expected[i].q) << i;
+  }
+}
+
+}  // namespace
+}  // namespace twiddc::core

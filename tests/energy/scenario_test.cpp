@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "src/backends/builtin.hpp"
 #include "src/common/error.hpp"
+#include "src/core/ddc_config.hpp"
 
 namespace twiddc::energy {
 namespace {
@@ -84,6 +88,41 @@ TEST(Scenario, CrossoverDutyCycleExists) {
   }
   ASSERT_GT(crossover, 0.0);
   EXPECT_LT(crossover, 0.2);  // ASIC wins well below 20% duty given 1 mW leak
+}
+
+TEST(Scenario, DutyModelsComeFromTheBackendRegistry) {
+  // The scenario layer no longer enumerates architectures by hand: every
+  // registered backend that models silicon and can realise the rate plan
+  // contributes a model with its own measured/derived powers.
+  backends::register_builtin();
+  const auto models = duty_models_from_backends(core::DdcConfig::reference());
+  std::set<std::string> names;
+  for (const auto& m : models) names.insert(m.name);
+  // The four silicon architectures (reference decimation 2688 = 4 x 672
+  // fits the GC4016 too); the functional twins are simulation-only.
+  for (const char* want :
+       {backends::kGc4016, backends::kFpga, backends::kGpp, backends::kMontium})
+    EXPECT_TRUE(names.count(want)) << want;
+  EXPECT_FALSE(names.count(backends::kNative));
+  EXPECT_FALSE(names.count(backends::kFloatDdc));
+
+  for (const auto& m : models) {
+    EXPECT_GT(m.active_power_mw, 0.0) << m.name;
+    if (m.name == backends::kMontium) {
+      EXPECT_TRUE(m.reusable_when_idle);
+      EXPECT_GT(m.reconfig_bytes, 500.0);   // the ~1110-byte blob
+      EXPECT_LT(m.reconfig_bytes, 5000.0);
+    }
+    if (m.name == backends::kGc4016) EXPECT_FALSE(m.reusable_when_idle);
+    if (m.name == backends::kFpga)
+      EXPECT_GT(m.reconfig_bytes, 1e5);  // full bitstream, not a blob
+  }
+
+  // And the ranking machinery consumes them directly.
+  const auto ranked = rank_architectures(models, 0.05, 24);
+  ASSERT_EQ(ranked.size(), models.size());
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(ranked[i - 1].energy_per_day_j, ranked[i].energy_per_day_j);
 }
 
 }  // namespace

@@ -4,14 +4,19 @@
 // ARM program, the Montium mapping and the functional FixedDdc variants all
 // implement the paper's one algorithm, so on shared input their outputs
 // must agree -- bit-exactly where the datapaths match, within quantisation
-// noise where they differ.
+// noise where they differ.  Since the backend layer, both checks iterate
+// the BackendRegistry (each backend lowers its own realisation of the
+// reference rate plan) instead of enumerating the architectures by hand;
+// arbitrary-topology sweeps live in backend_conformance_test.cpp.
 #include <gtest/gtest.h>
 
 #include <complex>
 
 #include "src/asic/gc4016.hpp"
 #include "src/asic/lowpower_ddc.hpp"
+#include "src/backends/builtin.hpp"
 #include "src/core/analysis.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/fixed_ddc.hpp"
 #include "src/core/float_ddc.hpp"
 #include "src/dsp/signal.hpp"
@@ -31,91 +36,85 @@ std::vector<std::int64_t> stimulus(double nco, std::size_t frames) {
   return dsp::quantize_signal(scene, 12);
 }
 
-TEST(CrossArchitecture, GppEqualsMontiumInPhaseBitExactly) {
-  // Both are wide16 datapaths; the GPP uses a 10-bit NCO table, the Montium
-  // a 7-bit one -- compare each to its twin instead of to each other, then
-  // compare the twins' *structure*: same chain, different tables.
+TEST(CrossArchitecture, EveryRegisteredBackendMatchesItsTwinOnTheReferencePlan) {
+  // Each backend lowers its own datapath's realisation of the paper's
+  // reference rate plan -- the Figure 1 chain in its own widths, or the
+  // GC4016's Figure 4 chain (2688 splits as 4 x 672) -- and must agree
+  // with the shared functional twin on that plan, bit-exactly (I rail only
+  // for the in-phase-only ARM program).
+  backends::register_builtin();
   const auto cfg = core::DdcConfig::reference(10.0e6);
   const auto in = stimulus(10.0e6, 5);
 
-  gpp::DdcProgram arm(cfg);
-  core::FixedDdc arm_twin(cfg, core::DatapathSpec::wide16());
-  const auto arm_out = arm.run(in);
-  const auto arm_twin_out = arm_twin.process(in);
-  ASSERT_EQ(arm_out.outputs.size(), arm_twin_out.size());
-  for (std::size_t i = 0; i < arm_twin_out.size(); ++i)
-    EXPECT_EQ(arm_out.outputs[i], arm_twin_out[i].i);
+  int checked = 0;
+  for (auto& backend : core::BackendRegistry::instance().create_all()) {
+    const core::ChainPlan plan = backend->plan_for(cfg);
+    backend->configure(plan);
 
-  montium::DdcMapping mont(cfg);
-  core::FixedDdc mont_twin(cfg, montium::DdcMapping::spec());
-  const auto mont_out = mont.process(in);
-  const auto mont_twin_out = mont_twin.process(in);
-  ASSERT_GE(mont_out.size() + 1, mont_twin_out.size());
-  for (std::size_t i = 0; i < mont_out.size(); ++i) {
-    EXPECT_EQ(mont_out[i].i, mont_twin_out[i].i);
-    EXPECT_EQ(mont_out[i].q, mont_twin_out[i].q);
+    core::DdcPipeline twin(plan);
+    const auto twin_out = twin.process(in);
+    std::vector<core::IqSample> out;
+    backend->process_block(in, out);
+
+    const auto caps = backend->capabilities();
+    if (caps.bit_exact) {
+      ASSERT_GE(out.size() + 1, twin_out.size()) << backend->name();
+      const std::size_t n = std::min(out.size(), twin_out.size());
+      ASSERT_GT(n, 0u) << backend->name();
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i].i, twin_out[i].i) << backend->name() << " output " << i;
+        if (!caps.in_phase_only)
+          EXPECT_EQ(out[i].q, twin_out[i].q) << backend->name() << " output " << i;
+      }
+    }
+    ++checked;
   }
+  EXPECT_GE(checked, 7);
 }
 
 TEST(CrossArchitecture, AllModelsAgreeWithinQuantisationNoise) {
-  // Convert every model's output to normalised complex and compare against
-  // the float golden chain.  Thresholds reflect each datapath's class.
+  // Convert every backend's output to normalised complex and compare
+  // against the float golden chain OF ITS OWN PLAN (the float-ddc backend
+  // on the same plan -- the GC4016's Figure 4 chain is a different filter
+  // than Figure 1, so a shared golden would measure the filter difference,
+  // not quantisation noise).  Thresholds reflect each datapath's class:
+  // 12-bit rails (the FPGA) at 40 dB, 16-bit and wider at 55 dB.
+  backends::register_builtin();
   const double nco = 10.0e6;
   const auto cfg = core::DdcConfig::reference(nco);
   const auto in = stimulus(nco, 220);
-  const auto in_f = dsp::dequantize_signal(in, 12);
 
-  core::FloatDdc golden(cfg);
-  auto gold = golden.process(in_f);
-  // The FPGA design trims to 124 taps; its golden must share that filter,
-  // otherwise the comparison measures the filter difference, not noise.
-  auto cfg124 = cfg;
-  cfg124.fir_taps = 124;
-  core::FloatDdc golden124(cfg124);
-  auto gold124 = golden124.process(in_f);
+  const auto& registry = core::BackendRegistry::instance();
+  int compared = 0;
+  for (auto& backend : registry.create_all()) {
+    if (backend->capabilities().in_phase_only) continue;  // complex compare
+    if (backend->name() == backends::kFloatDdc) continue;  // it IS the golden
+    const core::ChainPlan plan = backend->plan_for(cfg);
+    backend->configure(plan);
+    std::vector<core::IqSample> raw;
+    backend->process_block(in, raw);
+    const auto out = core::to_complex(raw, backend->output_scale());
 
-  struct Candidate {
-    std::string name;
-    std::vector<std::complex<double>> out;
-    const std::vector<std::complex<double>>* golden_stream;
-    double min_snr_db;
-  };
-  std::vector<Candidate> candidates;
+    auto golden = registry.create(backends::kFloatDdc);
+    golden->configure(plan);
+    std::vector<core::IqSample> gold_raw;
+    golden->process_block(in, gold_raw);
+    const auto gold = core::to_complex(gold_raw, golden->output_scale());
 
-  {
-    fpga::DdcFpgaTop rtl(cfg124);
-    candidates.push_back({"fpga-rtl", core::to_complex(rtl.process(in), 1.0 / 2048.0),
-                          &gold124, 40.0});
-  }
-  {
-    montium::DdcMapping mont(cfg);
-    candidates.push_back({"montium", core::to_complex(mont.process(in), 1.0 / 32768.0),
-                          &gold, 55.0});
-  }
-  {
-    core::FixedDdc fixed12(cfg, core::DatapathSpec::fpga());
-    candidates.push_back({"fixed-12bit",
-                          core::to_complex(fixed12.process(in), fixed12.output_scale()),
-                          &gold, 40.0});
-  }
-  {
-    core::FixedDdc fixed16(cfg, core::DatapathSpec::wide16());
-    candidates.push_back({"fixed-16bit",
-                          core::to_complex(fixed16.process(in), fixed16.output_scale()),
-                          &gold, 55.0});
-  }
-
-  for (auto& c : candidates) {
-    const std::size_t n = std::min(c.out.size(), c.golden_stream->size());
-    ASSERT_GT(n, 64u) << c.name;
-    std::vector<std::complex<double>> g(c.golden_stream->begin() + 16,
-                                        c.golden_stream->begin() + static_cast<long>(n));
-    std::vector<std::complex<double>> o(c.out.begin() + 16,
-                                        c.out.begin() + static_cast<long>(n));
+    const std::size_t n = std::min(out.size(), gold.size());
+    ASSERT_GT(n, 64u) << backend->name();
+    std::vector<std::complex<double>> g(gold.begin() + 16,
+                                        gold.begin() + static_cast<long>(n));
+    std::vector<std::complex<double>> o(out.begin() + 16,
+                                        out.begin() + static_cast<long>(n));
     const auto stats = core::compare_streams(g, o);
-    EXPECT_GT(stats.snr_db, c.min_snr_db) << c.name;
-    EXPECT_NEAR(stats.gain, 1.0, 0.06) << c.name;
+    const double min_snr_db =
+        backend->datapath().output_bits >= 16 ? 55.0 : 40.0;
+    EXPECT_GT(stats.snr_db, min_snr_db) << backend->name();
+    EXPECT_NEAR(stats.gain, 1.0, 0.06) << backend->name();
+    ++compared;
   }
+  EXPECT_GE(compared, 5);  // native, fixed, gc4016, fpga, montium
 }
 
 TEST(CrossArchitecture, AllModelsSelectTheSameBand) {
