@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/json.hpp"
 #include "src/common/table.hpp"
 
 namespace twiddc::benchutil {
@@ -67,38 +68,9 @@ Throughput measure_throughput(std::size_t samples_per_rep, F&& body,
   return t;
 }
 
-/// Minimal JSON object writer for machine-readable bench output (one object
-/// per line; no escaping -- keys/values here are identifiers and numbers).
-class JsonLine {
- public:
-  JsonLine& field(const std::string& key, const std::string& value) {
-    return raw(key, "\"" + value + "\"");
-  }
-  JsonLine& field(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", value);
-    return raw(key, buf);
-  }
-  JsonLine& field(const std::string& key, std::size_t value) {
-    return raw(key, std::to_string(value));
-  }
-  [[nodiscard]] std::string str() const {
-    std::string s = "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i) s += ", ";
-      s += "\"" + fields_[i].first + "\": " + fields_[i].second;
-    }
-    return s + "}";
-  }
-  void print() const { std::printf("%s\n", str().c_str()); }
-
- private:
-  JsonLine& raw(const std::string& key, std::string value) {
-    fields_.emplace_back(key, std::move(value));
-    return *this;
-  }
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// The shared one-line JSON writer (src/common/json.hpp), re-exported under
+/// the historical benchutil name.
+using twiddc::JsonLine;
 
 /// Formats a block-vs-push throughput pair as one JSON line.
 inline JsonLine throughput_json(const std::string& bench, const std::string& chain,

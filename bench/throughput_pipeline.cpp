@@ -15,11 +15,21 @@
 //   {"bench": "throughput_pipeline", "chain": "channel_bank:figure1",
 //    "channels": 8, "workers": 2, "aggregate_msamples_per_s": ...,
 //    "scaling_vs_single": ...}
+//   {"bench": "throughput_pipeline", "chain": "stream_engine:figure1",
+//    "sessions": 16, "workers": 4, "aggregate_msamples_per_s": ...,
+//    "scaling_vs_single": ...}
 // Keys are stable and additive across PRs; "kernel" and "channels" lines are
-// new in PR 2, "chain" lines keep the PR 1 schema plus the "simd" tag.
+// new in PR 2, "sessions" lines (end-to-end streaming-engine serving rate per
+// concurrent-session count) are new in PR 4, "chain" lines keep the PR 1
+// schema plus the "simd" tag.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "src/stream/engine.hpp"
+#include "src/stream/source.hpp"
 
 #include "bench/bench_util.hpp"
 #include "src/asic/gc4016.hpp"
@@ -259,6 +269,60 @@ void bench_channel_bank() {
   }
 }
 
+// ------------------------------------------------------- streaming engine
+//
+// End-to-end serving rate of the stream layer: one shared feed, N concurrent
+// figure-1 sessions on the native backend, pumped through the session
+// engine's rings and worker pool and drained by this thread.  The aggregate
+// is channel-samples/s (sessions x feed samples / wall clock), so the line
+// tracks serving scale -- rings, fan-out, scheduling included -- not just
+// kernel speed.
+
+void bench_stream_sessions() {
+  twiddc::backends::register_builtin();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  const auto feed = figure1_stimulus(cfg, 2688 * 64);
+  const int hw = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+
+  double single_rate = 0.0;
+  for (const std::size_t sessions : {1u, 4u, 16u, 64u}) {
+    twiddc::stream::EngineOptions opts;
+    opts.workers = hw;
+    opts.block_samples = 4096;
+    twiddc::stream::StreamEngine engine(
+        std::make_unique<twiddc::stream::VectorSource>(feed), opts);
+    std::vector<std::shared_ptr<twiddc::stream::Session>> open;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      auto ch_cfg = cfg;
+      ch_cfg.nco_freq_hz = cfg.nco_freq_hz + 25.0e3 * static_cast<double>(s);
+      open.push_back(engine.open(twiddc::core::ChainPlan::figure1(ch_cfg, spec),
+                                 twiddc::backends::kNative));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    engine.start();
+    const auto chunks = twiddc::stream::drain_all(engine, open);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    engine.stop();
+    const double aggregate =
+        static_cast<double>(feed.size() * sessions) / elapsed / 1e6;
+    if (sessions == 1) single_rate = aggregate;
+    JsonLine j;
+    j.field("bench", std::string("throughput_pipeline"))
+        .field("chain", std::string("stream_engine:figure1"))
+        .field("sessions", sessions)
+        .field("workers", static_cast<std::size_t>(hw))
+        .field("block_samples", opts.block_samples)
+        .field("aggregate_msamples_per_s", aggregate)
+        .field("scaling_vs_single", single_rate > 0.0 ? aggregate / single_rate : 0.0)
+        .field("chunks", chunks.front().size())
+        .field("simd", twiddc::simd::isa_name());
+    j.print();
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -275,5 +339,6 @@ int main() {
   bench_kernel_fir125();
   bench_backends();
   bench_channel_bank();
+  bench_stream_sessions();
   return 0;
 }

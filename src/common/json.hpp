@@ -1,0 +1,78 @@
+// twiddc -- minimal JSON object writer shared by machine-readable outputs
+// (the bench binaries' trajectory lines and the stream engine's
+// stats_json).  One flat object per instance; string values are escaped
+// (keys are trusted identifiers).  Compose nested structures by splicing
+// str() results.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace twiddc {
+
+class JsonLine {
+ public:
+  JsonLine& field(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + escape(value) + "\"");
+  }
+  JsonLine& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonLine& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonLine& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonLine& field(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  [[nodiscard]] std::string str() const {
+    std::string s = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ", ";
+      s += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return s + "}";
+  }
+  void print() const { std::printf("%s\n", str().c_str()); }
+
+ private:
+  /// Some string values are caller-supplied (a ChainPlan name in the stream
+  /// engine's stats_json), so quotes, backslashes and control characters
+  /// must not break the emitted object.
+  static std::string escape(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  JsonLine& raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace twiddc

@@ -1,0 +1,69 @@
+#include "src/common/worker_pool.hpp"
+
+namespace twiddc::common {
+
+WorkerPool::WorkerPool(int threads) {
+  if (threads < 0) threads = 0;
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::begin(const std::function<void(int)>& job) {
+  if (threads_.empty()) return;
+  errors_.assign(threads_.size(), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++epoch_;
+    pending_ = static_cast<int>(threads_.size());
+  }
+  work_cv_.notify_all();
+}
+
+void WorkerPool::finish() {
+  if (threads_.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void WorkerPool::worker_loop(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = job_;
+    }
+    try {
+      (*fn)(w);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(w)] = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --pending_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace twiddc::common

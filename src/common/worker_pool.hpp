@@ -1,0 +1,67 @@
+// twiddc::common -- persistent worker-thread pool.
+//
+// Extracted from core::ChannelBank (which is now a client) so every
+// multi-threaded execution engine in the repo shares one pool mechanism:
+// the bank shards channels across it per block, and the streaming session
+// engine (src/stream/engine.hpp) parks its long-running session workers on
+// it.  std::thread is spawned once per worker, not per job: sandboxed and
+// oversubscribed hosts make thread creation orders of magnitude more
+// expensive than a futex wake, which would swallow the sharding win for
+// realistic block sizes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace twiddc::common {
+
+/// A fixed set of persistent threads executing one published job at a time.
+///
+///   pool.begin(job);   // every pool thread runs job(worker_index)
+///   ...                // the caller overlaps its own share of the work
+///   pool.finish();     // waits for all workers, rethrows the first worker
+///                      // exception
+///
+/// Exactly one job may be in flight: begin() must be balanced by finish()
+/// before the next begin().  The job reference must stay valid until
+/// finish() returns -- jobs may be long-running loops (the stream engine
+/// parks workers for the engine's whole lifetime and releases them by
+/// making the job return).
+class WorkerPool {
+ public:
+  /// Spawns `threads` persistent workers (>= 0; 0 makes begin/finish no-ops).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Publishes job(worker_index) to every pool thread.
+  void begin(const std::function<void(int)>& job);
+
+  /// Waits for every pool thread to finish the published job; rethrows the
+  /// first captured worker exception.
+  void finish();
+
+ private:
+  void worker_loop(int w);
+
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace twiddc::common

@@ -1,11 +1,8 @@
 #include "src/core/channel_bank.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 
 #include "src/common/error.hpp"
 
@@ -17,87 +14,6 @@ namespace {
 // streaming-composable, so tiling is bit-exact with one monolithic call.
 constexpr std::size_t kTileSamples = 8192;
 }  // namespace
-
-/// Persistent worker pool.  std::thread is spawned once per worker, not per
-/// block: sandboxed and oversubscribed hosts make thread creation orders of
-/// magnitude more expensive than a futex wake, which would swallow the
-/// sharding win for realistic block sizes.
-struct ChannelBank::Pool {
-  explicit Pool(int n_workers) {
-    threads.reserve(static_cast<std::size_t>(n_workers));
-    for (int w = 0; w < n_workers; ++w)
-      threads.emplace_back([this, w] { worker_loop(w); });
-  }
-
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      stop = true;
-    }
-    work_cv.notify_all();
-    for (auto& t : threads) t.join();
-  }
-
-  /// Publishes job(worker_index) to every pool thread.  The caller overlaps
-  /// its own shard between begin() and finish().
-  void begin(const std::function<void(int)>& job_fn) {
-    errors.assign(threads.size(), nullptr);
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      job = &job_fn;
-      ++epoch;
-      pending = static_cast<int>(threads.size());
-    }
-    work_cv.notify_all();
-  }
-
-  /// Waits for every pool thread to finish the published job; rethrows the
-  /// first captured worker exception.
-  void finish() {
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      done_cv.wait(lock, [this] { return pending == 0; });
-      job = nullptr;
-    }
-    for (auto& e : errors)
-      if (e) std::rethrow_exception(e);
-  }
-
-  void worker_loop(int w) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void(int)>* fn = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_cv.wait(lock, [&] { return stop || epoch != seen; });
-        if (stop) return;
-        seen = epoch;
-        fn = job;
-      }
-      try {
-        (*fn)(w);
-      } catch (...) {
-        errors[static_cast<std::size_t>(w)] = std::current_exception();
-      }
-      bool last = false;
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        last = --pending == 0;
-      }
-      if (last) done_cv.notify_one();
-    }
-  }
-
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors;
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  const std::function<void(int)>* job = nullptr;
-  std::uint64_t epoch = 0;
-  int pending = 0;
-  bool stop = false;
-};
 
 ChannelBank::ChannelBank(const std::vector<ChainPlan>& plans, int workers) {
   if (plans.empty()) throw ConfigError("ChannelBank: needs at least one plan");
@@ -114,9 +30,9 @@ ChannelBank& ChannelBank::operator=(ChannelBank&&) noexcept = default;
 void ChannelBank::set_workers(int workers) {
   workers_ = std::clamp(workers, 1, static_cast<int>(channels_.size()));
   // The pool holds workers_-1 threads; the calling thread works shard 0.
-  const auto pool_size = static_cast<std::size_t>(workers_ - 1);
-  if (pool_ && pool_->threads.size() != pool_size) pool_.reset();
-  if (!pool_ && pool_size > 0) pool_ = std::make_unique<Pool>(static_cast<int>(pool_size));
+  const int pool_size = workers_ - 1;
+  if (pool_ && pool_->threads() != pool_size) pool_.reset();
+  if (!pool_ && pool_size > 0) pool_ = std::make_unique<common::WorkerPool>(pool_size);
 }
 
 void ChannelBank::process_block(std::span<const std::int64_t> in,

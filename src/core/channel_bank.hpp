@@ -9,9 +9,10 @@
 // Two execution modes:
 //   * workers == 1 (default): channels run back to back on the caller's
 //     thread -- deterministic, no synchronisation;
-//   * workers > 1: channels are partitioned across a persistent worker pool
-//     (spawned once, woken per block; per-call thread creation is far too
-//     expensive on sandboxed hosts).  Channels are fully independent state
+//   * workers > 1: channels are partitioned across a persistent
+//     common::WorkerPool (spawned once, woken per block; per-call thread
+//     creation is far too expensive on sandboxed hosts).  Channels are
+//     fully independent state
 //     machines, so sharding is bit-exact with serial execution, in any
 //     partition order.
 //
@@ -29,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/worker_pool.hpp"
 #include "src/core/pipeline.hpp"
 
 namespace twiddc::core {
@@ -71,12 +73,10 @@ class ChannelBank {
   void reset();
 
  private:
-  struct Pool;
-
   std::vector<DdcPipeline> channels_;
   std::vector<char> enabled_;  // vector<bool> has no per-element data()
   int workers_ = 1;
-  std::unique_ptr<Pool> pool_;  // workers_ - 1 persistent threads
+  std::unique_ptr<common::WorkerPool> pool_;  // workers_ - 1 persistent threads
 };
 
 }  // namespace twiddc::core

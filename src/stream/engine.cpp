@@ -1,0 +1,459 @@
+#include "src/stream/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace twiddc::stream {
+
+StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options)
+    : options_(options),
+      source_(std::move(source)),
+      pool_(std::max(1, options.workers)),
+      work_epoch_(std::make_shared<std::atomic<std::uint32_t>>(0)),
+      output_epoch_(std::make_shared<std::atomic<std::uint32_t>>(0)) {
+  if (!source_) throw ConfigError("StreamEngine: needs a source");
+  options_.workers = std::max(1, options_.workers);
+  options_.block_samples = std::max<std::size_t>(1, options_.block_samples);
+  options_.session_queue_blocks = std::max<std::size_t>(2, options_.session_queue_blocks);
+  options_.session_output_chunks =
+      std::max<std::size_t>(2, options_.session_output_chunks);
+  worker_job_ = [this](int w) { worker_loop(w); };
+}
+
+StreamEngine::~StreamEngine() {
+  stop();
+  // A stop() that raced a concurrent start() can win the stopped_ guard
+  // before the pump thread was spawned; never destroy it joinable.
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+std::shared_ptr<Session> StreamEngine::open(const core::ChainPlan& plan,
+                                            const std::string& backend_name,
+                                            BackpressurePolicy policy) {
+  // The engine is one-shot: a session opened after stop() could never
+  // receive a feed block, so reject it loudly instead of returning a
+  // permanently dead handle.
+  if (stopped_.load(std::memory_order_acquire))
+    throw SimulationError("StreamEngine: open() after stop()");
+  auto backend = core::BackendRegistry::instance().create(backend_name);
+  backend->configure(plan);  // LoweringError propagates; nothing opened
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::shared_ptr<Session> session(
+      new Session(next_session_id_++, std::move(backend), policy,
+                  options_.session_queue_blocks, options_.session_output_chunks,
+                  work_epoch_, output_epoch_));
+  session->worker_ =
+      static_cast<int>(session->id() % static_cast<std::uint64_t>(options_.workers));
+  session->set_attached(workers_live_);
+  sessions_.push_back(session);
+  return session;
+}
+
+void StreamEngine::start() {
+  if (started_.exchange(true))
+    throw SimulationError("StreamEngine: start() may be called at most once");
+  // start_time_ is non-atomic: publish it BEFORE the running_ release store
+  // so a stats_json() that acquire-reads running_ == true sees it written
+  // (it is never written again).
+  start_time_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    workers_live_ = true;
+  }
+  for (auto& s : snapshot()) s->set_attached(true);
+  pool_.begin(worker_job_);
+  pump_thread_ = std::thread([this] { pump_loop(); });
+}
+
+void StreamEngine::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopped_.exchange(true)) return;
+  stop_.store(true, std::memory_order_release);
+  work_epoch_->fetch_add(1, std::memory_order_release);
+  work_epoch_->notify_all();
+  notify_output();
+  for (auto& s : snapshot()) s->in_ring_.wake();  // a kBlock pump push may park here
+  if (pump_thread_.joinable()) pump_thread_.join();
+  pool_.finish();
+  elapsed_s_.store(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 start_time_)
+                       .count(),
+                   std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    workers_live_ = false;
+  }
+  // Any session open()ed after the flag flip is born detached; any opened
+  // before it is in this snapshot (open holds sessions_mu_), so nobody is
+  // left attached with no workers alive.
+  for (auto& s : snapshot()) s->set_attached(false);
+  {
+    // Sessions closed after the pump's last cycle never hit its pruning;
+    // drop them here so a stopped engine holds only open sessions.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
+  }
+}
+
+bool StreamEngine::finished(const Session& session) const {
+  // A stop() that cut the feed short is terminal for every session: queued
+  // input is abandoned by contract, so only the output ring matters --
+  // otherwise a drain helper would wait forever for a feed_exhausted()
+  // that can no longer come.
+  if (stop_.load(std::memory_order_acquire))
+    return session.out_ring_.size() == 0;
+  // Order matters: the input side is read before the output ring.  Once the
+  // feed is done and the session is seen idle (input ring empty, not mid-
+  // block, no stashed undelivered chunk), no further chunk can ever be
+  // produced, so an empty output ring read *afterwards* really is final.
+  // busy_ is set before the worker pops and cleared after the chunk is
+  // delivered or stashed; has_pending_chunk_ covers the stashed window.
+  const bool input_done =
+      session.closed() ||
+      (feed_exhausted() && session.in_ring_.size() == 0 &&
+       !session.busy_.load(std::memory_order_acquire) &&
+       !session.has_pending_chunk_.load(std::memory_order_acquire));
+  return input_done && session.out_ring_.size() == 0;
+}
+
+std::size_t StreamEngine::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::vector<std::shared_ptr<Session>> StreamEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_;
+}
+
+std::vector<std::shared_ptr<Session>> StreamEngine::worker_sessions(int w) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<std::shared_ptr<Session>> mine;
+  for (const auto& s : sessions_)
+    if (s->worker_ == w) mine.push_back(s);
+  return mine;
+}
+
+// ------------------------------------------------------------------- pump
+
+void StreamEngine::pump_loop() {
+  std::vector<std::int64_t> buffer(options_.block_samples);
+  bool exhausted = false;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t n = source_->read(buffer);
+    if (n == 0) {
+      exhausted = true;
+      break;
+    }
+    FeedBlock block;
+    block.seq = blocks_pumped_.load(std::memory_order_relaxed);
+    block.samples = std::make_shared<const std::vector<std::int64_t>>(
+        buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<std::shared_ptr<Session>> live;
+    {
+      // Prune closed sessions so a long-running engine with session churn
+      // does not accumulate dead backends/rings (client handles stay valid).
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
+      live = sessions_;
+    }
+    for (auto& s : live) {
+      if (s->closed()) continue;  // may close mid-fan-out
+      enqueue(*s, block);
+    }
+    blocks_pumped_.fetch_add(1, std::memory_order_release);
+    work_epoch_->fetch_add(1, std::memory_order_release);
+    work_epoch_->notify_all();
+  }
+  if (exhausted) feed_done_.store(true, std::memory_order_release);
+  work_epoch_->fetch_add(1, std::memory_order_release);
+  work_epoch_->notify_all();
+  notify_output();
+}
+
+void StreamEngine::enqueue(Session& s, const FeedBlock& block) {
+  FeedBlock copy = block;  // cheap: a seq and a shared_ptr
+  if (s.policy_ == BackpressurePolicy::kBlock) {
+    // Conservative flow control: a full ring stalls the pump -- and with it
+    // the whole feed -- until the session's worker catches up.
+    for (;;) {
+      const auto token = s.in_ring_.wake_token();
+      if (stop_.load(std::memory_order_acquire) || s.in_ring_.closed()) return;
+      if (s.in_ring_.try_push(std::move(copy))) break;
+      s.in_ring_.wait(token);
+    }
+  } else {
+    // Shed load instead of stalling: evict the oldest queued block.  The
+    // loss surfaces in-stream as gap metadata on the session's next chunk.
+    for (;;) {
+      if (s.in_ring_.closed()) return;
+      if (s.in_ring_.try_push(std::move(copy))) break;
+      if (auto old = s.in_ring_.try_pop()) {
+        s.stats_.input_drop_blocks.fetch_add(1, std::memory_order_relaxed);
+        s.stats_.input_drop_samples.fetch_add(old->samples->size(),
+                                              std::memory_order_relaxed);
+        s.pending_dropped_samples_.fetch_add(old->samples->size(),
+                                             std::memory_order_relaxed);
+      }
+    }
+  }
+  // close() may have raced our push after its own drain pass; re-drain so
+  // no FeedBlock is stranded in the closed ring holding the shared buffer.
+  if (s.closed()) {
+    while (s.in_ring_.try_pop()) {
+    }
+    return;
+  }
+  s.stats_.blocks_enqueued.fetch_add(1, std::memory_order_relaxed);
+  s.stats_.samples_enqueued.fetch_add(block.samples->size(),
+                                      std::memory_order_relaxed);
+  s.note_queue_depth(s.in_ring_.size());
+}
+
+// ----------------------------------------------------------------- workers
+
+void StreamEngine::worker_loop(int w) {
+  for (;;) {
+    const auto epoch = work_epoch_->load(std::memory_order_acquire);
+    bool progressed = false;
+    for (auto& s : worker_sessions(w)) {
+      if (s->closed()) continue;
+      if (s->paused()) {
+        // Paused sessions do not consume, but retunes still apply.
+        progressed |= s->apply_pending_retune();
+        continue;
+      }
+      progressed |= service(*s);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (!progressed) work_epoch_->wait(epoch, std::memory_order_acquire);
+  }
+}
+
+bool StreamEngine::service(Session& s) {
+  bool progressed = s.apply_pending_retune();
+  // A chunk stashed on an earlier pass (kBlock ring was full) must deliver
+  // before any new block is processed -- stream order.  If the ring is
+  // still full the session stays parked; the worker moves on and a poll()
+  // wakes it back up.
+  if (s.pending_chunk_.has_value()) {
+    if (!deliver_chunk(s)) return progressed;
+    progressed = true;
+  }
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused()) break;
+    s.busy_.store(true, std::memory_order_release);
+    auto block = s.in_ring_.try_pop();
+    if (!block) {
+      s.busy_.store(false, std::memory_order_release);
+      break;
+    }
+    StreamChunk chunk;
+    chunk.block_seq = block->seq;
+    // Input-gap detection is by feed sequence, which is exact: every
+    // eviction removes an enqueued block, so a drop shows up as precisely
+    // one missing seq.  (Reading the drop counter alone would race the
+    // pump and could stamp the marker one chunk early or late.)  The
+    // counter supplies the dropped-sample tally; the pre-first-block case
+    // covers drops while the session never got to process anything yet.
+    const bool seq_gap = s.have_seq_ && block->seq != s.expected_seq_;
+    const bool lead_gap =
+        !s.have_seq_ &&
+        s.pending_dropped_samples_.load(std::memory_order_relaxed) > 0;
+    if (seq_gap || lead_gap) {
+      chunk.gap_before = GapCause::kDropOldest;
+      chunk.dropped_feed_samples =
+          s.pending_dropped_samples_.exchange(0, std::memory_order_relaxed);
+    }
+    s.expected_seq_ = block->seq + 1;
+    s.have_seq_ = true;
+    if (s.pending_flush_gap_) {
+      // A flush retune restarted the backend transient; that wins as the
+      // cause (any coincident drop count is still reported).
+      chunk.gap_before = GapCause::kRetuneFlush;
+      s.pending_flush_gap_ = false;
+    }
+    if (s.pending_output_drop_samples_ > 0 || s.pending_evicted_feed_samples_ > 0 ||
+        s.pending_output_marker_lost_) {
+      // Output-ring evictions since the last produced chunk: forward the
+      // loss (and any destroyed flush marker) instead of dropping it
+      // silently.  See the StreamChunk doc for the position caveat.
+      if (s.pending_output_marker_lost_)
+        chunk.gap_before = GapCause::kRetuneFlush;
+      else if (chunk.gap_before == GapCause::kNone)
+        chunk.gap_before = GapCause::kDropOldest;
+      chunk.dropped_output_samples = s.pending_output_drop_samples_;
+      chunk.dropped_feed_samples += s.pending_evicted_feed_samples_;
+      s.pending_output_drop_samples_ = 0;
+      s.pending_evicted_feed_samples_ = 0;
+      s.pending_output_marker_lost_ = false;
+    }
+    if (chunk.gap_before != GapCause::kNone)
+      s.stats_.gaps.fetch_add(1, std::memory_order_relaxed);
+    try {
+      s.backend_->process_block(*block->samples, chunk.iq);
+    } catch (const std::exception& e) {
+      s.record_failure(std::string("process_block: ") + e.what());
+      s.busy_.store(false, std::memory_order_release);
+      return true;
+    }
+    s.stats_.blocks_processed.fetch_add(1, std::memory_order_relaxed);
+    s.stats_.samples_processed.fetch_add(block->samples->size(),
+                                         std::memory_order_relaxed);
+    s.stats_.samples_out.fetch_add(chunk.iq.size(), std::memory_order_relaxed);
+    s.pending_chunk_.emplace(std::move(chunk));
+    s.has_pending_chunk_.store(true, std::memory_order_release);
+    const bool delivered = deliver_chunk(s);
+    s.busy_.store(false, std::memory_order_release);
+    progressed = true;
+    progressed |= s.apply_pending_retune();  // between blocks, mid-stream
+    if (!delivered) break;  // session parked until the client polls
+  }
+  // Wake output waiters AFTER the final busy_/has_pending_chunk_ stores --
+  // unconditionally: even a no-work pass raises busy_ for its empty-pop
+  // probe, and a drain that read that transient "busy" (not finished) must
+  // get one more wakeup, or it sleeps through the finish transition.
+  notify_output();
+  return progressed;
+}
+
+bool StreamEngine::deliver_chunk(Session& s) {
+  if (stop_.load(std::memory_order_acquire) || s.closed()) {
+    // Terminal: the undelivered chunk is discarded (close()/stop() docs).
+    // Still an output event -- a drain blocked on has_pending_chunk_ must
+    // re-check after the discard.
+    s.pending_chunk_.reset();
+    s.has_pending_chunk_.store(false, std::memory_order_release);
+    notify_output();
+    return true;
+  }
+  if (s.policy_ == BackpressurePolicy::kBlock) {
+    if (!s.out_ring_.try_push(std::move(*s.pending_chunk_))) return false;
+  } else {
+    for (;;) {
+      if (s.out_ring_.try_push(std::move(*s.pending_chunk_))) break;
+      if (auto old = s.out_ring_.try_pop()) {
+        s.stats_.output_drop_chunks.fetch_add(1, std::memory_order_relaxed);
+        s.stats_.output_drop_samples.fetch_add(old->iq.size(),
+                                               std::memory_order_relaxed);
+        // Keep the evicted chunk's story alive: its payload size, its feed
+        // drops, and any flush marker ride forward to the next chunk.
+        s.pending_output_drop_samples_ += old->iq.size() + old->dropped_output_samples;
+        s.pending_evicted_feed_samples_ += old->dropped_feed_samples;
+        if (old->gap_before == GapCause::kRetuneFlush)
+          s.pending_output_marker_lost_ = true;
+      }
+    }
+  }
+  s.pending_chunk_.reset();
+  s.has_pending_chunk_.store(false, std::memory_order_release);
+  notify_output();
+  return true;
+}
+
+void StreamEngine::notify_output() {
+  output_epoch_->fetch_add(1, std::memory_order_release);
+  output_epoch_->notify_all();
+}
+
+// ------------------------------------------------------------------- stats
+
+std::string StreamEngine::stats_json() const {
+  const double elapsed =
+      running_.load(std::memory_order_acquire)
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_time_)
+                .count()
+          : elapsed_s_.load(std::memory_order_relaxed);
+  JsonLine engine_line;
+  engine_line.field("sessions", session_count())
+      .field("workers", static_cast<std::size_t>(options_.workers))
+      .field("block_samples", options_.block_samples)
+      .field("blocks_pumped", static_cast<std::size_t>(blocks_pumped()))
+      .field("feed_exhausted", feed_exhausted())
+      .field("elapsed_s", elapsed);
+  std::string out = "{\"engine\": " + engine_line.str() + ", \"sessions\": [";
+  bool first = true;
+  for (const auto& s : snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    const SessionStats st = s->stats();
+    JsonLine line;
+    line.field("id", static_cast<std::size_t>(s->id()))
+        .field("backend", s->backend_name())
+        .field("plan", s->plan_name())
+        .field("policy", to_string(s->policy()))
+        .field("closed", s->closed())
+        .field("paused", s->paused())
+        .field("blocks_enqueued", static_cast<std::size_t>(st.blocks_enqueued))
+        .field("samples_enqueued", static_cast<std::size_t>(st.samples_enqueued))
+        .field("blocks_processed", static_cast<std::size_t>(st.blocks_processed))
+        .field("samples_processed", static_cast<std::size_t>(st.samples_processed))
+        .field("samples_out", static_cast<std::size_t>(st.samples_out))
+        .field("chunks_polled", static_cast<std::size_t>(st.chunks_polled))
+        .field("input_drop_blocks", static_cast<std::size_t>(st.input_drop_blocks))
+        .field("input_drop_samples", static_cast<std::size_t>(st.input_drop_samples))
+        .field("output_drop_chunks", static_cast<std::size_t>(st.output_drop_chunks))
+        .field("output_drop_samples",
+               static_cast<std::size_t>(st.output_drop_samples))
+        .field("max_queue_depth", static_cast<std::size_t>(st.max_queue_depth))
+        .field("retunes_applied", static_cast<std::size_t>(st.retunes_applied))
+        .field("retunes_rejected", static_cast<std::size_t>(st.retunes_rejected))
+        .field("gaps", static_cast<std::size_t>(st.gaps))
+        .field("last_retune_block", static_cast<std::size_t>(st.last_retune_block))
+        .field("msamples_per_s",
+               elapsed > 0.0
+                   ? static_cast<double>(st.samples_processed) / elapsed / 1e6
+                   : 0.0);
+    out += line.str();
+  }
+  out += "]}";
+  return out;
+}
+
+// ------------------------------------------------------------ drain helper
+
+void drain_each(StreamEngine& engine,
+                const std::vector<std::shared_ptr<Session>>& sessions,
+                const std::function<void(std::size_t, StreamChunk&&)>& on_chunk) {
+  for (;;) {
+    const auto token = engine.output_token();  // before polling: no lost wakeup
+    bool any = false;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      for (auto& chunk : sessions[i]->poll()) {
+        on_chunk(i, std::move(chunk));
+        any = true;
+      }
+    }
+    if (any) continue;
+    bool done = true;
+    for (const auto& s : sessions) done = done && engine.finished(*s);
+    if (done) return;
+    engine.wait_output(token);  // block until a delivery/close/stop event
+  }
+}
+
+std::vector<std::vector<StreamChunk>> drain_all(
+    StreamEngine& engine, const std::vector<std::shared_ptr<Session>>& sessions) {
+  std::vector<std::vector<StreamChunk>> out(sessions.size());
+  drain_each(engine, sessions, [&out](std::size_t i, StreamChunk&& chunk) {
+    out[i].push_back(std::move(chunk));
+  });
+  return out;
+}
+
+std::vector<core::IqSample> flatten(const std::vector<StreamChunk>& chunks) {
+  std::vector<core::IqSample> iq;
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.iq.size();
+  iq.reserve(total);
+  for (const auto& c : chunks) iq.insert(iq.end(), c.iq.begin(), c.iq.end());
+  return iq;
+}
+
+}  // namespace twiddc::stream

@@ -1,0 +1,170 @@
+// twiddc::stream -- the streaming session engine.
+//
+// Turns the backend layer into a server: ONE wideband Source feed drives N
+// concurrent Sessions, each lowered onto any registered
+// ArchitectureBackend -- the same antenna samples can simultaneously feed a
+// GC4016 slot, a Montium mapping and the SIMD native pipeline.
+//
+// Threading model (see DESIGN.md "The stream layer"):
+//
+//   pump thread   reads Source blocks and fans each one out (zero-copy, a
+//                 shared_ptr per session) to every open session's input
+//                 ring, honouring the session's backpressure policy;
+//   worker pool   a common::WorkerPool of `workers` threads; session k is
+//                 pinned to worker k % workers for its whole life, so each
+//                 ring keeps a single consumer and execution order within a
+//                 session is the feed order (bit-exact with one-shot
+//                 process_block on the same backend);
+//   client        opens/polls/retunes/closes sessions from its own threads.
+//
+// The engine is one-shot: construct, open sessions (before or during
+// streaming), start(), stream, stop().  stop() is terminal; queued output
+// remains pollable afterwards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/worker_pool.hpp"
+#include "src/stream/session.hpp"
+#include "src/stream/source.hpp"
+
+namespace twiddc::stream {
+
+struct EngineOptions {
+  int workers = 2;                  ///< worker threads (>= 1)
+  std::size_t block_samples = 4096; ///< feed samples per FeedBlock
+  std::size_t session_queue_blocks = 8;    ///< input-ring capacity (blocks)
+  std::size_t session_output_chunks = 256; ///< output-ring capacity (chunks)
+};
+
+class StreamEngine {
+ public:
+  /// The engine owns the feed.  Options are clamped to sane minimums.
+  explicit StreamEngine(std::unique_ptr<Source> source, EngineOptions options = {});
+  ~StreamEngine();  // stop()s if still running
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Lowers `plan` onto a fresh instance of the named registered backend
+  /// and opens a session for it.  Throws ConfigError for an unknown backend
+  /// name and core::LoweringError when the plan does not lower; nothing is
+  /// opened in either case.  Legal before and during streaming; a session
+  /// opened mid-stream joins at the current feed position.
+  std::shared_ptr<Session> open(const core::ChainPlan& plan,
+                                const std::string& backend_name,
+                                BackpressurePolicy policy = BackpressurePolicy::kBlock);
+
+  /// Spawns the pump and parks the workers.  Call at most once.
+  void start();
+  /// Terminal: stops the pump and releases the workers.  In-queue input is
+  /// abandoned; queued output remains pollable.  Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// True once the Source reported end of stream (never true after stop()
+  /// cut the feed short -- check running() too).
+  [[nodiscard]] bool feed_exhausted() const {
+    return feed_done_.load(std::memory_order_acquire);
+  }
+
+  /// True when nothing more will reach `session`'s consumer: the feed is
+  /// exhausted (or the session closed), every queued block is processed,
+  /// and every produced chunk has been polled.
+  [[nodiscard]] bool finished(const Session& session) const;
+
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::uint64_t blocks_pumped() const {
+    return blocks_pumped_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// Serving snapshot as one JSON object: engine totals plus one entry per
+  /// session (stats + derived throughput).  Poll-safe from any thread.
+  [[nodiscard]] std::string stats_json() const;
+
+  /// Eventcount for output-side waiters (the drain helpers): every chunk
+  /// delivery, feed exhaustion, stop() and session close bumps it.  Read
+  /// the token BEFORE polling, then wait(token) when nothing was polled --
+  /// any of those events in between makes the wait return immediately.
+  [[nodiscard]] std::uint32_t output_token() const {
+    return output_epoch_->load(std::memory_order_acquire);
+  }
+  void wait_output(std::uint32_t token) const {
+    output_epoch_->wait(token, std::memory_order_acquire);
+  }
+
+ private:
+  void pump_loop();
+  void worker_loop(int w);
+  /// Drains one session's input ring through its backend.  Returns true
+  /// when any progress was made.
+  bool service(Session& session);
+  void enqueue(Session& session, const FeedBlock& block);
+  /// Tries to hand the session's stashed pending_chunk_ to the output ring
+  /// (per its backpressure policy).  Returns false only when a kBlock ring
+  /// is full -- the chunk stays stashed and the worker moves on.
+  bool deliver_chunk(Session& session);
+  /// Bumps the output eventcount.  Called on EVERY transition an output
+  /// waiter can be blocked on: chunk delivery or discard, the end of a
+  /// worker's service pass (the busy_ -> false edge that completes
+  /// finished()), feed exhaustion and stop; Session::close() bumps too.
+  void notify_output();
+  [[nodiscard]] std::vector<std::shared_ptr<Session>> snapshot() const;
+  [[nodiscard]] std::vector<std::shared_ptr<Session>> worker_sessions(int w) const;
+
+  EngineOptions options_;
+  std::unique_ptr<Source> source_;
+  common::WorkerPool pool_;
+  std::function<void(int)> worker_job_;
+  std::thread pump_thread_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 0;
+  /// Guarded by sessions_mu_ so open() and the start()/stop() attach/detach
+  /// passes agree on whether a new session gets a worker -- an atomic read
+  /// of running_ could race stop()'s detach snapshot and strand a session
+  /// attached with no workers alive.
+  bool workers_live_ = false;
+
+  std::shared_ptr<std::atomic<std::uint32_t>> work_epoch_;
+  std::shared_ptr<std::atomic<std::uint32_t>> output_epoch_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> feed_done_{false};
+  std::atomic<std::uint64_t> blocks_pumped_{0};
+  std::chrono::steady_clock::time_point start_time_{};
+  std::atomic<double> elapsed_s_{0.0};
+};
+
+/// The standard client loop: polls every session until the feed is
+/// exhausted and all sessions are finished, handing each chunk (with its
+/// session's index in `sessions`) to `on_chunk` as it arrives.  Keeps
+/// consuming while the engine runs, so kBlock sessions cannot deadlock on a
+/// full output ring.  The engine must be start()ed and no session paused,
+/// or this never returns.
+void drain_each(StreamEngine& engine,
+                const std::vector<std::shared_ptr<Session>>& sessions,
+                const std::function<void(std::size_t, StreamChunk&&)>& on_chunk);
+
+/// drain_each, buffering: returns each session's chunks in stream order.
+std::vector<std::vector<StreamChunk>> drain_all(
+    StreamEngine& engine, const std::vector<std::shared_ptr<Session>>& sessions);
+
+/// Concatenates the IQ payloads of polled chunks (gap metadata dropped).
+std::vector<core::IqSample> flatten(const std::vector<StreamChunk>& chunks);
+
+}  // namespace twiddc::stream

@@ -1,0 +1,202 @@
+#include "src/stream/session.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace twiddc::stream {
+
+const char* to_string(BackpressurePolicy policy) {
+  return policy == BackpressurePolicy::kBlock ? "block" : "drop_oldest";
+}
+
+const char* to_string(GapCause cause) {
+  switch (cause) {
+    case GapCause::kNone: return "none";
+    case GapCause::kDropOldest: return "drop_oldest";
+    case GapCause::kRetuneFlush: return "retune_flush";
+  }
+  return "unknown";
+}
+
+Session::Session(std::uint64_t id,
+                 std::unique_ptr<core::ArchitectureBackend> backend,
+                 BackpressurePolicy policy, std::size_t queue_blocks,
+                 std::size_t output_chunks,
+                 std::shared_ptr<std::atomic<std::uint32_t>> work_epoch,
+                 std::shared_ptr<std::atomic<std::uint32_t>> output_epoch)
+    : id_(id),
+      backend_name_(backend->name()),
+      plan_name_(backend->plan().name),
+      policy_(policy),
+      backend_(std::move(backend)),
+      in_ring_(queue_blocks),
+      out_ring_(output_chunks),
+      work_epoch_(std::move(work_epoch)),
+      output_epoch_(std::move(output_epoch)) {}
+
+std::vector<StreamChunk> Session::poll(std::size_t max_chunks) {
+  std::vector<StreamChunk> chunks;
+  while (max_chunks == 0 || chunks.size() < max_chunks) {
+    auto chunk = out_ring_.try_pop();
+    if (!chunk) break;
+    chunks.push_back(std::move(*chunk));
+  }
+  stats_.chunks_polled.fetch_add(chunks.size(), std::memory_order_relaxed);
+  // Freed output-ring space: wake the workers so a session with a stashed
+  // undelivered chunk retries its delivery.
+  if (!chunks.empty()) bump_work_epoch();
+  return chunks;
+}
+
+bool Session::retune(const core::ChainPlan& plan, core::SwapMode mode) {
+  // One retune at a time: the mailbox is a single slot, so a concurrent
+  // second request must queue behind the first, not overwrite it.
+  std::lock_guard<std::mutex> serial(retune_serial_mu_);
+  std::unique_lock<std::mutex> lock(control_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    last_error_ = "session closed";
+    return false;
+  }
+  if (detached_.load(std::memory_order_acquire)) {
+    // No worker is attached; apply on the caller's thread.
+    RetuneRequest request{plan, mode};
+    apply_swap_locked(request);
+    const bool ok = retune_result_.value_or(false);
+    retune_result_.reset();
+    return ok;
+  }
+  pending_retune_.emplace(RetuneRequest{plan, mode});
+  retune_result_.reset();
+  bump_work_epoch();  // wake an idle worker so idle sessions retune promptly
+  control_cv_.wait(lock, [this] {
+    return retune_result_.has_value() ||
+           detached_.load(std::memory_order_acquire) ||
+           closed_.load(std::memory_order_acquire);
+  });
+  if (!retune_result_.has_value() && pending_retune_.has_value()) {
+    // The worker detached (engine stopped) before picking the request up.
+    const RetuneRequest request = std::move(*pending_retune_);
+    pending_retune_.reset();
+    if (closed_.load(std::memory_order_acquire)) {
+      last_error_ = "session closed";
+      return false;
+    }
+    apply_swap_locked(request);
+  }
+  const bool ok = retune_result_.value_or(false);
+  retune_result_.reset();
+  return ok;
+}
+
+bool Session::apply_pending_retune() {
+  std::unique_lock<std::mutex> lock(control_mu_);
+  if (!pending_retune_.has_value()) return false;
+  const RetuneRequest request = std::move(*pending_retune_);
+  pending_retune_.reset();
+  apply_swap_locked(request);
+  control_cv_.notify_all();
+  return true;
+}
+
+void Session::apply_swap_locked(const RetuneRequest& request) {
+  try {
+    backend_->swap_plan(request.plan, request.mode);
+    plan_name_ = backend_->plan().name;
+    stats_.retunes_applied.fetch_add(1, std::memory_order_relaxed);
+    stats_.last_retune_block.store(
+        stats_.blocks_processed.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    if (request.mode == core::SwapMode::kFlush) pending_flush_gap_ = true;
+    retune_result_ = true;
+  } catch (const std::exception& e) {
+    // swap_plan guarantees the old configuration stays active.
+    last_error_ = e.what();
+    stats_.retunes_rejected.fetch_add(1, std::memory_order_relaxed);
+    retune_result_ = false;
+  }
+}
+
+void Session::set_attached(bool attached) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  detached_.store(!attached, std::memory_order_release);
+  control_cv_.notify_all();
+}
+
+void Session::set_paused(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+  in_ring_.wake();
+  bump_work_epoch();
+}
+
+void Session::close() {
+  closed_.store(true, std::memory_order_release);
+  in_ring_.close();  // pump pushes fail from here on
+  // Free the queued feed blocks now (the worker skips closed sessions, so
+  // nothing else would release the shared buffers).  Pop claims are
+  // MPMC-safe, so racing a mid-block worker is fine.
+  while (in_ring_.try_pop()) {
+  }
+  out_ring_.wake();  // unblock a worker waiting for output space
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_cv_.notify_all();  // fail any retune() waiting on a worker
+  }
+  bump_work_epoch();
+  // Closing can complete a drain (finished() treats closed as terminal).
+  output_epoch_->fetch_add(1, std::memory_order_release);
+  output_epoch_->notify_all();
+}
+
+std::string Session::plan_name() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return plan_name_;
+}
+
+std::string Session::last_error() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return last_error_;
+}
+
+void Session::record_failure(const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    last_error_ = what;
+  }
+  close();
+}
+
+void Session::note_queue_depth(std::uint64_t depth) {
+  std::uint64_t seen = stats_.max_queue_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !stats_.max_queue_depth.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void Session::bump_work_epoch() {
+  work_epoch_->fetch_add(1, std::memory_order_release);
+  work_epoch_->notify_all();
+}
+
+SessionStats Session::stats() const {
+  SessionStats s;
+  s.blocks_enqueued = stats_.blocks_enqueued.load(std::memory_order_relaxed);
+  s.samples_enqueued = stats_.samples_enqueued.load(std::memory_order_relaxed);
+  s.blocks_processed = stats_.blocks_processed.load(std::memory_order_relaxed);
+  s.samples_processed = stats_.samples_processed.load(std::memory_order_relaxed);
+  s.samples_out = stats_.samples_out.load(std::memory_order_relaxed);
+  s.chunks_polled = stats_.chunks_polled.load(std::memory_order_relaxed);
+  s.input_drop_blocks = stats_.input_drop_blocks.load(std::memory_order_relaxed);
+  s.input_drop_samples = stats_.input_drop_samples.load(std::memory_order_relaxed);
+  s.output_drop_chunks = stats_.output_drop_chunks.load(std::memory_order_relaxed);
+  s.output_drop_samples = stats_.output_drop_samples.load(std::memory_order_relaxed);
+  s.max_queue_depth = stats_.max_queue_depth.load(std::memory_order_relaxed);
+  s.retunes_applied = stats_.retunes_applied.load(std::memory_order_relaxed);
+  s.retunes_rejected = stats_.retunes_rejected.load(std::memory_order_relaxed);
+  s.gaps = stats_.gaps.load(std::memory_order_relaxed);
+  s.last_retune_block = stats_.last_retune_block.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace twiddc::stream

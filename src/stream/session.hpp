@@ -1,0 +1,255 @@
+// twiddc::stream -- one live DDC stream over a registered backend.
+//
+// A Session is one user's channel of the shared wideband feed: the engine
+// lowers the session's ChainPlan onto the named ArchitectureBackend at
+// open() time and from then on the session is a pair of lock-free rings
+// around that backend --
+//
+//   pump thread  -> input ring (FeedBlock)  -> worker -> backend
+//   worker       -> output ring (StreamChunk) -> client poll()
+//
+// Threading contract: poll(), retune(), set_paused() and close() are client
+// calls (any one thread); the backend itself is touched only by the
+// session's assigned worker (or, when the engine is not running, inline by
+// retune()).  Backpressure when a ring fills is per-session and explicit:
+//
+//   kBlock      the producer waits -- a slow consumer throttles the pump
+//               (and through it the whole feed: conservative end-to-end
+//               flow control, no data loss);
+//   kDropOldest the producer evicts the oldest queued element and the loss
+//               surfaces in the stream as gap metadata on the next chunk
+//               plus drop counters in the stats.
+//
+// Runtime retunes ride the backend swap_plan() glitch contract: a kFlush
+// retune surfaces as GapCause::kRetuneFlush on the first post-swap chunk (a
+// clean gap: the backend restarts its settling transient), a kSplice retune
+// is gap-free by construction.  See DESIGN.md "The stream layer".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/backend.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/stream/ring.hpp"
+
+namespace twiddc::stream {
+
+enum class BackpressurePolicy { kBlock, kDropOldest };
+
+/// Why a chunk's first sample does not continue the previous chunk's stream.
+enum class GapCause : std::uint8_t {
+  kNone,         ///< contiguous
+  kDropOldest,   ///< feed blocks were evicted under kDropOldest backpressure
+  kRetuneFlush,  ///< a kFlush retune restarted the backend's transient
+};
+
+[[nodiscard]] const char* to_string(GapCause cause);
+[[nodiscard]] const char* to_string(BackpressurePolicy policy);
+
+/// One block of the shared wideband feed.  The sample buffer is shared
+/// (not copied) between every session the pump fans it out to.
+struct FeedBlock {
+  std::uint64_t seq = 0;  ///< feed-global block index
+  std::shared_ptr<const std::vector<std::int64_t>> samples;
+};
+
+/// One polled slice of a session's output stream: the backend outputs of
+/// one feed block, plus discontinuity metadata.
+///
+/// Input-side losses and flush retunes are marked exactly: the first chunk
+/// after the discontinuity carries the cause.  Output-side losses (a
+/// kDropOldest output ring evicting queued chunks, metadata included) are
+/// forwarded onto the next *produced* chunk -- the position is approximate
+/// (survivors pushed before the eviction stay unmarked; block_seq gives the
+/// exact surviving blocks), and losses after the final chunk appear only in
+/// the stats counters.
+struct StreamChunk {
+  std::uint64_t block_seq = 0;  ///< feed block that produced this chunk
+  GapCause gap_before = GapCause::kNone;
+  std::uint64_t dropped_feed_samples = 0;    ///< feed samples lost (kDropOldest)
+  std::uint64_t dropped_output_samples = 0;  ///< IQ samples lost to output eviction
+  std::vector<core::IqSample> iq;
+};
+
+/// Monotonic per-session counters (all since open()).
+struct SessionStats {
+  std::uint64_t blocks_enqueued = 0;   ///< feed blocks accepted into the input ring
+  std::uint64_t samples_enqueued = 0;
+  std::uint64_t blocks_processed = 0;  ///< feed blocks run through the backend
+  std::uint64_t samples_processed = 0;
+  std::uint64_t samples_out = 0;       ///< IQ samples produced
+  std::uint64_t chunks_polled = 0;
+  std::uint64_t input_drop_blocks = 0;   ///< kDropOldest evictions (input ring)
+  std::uint64_t input_drop_samples = 0;
+  std::uint64_t output_drop_chunks = 0;  ///< kDropOldest evictions (output ring)
+  std::uint64_t output_drop_samples = 0;
+  std::uint64_t max_queue_depth = 0;   ///< input-ring high-water mark (blocks)
+  std::uint64_t retunes_applied = 0;
+  std::uint64_t retunes_rejected = 0;
+  std::uint64_t gaps = 0;              ///< discontinuities surfaced in chunks
+  std::uint64_t last_retune_block = 0; ///< blocks_processed when the last
+                                       ///< retune was applied
+};
+
+class StreamEngine;
+
+class Session {
+ public:
+  // Sessions are created by StreamEngine::open() and shared with the
+  // client; the type is neither copyable nor movable.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& backend_name() const { return backend_name_; }
+  /// Name of the currently configured plan (changes on retune).
+  [[nodiscard]] std::string plan_name() const;
+  [[nodiscard]] BackpressurePolicy policy() const { return policy_; }
+
+  /// Drains up to `max_chunks` chunks (0 = everything queued) from the
+  /// output ring.  Still legal after close() / engine stop, so queued
+  /// output is never stranded.
+  [[nodiscard]] std::vector<StreamChunk> poll(std::size_t max_chunks = 0);
+
+  /// Requests a runtime plan swap; the worker applies it between feed
+  /// blocks (workers never park on a full output ring -- they stash the
+  /// undelivered chunk and keep scheduling -- so a single-threaded client
+  /// that is not currently polling cannot deadlock here, and a backlogged
+  /// session cannot starve a co-pinned one) via the backend's swap_plan()
+  /// glitch contract.  Blocks until the swap is applied or rejected;
+  /// returns false -- with the diagnostic in last_error() -- when the
+  /// backend cannot lower the new plan (the old plan keeps streaming) or
+  /// the session is closed.  When the engine is not running the swap is
+  /// applied inline on the caller's thread.
+  bool retune(const core::ChainPlan& plan,
+              core::SwapMode mode = core::SwapMode::kFlush);
+
+  /// A paused session stays open and keeps receiving feed blocks, but its
+  /// worker stops consuming them, so the input ring fills and the session's
+  /// backpressure policy takes effect (kBlock stalls the pump, kDropOldest
+  /// sheds the oldest blocks).  For consumers that must stall a stream
+  /// without closing it, and for deterministic backpressure tests.
+  void set_paused(bool paused);
+  [[nodiscard]] bool paused() const {
+    return paused_.load(std::memory_order_acquire);
+  }
+
+  /// Stops the stream: the pump stops feeding it, queued input is
+  /// discarded, queued output stays pollable.  The engine forgets the
+  /// session on its next pump cycle (it leaves stats_json()); this handle
+  /// stays valid.  Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Instantaneous queue depths (approximate while streams are in flight).
+  [[nodiscard]] std::size_t queued_input_blocks() const { return in_ring_.size(); }
+  [[nodiscard]] std::size_t queued_output_chunks() const { return out_ring_.size(); }
+
+  /// Diagnostic of the last rejected retune or backend failure.
+  [[nodiscard]] std::string last_error() const;
+
+  [[nodiscard]] SessionStats stats() const;
+
+ private:
+  friend class StreamEngine;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> blocks_enqueued{0};
+    std::atomic<std::uint64_t> samples_enqueued{0};
+    std::atomic<std::uint64_t> blocks_processed{0};
+    std::atomic<std::uint64_t> samples_processed{0};
+    std::atomic<std::uint64_t> samples_out{0};
+    std::atomic<std::uint64_t> chunks_polled{0};
+    std::atomic<std::uint64_t> input_drop_blocks{0};
+    std::atomic<std::uint64_t> input_drop_samples{0};
+    std::atomic<std::uint64_t> output_drop_chunks{0};
+    std::atomic<std::uint64_t> output_drop_samples{0};
+    std::atomic<std::uint64_t> max_queue_depth{0};
+    std::atomic<std::uint64_t> retunes_applied{0};
+    std::atomic<std::uint64_t> retunes_rejected{0};
+    std::atomic<std::uint64_t> gaps{0};
+    std::atomic<std::uint64_t> last_retune_block{0};
+  };
+
+  struct RetuneRequest {
+    core::ChainPlan plan;
+    core::SwapMode mode = core::SwapMode::kFlush;
+  };
+
+  Session(std::uint64_t id, std::unique_ptr<core::ArchitectureBackend> backend,
+          BackpressurePolicy policy, std::size_t queue_blocks,
+          std::size_t output_chunks,
+          std::shared_ptr<std::atomic<std::uint32_t>> work_epoch,
+          std::shared_ptr<std::atomic<std::uint32_t>> output_epoch);
+
+  /// Applies a pending retune if one is queued.  Worker thread (or inline
+  /// from retune() when detached).  Returns true when a swap was applied or
+  /// rejected (progress for the worker's idle detection).
+  bool apply_pending_retune();
+  /// The kFlush/kSplice application itself; control_mu_ must be held.
+  void apply_swap_locked(const RetuneRequest& request);
+
+  /// Engine start/stop handshake: while attached, retunes go through the
+  /// worker; while detached, retune() applies inline.
+  void set_attached(bool attached);
+
+  void note_queue_depth(std::uint64_t depth);
+  void record_failure(const std::string& what);
+  void bump_work_epoch();
+
+  const std::uint64_t id_;
+  const std::string backend_name_;
+  std::string plan_name_;  // guarded by control_mu_ (retunes rename it)
+  const BackpressurePolicy policy_;
+  int worker_ = 0;  ///< owning worker index (stable for the session's life)
+
+  std::unique_ptr<core::ArchitectureBackend> backend_;
+  BoundedRing<FeedBlock> in_ring_;
+  BoundedRing<StreamChunk> out_ring_;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> busy_{false};     ///< worker mid-block (for drain checks)
+  std::atomic<bool> detached_{true};  ///< no worker attached (engine not running)
+  std::atomic<std::uint64_t> pending_dropped_samples_{0};
+
+  // Worker-thread-only state (no synchronisation needed).
+  bool pending_flush_gap_ = false;
+  std::uint64_t expected_seq_ = 0;  ///< next feed seq if the stream is contiguous
+  bool have_seq_ = false;           ///< expected_seq_ valid (a block was processed)
+  std::uint64_t pending_output_drop_samples_ = 0;  ///< evicted IQ, unreported
+  std::uint64_t pending_evicted_feed_samples_ = 0;  ///< feed-drop counts an
+                                                    ///< evicted chunk carried
+  bool pending_output_marker_lost_ = false;  ///< an evicted chunk carried a
+                                             ///< kRetuneFlush marker
+  /// A built chunk the kBlock output ring had no room for.  The worker
+  /// stashes it and moves on to its other sessions (a full output ring
+  /// parks the *session*, never the worker); delivery is retried when the
+  /// client polls.  has_pending_chunk_ mirrors it for finished() checks.
+  std::optional<StreamChunk> pending_chunk_;
+  std::atomic<bool> has_pending_chunk_{false};
+
+  // Serializes whole retune() calls (the mailbox below is one slot).
+  std::mutex retune_serial_mu_;
+  // Retune mailbox + error string, guarded by control_mu_.
+  mutable std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  std::optional<RetuneRequest> pending_retune_;
+  std::optional<bool> retune_result_;
+  std::string last_error_;
+
+  AtomicStats stats_;
+  std::shared_ptr<std::atomic<std::uint32_t>> work_epoch_;   ///< wakes workers
+  std::shared_ptr<std::atomic<std::uint32_t>> output_epoch_; ///< wakes drainers
+};
+
+}  // namespace twiddc::stream

@@ -1,0 +1,80 @@
+#include "src/stream/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/fixed/qformat.hpp"
+
+namespace twiddc::stream {
+
+VectorSource::VectorSource(std::vector<std::int64_t> samples, std::size_t loops)
+    : samples_(std::move(samples)), loops_left_(loops) {
+  if (samples_.empty()) throw ConfigError("VectorSource: samples must be non-empty");
+  if (loops == 0) throw ConfigError("VectorSource: loops must be >= 1");
+}
+
+std::size_t VectorSource::read(std::span<std::int64_t> out) {
+  std::size_t written = 0;
+  while (written < out.size() && loops_left_ > 0) {
+    const std::size_t n =
+        std::min(out.size() - written, samples_.size() - pos_);
+    std::copy_n(samples_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out.begin() + static_cast<std::ptrdiff_t>(written));
+    written += n;
+    pos_ += n;
+    if (pos_ == samples_.size()) {
+      pos_ = 0;
+      --loops_left_;
+    }
+  }
+  return written;
+}
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+}  // namespace
+
+ToneSource::ToneSource(double freq_hz, double sample_rate_hz, int bits,
+                       double amplitude, std::uint64_t total_samples)
+    : step_(0.0),
+      scale_(0.0),
+      bits_(bits),
+      remaining_(total_samples),
+      bounded_(total_samples > 0) {
+  // Validate before deriving scale_: the full-scale shift below is UB for
+  // bits outside the checked range.
+  if (sample_rate_hz <= 0.0)
+    throw ConfigError("ToneSource: sample rate must be positive");
+  if (bits < 2 || bits > 32) throw ConfigError("ToneSource: bits must be in [2,32]");
+  // Bound |step| <= pi so the single-step wrap in read() keeps the phase in
+  // [-2pi, 2pi] forever -- an unbounded phase silently loses sin() precision
+  // over the endless feeds this class generates.
+  if (std::abs(freq_hz) > sample_rate_hz / 2.0)
+    throw ConfigError("ToneSource: |freq_hz| must be <= sample_rate/2");
+  step_ = kTwoPi * freq_hz / sample_rate_hz;
+  scale_ = amplitude * static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+}
+
+std::size_t ToneSource::read(std::span<std::int64_t> out) {
+  std::size_t n = out.size();
+  if (bounded_) {
+    n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining_, out.size()));
+    remaining_ -= n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scaled = std::sin(phase_) * scale_;
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    out[i] = fixed::saturate(static_cast<std::int64_t>(rounded), bits_);
+    phase_ += step_;
+    if (phase_ > kTwoPi) {
+      phase_ -= kTwoPi;
+    } else if (phase_ < -kTwoPi) {  // negative freq_hz steps downward
+      phase_ += kTwoPi;
+    }
+  }
+  return n;
+}
+
+}  // namespace twiddc::stream

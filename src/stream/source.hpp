@@ -1,0 +1,63 @@
+// twiddc::stream -- wideband feed sources for the streaming engine.
+//
+// A Source is the engine-side stand-in for the AD converter: the pump
+// thread repeatedly asks it for the next span of raw input samples and fans
+// each block out to every open session.  Sources are pull-based and
+// single-threaded by contract (only the pump calls read()), so
+// implementations need no locking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace twiddc::stream {
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Fills up to out.size() samples (already quantised to the feed's input
+  /// width); returns the number written.  0 means end of stream -- the pump
+  /// stops asking.  Called only from the engine's pump thread.
+  virtual std::size_t read(std::span<std::int64_t> out) = 0;
+};
+
+/// Replays a prepared sample vector, optionally looped.  The reproducible
+/// feed for tests and benches: the same vector can be handed to a one-shot
+/// process_block() for bit-exact comparison against the streamed path.
+class VectorSource final : public Source {
+ public:
+  /// `loops` full passes over `samples` (>= 1).
+  explicit VectorSource(std::vector<std::int64_t> samples, std::size_t loops = 1);
+
+  std::size_t read(std::span<std::int64_t> out) override;
+
+ private:
+  std::vector<std::int64_t> samples_;
+  std::size_t pos_ = 0;
+  std::size_t loops_left_;
+};
+
+/// Synthesises a quantised tone on the fly, phase-continuous across reads --
+/// an endless antenna feed for load generation without pre-allocating the
+/// whole stream.  Quantisation matches dsp::quantize_signal (round to
+/// nearest at full scale).
+class ToneSource final : public Source {
+ public:
+  /// `total_samples` bounds the stream (0 = endless; stop the engine to end).
+  ToneSource(double freq_hz, double sample_rate_hz, int bits,
+             double amplitude = 0.7, std::uint64_t total_samples = 0);
+
+  std::size_t read(std::span<std::int64_t> out) override;
+
+ private:
+  double phase_ = 0.0;
+  double step_;   // set after validation in the constructor body
+  double scale_;  // amplitude * full-scale, ditto
+  int bits_;
+  std::uint64_t remaining_;
+  bool bounded_;
+};
+
+}  // namespace twiddc::stream

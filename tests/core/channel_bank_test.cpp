@@ -141,5 +141,84 @@ TEST(ChannelBank, WorkerCountIsClampedToChannels) {
   EXPECT_EQ(bank.workers(), 1);
 }
 
+// Channels whose plans decimate at very different rates (the skewed-shard
+// case the thread-pool follow-up flagged): shard partitions are uneven in
+// work, but batching and sharding must stay bit-exact with solo runs.
+TEST(ChannelBank, SkewedDecimationsStayBitExact) {
+  const auto spec = DatapathSpec::wide16();
+  auto light = DdcConfig::reference(10.0e6);  // 16 * 21 * 8 = 2688
+  auto heavy = light;
+  heavy.cic2_decimation = 64;
+  heavy.cic5_decimation = 42;
+  heavy.fir_decimation = 16;  // 43008: 16x the light channel's decimation
+  auto mid = light;
+  mid.cic2_decimation = 8;
+  mid.fir_decimation = 4;  // 672: a fast, output-heavy channel
+  const std::vector<ChainPlan> plans = {
+      ChainPlan::figure1(light, spec),
+      ChainPlan::figure1(heavy, spec),
+      ChainPlan::figure1(mid, spec),
+  };
+  const auto input = stimulus(43008 * 2);
+
+  ChannelBank serial(plans, 1);
+  std::vector<std::vector<IqSample>> want;
+  serial.process_block(input, want);
+  EXPECT_FALSE(want[0].empty());
+  EXPECT_FALSE(want[1].empty());
+  EXPECT_FALSE(want[2].empty());
+  EXPECT_GT(want[2].size(), want[1].size());  // skew is real
+
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    DdcPipeline solo(plans[c]);
+    std::vector<IqSample> solo_out;
+    solo.process_block(input, solo_out);
+    expect_equal(want[c], solo_out, c);
+  }
+  for (int workers : {2, 3}) {
+    ChannelBank sharded(plans, workers);
+    std::vector<std::vector<IqSample>> got;
+    sharded.process_block(input, got);
+    for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
+  }
+}
+
+TEST(ChannelBank, SingleChannelPathMatchesSolo) {
+  const auto plans = detuned_plans(1);
+  const auto input = stimulus(2688 * 3);
+
+  // Worker counts clamp to the single channel; the pool path must not engage.
+  ChannelBank bank(plans, 8);
+  EXPECT_EQ(bank.workers(), 1);
+  std::vector<std::vector<IqSample>> got;
+  bank.process_block(input, got);
+  ASSERT_EQ(got.size(), 1u);
+
+  DdcPipeline solo(plans[0]);
+  std::vector<IqSample> want;
+  solo.process_block(input, want);
+  expect_equal(got[0], want, 0);
+}
+
+TEST(ChannelBank, AllChannelsDisabledIsANoOp) {
+  const auto plans = detuned_plans(3);
+  ChannelBank bank(plans, 2);
+  for (std::size_t c = 0; c < plans.size(); ++c) bank.set_enabled(c, false);
+  std::vector<std::vector<IqSample>> got;
+  bank.process_block(stimulus(2688), got);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& ch : got) EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(bank.channel(0).samples_in(), 0u);
+}
+
+TEST(ChannelBank, EmptyInputProducesNoOutput) {
+  ChannelBank bank(detuned_plans(2), 2);
+  std::vector<std::vector<IqSample>> got;
+  bank.process_block(std::span<const std::int64_t>(), got);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_TRUE(got[1].empty());
+}
+
 }  // namespace
 }  // namespace twiddc::core

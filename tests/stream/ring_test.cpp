@@ -1,0 +1,158 @@
+// BoundedRing: FIFO semantics, close semantics, drop-oldest eviction, and
+// cross-thread stress (the SPSC steady state plus the producer-side evict
+// that makes the ring momentarily multi-consumer).
+#include "src/stream/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace twiddc::stream {
+namespace {
+
+TEST(BoundedRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(BoundedRing<int>(64).capacity(), 64u);
+}
+
+TEST(BoundedRing, FifoOrderAndFullEmpty) {
+  BoundedRing<int> ring(4);
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_EQ(ring.size(), 4u);
+  int full = 99;
+  EXPECT_FALSE(ring.try_push(std::move(full)));
+  EXPECT_EQ(full, 99);  // not moved from on failure
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+}
+
+TEST(BoundedRing, WrapsAroundManyTimes) {
+  BoundedRing<std::uint64_t> ring(4);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t(i)));
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedRing, CloseFailsPushesButDrains) {
+  BoundedRing<int> ring(4);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  int v = 3;
+  EXPECT_FALSE(ring.try_push(std::move(v)));
+  EXPECT_EQ(ring.try_pop(), 1);
+  EXPECT_EQ(ring.try_pop(), 2);
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+}
+
+TEST(BoundedRing, ProducerSideEvictionKeepsNewest) {
+  BoundedRing<int> ring(4);
+  // Push 12 items into a 4-slot ring, evicting the oldest when full -- the
+  // kDropOldest producer loop.
+  int evicted = 0;
+  for (int i = 0; i < 12; ++i) {
+    for (;;) {
+      int v = i;
+      if (ring.try_push(std::move(v))) break;
+      if (ring.try_pop()) ++evicted;
+    }
+  }
+  EXPECT_EQ(evicted, 8);
+  for (int want : {8, 9, 10, 11}) EXPECT_EQ(ring.try_pop(), want);
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+}
+
+TEST(BoundedRing, SpscStressPreservesSequence) {
+  BoundedRing<std::uint64_t> ring(16);
+  constexpr std::uint64_t kCount = 30000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      for (;;) {
+        const auto token = ring.wake_token();
+        std::uint64_t v = i;
+        if (ring.try_push(std::move(v))) break;
+        ring.wait(token);
+      }
+    }
+    ring.close();
+  });
+  std::uint64_t expected = 0;
+  for (;;) {
+    const auto token = ring.wake_token();
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+      continue;
+    }
+    if (ring.closed()) {
+      // The producer may push its last items and close between our failed
+      // pop and this check: drain what is left before stopping.
+      while (auto v = ring.try_pop()) {
+        ASSERT_EQ(*v, expected);
+        ++expected;
+      }
+      break;
+    }
+    ring.wait(token);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(BoundedRing, EvictingProducerAndConsumerNeverReorder) {
+  // Producer never blocks (evicts when full); consumer pops concurrently.
+  // Every popped value must be strictly increasing (drops allowed, reorder
+  // or duplication not), and drops + pops must account for every push.
+  BoundedRing<std::uint64_t> ring(8);
+  constexpr std::uint64_t kCount = 30000;
+  std::atomic<std::uint64_t> evicted{0};
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      for (;;) {
+        std::uint64_t v = i;
+        if (ring.try_push(std::move(v))) break;
+        if (ring.try_pop()) evicted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ring.close();
+  });
+  std::uint64_t popped = 0;
+  std::int64_t last = -1;
+  const auto consume = [&](std::uint64_t v) {
+    ASSERT_GT(static_cast<std::int64_t>(v), last);
+    last = static_cast<std::int64_t>(v);
+    ++popped;
+  };
+  for (;;) {
+    const auto token = ring.wake_token();
+    if (auto v = ring.try_pop()) {
+      consume(*v);
+      continue;
+    }
+    if (ring.closed()) {
+      while (auto v = ring.try_pop()) consume(*v);  // drain the close race
+      break;
+    }
+    ring.wait(token);
+  }
+  producer.join();
+  EXPECT_EQ(popped + evicted.load(), kCount);
+}
+
+}  // namespace
+}  // namespace twiddc::stream
