@@ -209,9 +209,9 @@ void bench_backends() {
     const Throughput t = measure_throughput(
         input.size(),
         [&] {
-          // Reset per rep: the ARM backend re-runs its batch kernel over
-          // everything since reset, so an unbounded stream would grow
-          // quadratically; a per-block reset keeps every rep identical.
+          // Reset per rep so every rep runs the identical settled-state
+          // block (the gpp backend streams incrementally now, but a
+          // deterministic rep is still the comparable measurement).
           backend->reset();
           sink.clear();
           backend->process_block(input, sink);
@@ -229,6 +229,53 @@ void bench_backends() {
 }
 
 // ------------------------------------------------------- multi-channel bank
+
+// Skewed decimation mix (the work-stealing acceptance case): channels whose
+// per-sample and per-output costs differ wildly, so a static shard idles
+// most of a pool while one worker grinds.  The tile chains rebalance by
+// stealing; this line is where that win lands in the trajectory:
+//   {"bench": "throughput_pipeline", "chain": "channel_bank:skewed",
+//    "channels": 9, "workers": N, "aggregate_msamples_per_s": ...,
+//    "scaling_vs_single": ...}   (scaling is vs the serial skewed run)
+
+void bench_channel_bank_skewed() {
+  const auto spec = DatapathSpec::wide16();
+  auto light = DdcConfig::reference(10.0e6);
+  auto heavy = light;
+  heavy.cic2_decimation = 64;
+  heavy.cic5_decimation = 42;
+  heavy.fir_decimation = 16;  // decimation 43008: few outputs, long CIC
+  auto mid = light;
+  mid.cic2_decimation = 8;
+  mid.fir_decimation = 4;  // decimation 672: output-heavy, FIR-bound
+  std::vector<ChainPlan> plans;
+  for (int c = 0; c < 3; ++c) {
+    auto l = light;
+    l.nco_freq_hz += 25.0e3 * c;
+    plans.push_back(ChainPlan::figure1(l, spec));
+    plans.push_back(ChainPlan::figure1(heavy, spec));
+    plans.push_back(ChainPlan::figure1(mid, spec));
+  }
+  const auto input = figure1_stimulus(light, 2688 * 64);
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+
+  double serial_rate = 0.0;
+  for (int workers : {1, hw}) {
+    ChannelBank bank(plans, workers);
+    std::vector<std::vector<IqSample>> planar;
+    const std::size_t channel_samples = input.size() * plans.size();
+    const Throughput t = measure_throughput(channel_samples, [&] {
+      for (auto& p : planar) p.clear();
+      bank.process_block(input, planar);
+    });
+    if (workers == 1) serial_rate = t.msamples_per_s();
+    twiddc::benchutil::channel_bank_json("throughput_pipeline",
+                                         "channel_bank:skewed", plans.size(),
+                                         workers, t, serial_rate, input.size())
+        .field("simd", twiddc::simd::isa_name())
+        .print();
+  }
+}
 
 void bench_channel_bank() {
   const auto cfg = DdcConfig::reference(10.0e6);
@@ -286,7 +333,10 @@ void bench_stream_sessions() {
   const int hw = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
 
   double single_rate = 0.0;
-  for (const std::size_t sessions : {1u, 4u, 16u, 64u}) {
+  // 256 sessions is the scheduler-era acceptance point: sessions far
+  // outnumber workers, so the line tracks admission/fairness overhead and
+  // targeted-wakeup scaling, not just kernel speed.
+  for (const std::size_t sessions : {1u, 4u, 16u, 64u, 256u}) {
     twiddc::stream::EngineOptions opts;
     opts.workers = hw;
     opts.block_samples = 4096;
@@ -339,6 +389,7 @@ int main() {
   bench_kernel_fir125();
   bench_backends();
   bench_channel_bank();
+  bench_channel_bank_skewed();
   bench_stream_sessions();
   return 0;
 }

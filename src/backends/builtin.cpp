@@ -374,34 +374,33 @@ class GppBackend final : public BackendBase {
   }
   void configure(const ChainPlan& plan) override {
     const auto config = gpp::DdcProgram::lower_plan(plan);
-    prog_.emplace(config);
+    // Build-then-commit: constructing the stream (a ~260 KB CPU image) may
+    // throw, and swap_plan guarantees a failed reconfiguration leaves the
+    // old configuration running -- so nothing is replaced until both parts
+    // exist.  Heap-owned so the stream's back-reference survives the move.
+    auto prog = std::make_unique<gpp::DdcProgram>(config);
+    auto stream = std::make_unique<gpp::DdcStream>(*prog);
+    prog_ = std::move(prog);
+    stream_ = std::move(stream);
     config_ = config;
     plan_ = plan;
-    buffer_.clear();
-    emitted_ = 0;
   }
-  [[nodiscard]] bool is_configured() const override { return prog_.has_value(); }
+  [[nodiscard]] bool is_configured() const override { return prog_ != nullptr; }
   void process_block(std::span<const std::int64_t> in,
                      std::vector<IqSample>& out) override {
     require_configured();
-    // The program is a batch kernel (one run over a memory image), not a
-    // streaming machine: re-run it over everything seen since reset and
-    // emit only the outputs that are new.  The history cannot be trimmed
-    // without changing results -- the CIC integrators accumulate from
-    // sample 0, so bit-exactness with the twin requires the full run.
-    // Streaming consumers of this backend must bound their blocks-per-
-    // reset (cost is quadratic in block count); the suite and bench do.
-    buffer_.insert(buffer_.end(), in.begin(), in.end());
-    const auto result = prog_->run(buffer_);
-    out.reserve(out.size() + result.outputs.size() - emitted_);
-    for (std::size_t k = emitted_; k < result.outputs.size(); ++k)
-      out.push_back(IqSample{result.outputs[k], 0});
-    emitted_ = result.outputs.size();
+    // Incremental: the DdcStream keeps the program's registers, CIC/FIR
+    // state and sample ring alive across blocks, so a long stream costs
+    // O(blocks) while staying bit-identical to one batch run() over the
+    // concatenated input -- this backend can serve unbounded sessions.
+    scratch_.clear();
+    stream_->process_block(in, scratch_);
+    out.reserve(out.size() + scratch_.size());
+    for (const std::int32_t v : scratch_) out.push_back(IqSample{v, 0});
   }
   void reset() override {
     require_configured();
-    buffer_.clear();
-    emitted_ = 0;
+    stream_->reset();
   }
   [[nodiscard]] BackendPowerProfile power_profile() const override {
     require_configured();
@@ -420,9 +419,9 @@ class GppBackend final : public BackendBase {
 
  private:
   DdcConfig config_;
-  std::optional<gpp::DdcProgram> prog_;
-  std::vector<std::int64_t> buffer_;
-  std::size_t emitted_ = 0;
+  std::unique_ptr<gpp::DdcProgram> prog_;   // batch kernel: power profiling
+  std::unique_ptr<gpp::DdcStream> stream_;  // incremental streaming state
+  std::vector<std::int32_t> scratch_;
 };
 
 // ------------------------------------------------------------------- montium

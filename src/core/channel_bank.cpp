@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <functional>
 
 #include "src/common/error.hpp"
 
@@ -11,7 +10,9 @@ namespace {
 // Channels are advanced tile by tile so each channel's per-block scratch
 // (mixer planar buffers, rail ping-pong buffers) stays cache-resident
 // instead of streaming a full block's worth per channel.  Pipelines are
-// streaming-composable, so tiling is bit-exact with one monolithic call.
+// streaming-composable, so tiling is bit-exact with one monolithic call --
+// and a tile is also the stealable unit: between tiles a channel's
+// continuation sits in a scheduler deque where an idle worker can claim it.
 constexpr std::size_t kTileSamples = 8192;
 }  // namespace
 
@@ -29,10 +30,43 @@ ChannelBank& ChannelBank::operator=(ChannelBank&&) noexcept = default;
 
 void ChannelBank::set_workers(int workers) {
   workers_ = std::clamp(workers, 1, static_cast<int>(channels_.size()));
-  // The pool holds workers_-1 threads; the calling thread works shard 0.
+  // The scheduler holds workers_-1 threads; the calling thread participates
+  // in every process_block via the fork-join steal loop.
   const int pool_size = workers_ - 1;
-  if (pool_ && pool_->threads() != pool_size) pool_.reset();
-  if (!pool_ && pool_size > 0) pool_ = std::make_unique<common::WorkerPool>(pool_size);
+  if (sched_ && sched_->workers() != pool_size) sched_.reset();
+  if (!sched_ && pool_size > 0)
+    sched_ = std::make_unique<common::TaskScheduler>(pool_size);
+}
+
+void ChannelBank::run_tile_chain(std::span<const std::int64_t> in,
+                                 std::vector<IqSample>& out,
+                                 common::TaskScheduler::Group group,
+                                 std::size_t channel, std::size_t offset) {
+  try {
+    for (;;) {
+      const std::span<const std::int64_t> tile =
+          in.subspan(offset, std::min(kTileSamples, in.size() - offset));
+      channels_[channel].process_block(tile, out);
+      offset += tile.size();
+      if (offset >= in.size()) {
+        group.complete();
+        return;
+      }
+      if (sched_ && sched_->current_worker_index() >= 0) {
+        // Publish the continuation instead of looping: the usual pop takes
+        // it right back (cache-hot LIFO), but while this worker is busy
+        // elsewhere an idle worker can steal the chain -- that migration is
+        // what keeps skewed decimations from stalling the block barrier.
+        sched_->submit_local([this, in, &out, group, channel, offset] {
+          run_tile_chain(in, out, group, channel, offset);
+        });
+        return;
+      }
+      // The fork-join caller has no deque; it keeps the chain inline.
+    }
+  } catch (...) {
+    group.fail(std::current_exception());
+  }
 }
 
 void ChannelBank::process_block(std::span<const std::int64_t> in,
@@ -44,41 +78,34 @@ void ChannelBank::process_block(std::span<const std::int64_t> in,
     if (enabled_[c]) active.push_back(c);
   if (active.empty() || in.empty()) return;
 
-  // Tile-outer, channel-inner: every enabled channel advances through tile t
-  // before any channel starts tile t+1.
-  const auto run_channels = [&](std::size_t first, std::size_t stride) {
+  const auto n_workers =
+      static_cast<std::size_t>(std::min<int>(workers_, static_cast<int>(active.size())));
+  if (n_workers <= 1 || !sched_) {
+    // Serial mode: tile-outer, channel-inner -- every enabled channel
+    // advances through tile t before any channel starts tile t+1.
     for (std::size_t off = 0; off < in.size(); off += kTileSamples) {
       const std::span<const std::int64_t> tile =
           in.subspan(off, std::min(kTileSamples, in.size() - off));
-      for (std::size_t k = first; k < active.size(); k += stride)
-        channels_[active[k]].process_block(tile, out[active[k]]);
+      for (const std::size_t c : active) channels_[c].process_block(tile, out[c]);
     }
-  };
-
-  const auto n_workers =
-      static_cast<std::size_t>(std::min<int>(workers_, static_cast<int>(active.size())));
-  if (n_workers <= 1 || !pool_) {
-    run_channels(0, 1);
     return;
   }
 
-  // Shard the active channels across the pool (pool worker w owns channels
-  // w+1, w+1+n, ...) while the caller works shard 0.  Channels are fully
-  // independent state machines writing disjoint output vectors, so sharding
-  // is bit-exact with serial execution; the only shared read is `in`.
-  const std::function<void(int)> job = [&](int w) {
-    if (static_cast<std::size_t>(w) + 1 < n_workers)
-      run_channels(static_cast<std::size_t>(w) + 1, n_workers);
-  };
-  pool_->begin(job);
-  std::exception_ptr local_error;
-  try {
-    run_channels(0, n_workers);
-  } catch (...) {
-    local_error = std::current_exception();
+  // One tile chain per active channel, spread round-robin over the worker
+  // inboxes; the caller joins through wait(), stealing and executing chains
+  // alongside the pool.  Channels are independent state machines writing
+  // disjoint output vectors, so any steal-driven interleaving is bit-exact
+  // with serial execution; the only shared read is `in`.
+  common::TaskScheduler::Group group;
+  group.expect(active.size());
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const std::size_t c = active[k];
+    sched_->submit_to(static_cast<int>(k), [this, in, &out, group, c] {
+      run_tile_chain(in, out[c], group, c, 0);
+    });
   }
-  pool_->finish();
-  if (local_error) std::rethrow_exception(local_error);
+  sched_->wait(group);
+  group.rethrow_if_error();
 }
 
 std::vector<std::vector<IqSample>> ChannelBank::process(

@@ -9,16 +9,18 @@
 // Two execution modes:
 //   * workers == 1 (default): channels run back to back on the caller's
 //     thread -- deterministic, no synchronisation;
-//   * workers > 1: channels are partitioned across a persistent
-//     common::WorkerPool (spawned once, woken per block; per-call thread
-//     creation is far too expensive on sandboxed hosts).  Channels are
-//     fully independent state
-//     machines, so sharding is bit-exact with serial execution, in any
-//     partition order.
+//   * workers > 1: each enabled channel becomes a chain of cache-tile tasks
+//     on a persistent common::TaskScheduler (workers-1 threads; the calling
+//     thread steals and executes alongside them).  A channel's tiles run in
+//     order -- channels are sequential state machines -- but between tiles
+//     the continuation sits in a work-stealing deque, so skewed plans
+//     (channels with very different decimations) rebalance onto idle
+//     workers instead of stalling a static shard at the block barrier.
+//     Channels are fully independent, so any interleaving is bit-exact
+//     with serial execution.
 //
-// In both modes the block is walked in cache-sized tiles, channel-inner, so
-// per-channel scratch buffers stay hot instead of streaming the full block
-// once per channel.
+// In both modes the block is walked in cache-sized tiles so per-channel
+// scratch buffers stay hot instead of streaming the full block per channel.
 //
 // The GC4016 quad-channel model (src/asic/gc4016.cpp) is a shim over this
 // class; the throughput bench sweeps channel counts through it to track
@@ -30,7 +32,7 @@
 #include <span>
 #include <vector>
 
-#include "src/common/worker_pool.hpp"
+#include "src/common/task_scheduler.hpp"
 #include "src/core/pipeline.hpp"
 
 namespace twiddc::core {
@@ -60,6 +62,12 @@ class ChannelBank {
   void set_workers(int workers);
   [[nodiscard]] int workers() const { return workers_; }
 
+  /// The bank's task scheduler (null in serial mode) -- exposed so tests
+  /// can assert that tile chains actually migrate between workers.
+  [[nodiscard]] const common::TaskScheduler* scheduler() const {
+    return sched_.get();
+  }
+
   /// Block hot path: runs every enabled channel over the shared input span.
   /// `out` is resized to size(); channel i's outputs are *appended* to
   /// out[i], so a caller can stream blocks into persistent planar buffers.
@@ -73,10 +81,20 @@ class ChannelBank {
   void reset();
 
  private:
+  /// One link of a channel's tile chain: advances `channel` through the
+  /// tile at `offset`, then either re-submits itself (on a scheduler
+  /// worker: the continuation lands in the deque, where a thief can take
+  /// it) or keeps looping inline (the fork-join caller).  Completes /
+  /// fails `group` exactly once, at the channel's last tile.
+  void run_tile_chain(std::span<const std::int64_t> in,
+                      std::vector<IqSample>& out,
+                      common::TaskScheduler::Group group, std::size_t channel,
+                      std::size_t offset);
+
   std::vector<DdcPipeline> channels_;
   std::vector<char> enabled_;  // vector<bool> has no per-element data()
   int workers_ = 1;
-  std::unique_ptr<common::WorkerPool> pool_;  // workers_ - 1 persistent threads
+  std::unique_ptr<common::TaskScheduler> sched_;  // workers_ - 1 threads
 };
 
 }  // namespace twiddc::core

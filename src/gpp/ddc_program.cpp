@@ -53,6 +53,21 @@ constexpr int rT3 = 12;
 Operand2 imm(std::int32_t v) { return Operand2::immediate(v); }
 Operand2 rr(int reg) { return Operand2::r(reg); }
 
+// The one input contract, shared by the batch runner and the stream so the
+// two paths can never drift: samples must fit the 12-bit front end, and are
+// widened to the memory image's word size.
+void widen_checked(std::span<const std::int64_t> in,
+                   std::vector<std::int32_t>& out, const char* who) {
+  out.clear();
+  out.reserve(in.size());
+  for (const std::int64_t v : in) {
+    if (!fixed::fits_bits(v, 12))
+      throw SimulationError(std::string(who) +
+                            ": input sample does not fit 12 bits");
+    out.push_back(static_cast<std::int32_t>(v));
+  }
+}
+
 }  // namespace
 
 core::DdcConfig DdcProgram::lower_plan(const core::ChainPlan& plan) {
@@ -287,12 +302,7 @@ DdcProgram::DdcProgram(const core::DdcConfig& config) : config_(config) {
 DdcRunResult DdcProgram::run(const std::vector<std::int64_t>& input,
                              const CycleModel& cycles) const {
   std::vector<std::int32_t> in32;
-  in32.reserve(input.size());
-  for (std::int64_t v : input) {
-    if (!fixed::fits_bits(v, 12))
-      throw SimulationError("DdcProgram: input sample does not fit 12 bits");
-    in32.push_back(static_cast<std::int32_t>(v));
-  }
+  widen_checked(input, in32, "DdcProgram");
 
   // The input length is only known now: patch the end-pointer immediate in
   // a copy of the program (the moral equivalent of linking in a constant).
@@ -316,6 +326,63 @@ DdcRunResult DdcProgram::run(const std::vector<std::int64_t>& input,
       input.size() / static_cast<std::size_t>(config_.total_decimation());
   result.outputs = cpu.read_words(kOutput, n_out);
   return result;
+}
+
+// ----------------------------------------------------------------- stream
+
+DdcStream::DdcStream(const DdcProgram& program) : program_(&program) {
+  // The input window is re-filled per entry; its size is bounded by the
+  // fixed output region between kOutput and kInput (one output word per
+  // total_decimation inputs, with slack for counter phase).
+  const auto decim =
+      static_cast<std::size_t>(program_->config_.total_decimation());
+  const std::size_t out_capacity = (kInput - kOutput) / 4 - 8;
+  chunk_samples_ = std::min<std::size_t>(32768, out_capacity * decim);
+  boot();
+}
+
+void DdcStream::boot() {
+  Cpu::Config cc;
+  cc.memory_bytes = kInput + 4 * (chunk_samples_ + 16);
+  cpu_.emplace(program_->program_, cc);
+  cpu_->write_words(kCosTable, program_->cos_table_);
+  cpu_->write_words(kCoeff, program_->fir_coeffs_);
+  // The unpatched entry has rEnd = kInput, so this run initialises the
+  // register file (phase, counters, zero register) and the output pointer,
+  // then halts before consuming a sample.  Streaming re-enters at
+  // "main_loop" with the live registers from the previous block.
+  const RunStats stats = cpu_->run("entry");
+  instructions_ += stats.instructions;
+  cycles_ += stats.cycles;
+}
+
+void DdcStream::process_block(std::span<const std::int64_t> in,
+                              std::vector<std::int32_t>& out) {
+  for (std::size_t off = 0; off < in.size(); off += chunk_samples_) {
+    const std::span<const std::int64_t> part =
+        in.subspan(off, std::min(chunk_samples_, in.size() - off));
+    widen_checked(part, window_, "DdcStream");
+    cpu_->write_words(kInput, window_);
+    cpu_->set_reg(rIn, static_cast<std::int32_t>(kInput));
+    cpu_->set_reg(rEnd, static_cast<std::int32_t>(kInput + 4 * window_.size()));
+    cpu_->write_word(static_cast<std::uint32_t>(kOutPtr),
+                     static_cast<std::int32_t>(kOutput));
+    const RunStats stats = cpu_->run("main_loop");
+    instructions_ += stats.instructions;
+    cycles_ += stats.cycles;
+    // The program advanced the output pointer once per produced sample;
+    // everything between kOutput and it is this window's yield.
+    const auto out_ptr = static_cast<std::uint32_t>(
+        cpu_->read_word(static_cast<std::uint32_t>(kOutPtr)));
+    const auto words = cpu_->read_words(kOutput, (out_ptr - kOutput) / 4);
+    out.insert(out.end(), words.begin(), words.end());
+  }
+}
+
+void DdcStream::reset() {
+  instructions_ = 0;
+  cycles_ = 0;
+  boot();
 }
 
 }  // namespace twiddc::gpp

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/ddc_config.hpp"
@@ -80,11 +82,55 @@ class DdcProgram {
   [[nodiscard]] const Assembler::Program& program() const { return program_; }
 
  private:
+  friend class DdcStream;
+
   core::DdcConfig config_;
   Assembler::Program program_;
   std::vector<std::int32_t> cos_table_;
   std::uint32_t tuning_word_ = 0;
   std::vector<std::int32_t> fir_coeffs_;
+};
+
+/// Bounded-history incremental runner for the DDC program: one persistent
+/// Cpu whose registers (NCO phase, decimation counters), CIC/FIR state
+/// memory and sample ring survive across process_block() calls, so a
+/// stream of N blocks costs O(N) -- unlike run(), a batch kernel that must
+/// re-execute from reset and is therefore quadratic when re-fed a growing
+/// history.  This is what lets the gpp-arm backend serve long streams.
+///
+/// Bit-exactness: each block re-enters the program at its main loop with
+/// the live register file, which executes exactly the instruction sequence
+/// a single batch run over the concatenated input would -- so streamed
+/// outputs are bit-identical to one run() over the whole feed (the test
+/// suite pins this).  Blocks of any size are accepted; larger ones are fed
+/// through the fixed input window in chunks.
+class DdcStream {
+ public:
+  /// `program` is referenced, not copied (the Cpu makes the one image copy
+  /// it needs); it must outlive this stream.
+  explicit DdcStream(const DdcProgram& program);
+
+  /// Runs the next block of the stream and appends the in-phase outputs.
+  /// Input values must fit 12 bits (as run()).
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<std::int32_t>& out);
+
+  /// Restores power-on state (fresh history, phase 0).
+  void reset();
+
+  /// Cumulative simulation cost since construction/reset.
+  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  void boot();
+
+  const DdcProgram* program_;  ///< non-owning; tables live in the program
+  std::size_t chunk_samples_ = 0;  ///< input-window capacity per entry
+  std::vector<std::int32_t> window_;  ///< widened-input scratch (reused)
+  std::optional<Cpu> cpu_;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t cycles_ = 0;
 };
 
 }  // namespace twiddc::gpp

@@ -11,8 +11,7 @@ namespace twiddc::stream {
 StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options)
     : options_(options),
       source_(std::move(source)),
-      pool_(std::max(1, options.workers)),
-      work_epoch_(std::make_shared<std::atomic<std::uint32_t>>(0)),
+      link_(std::make_shared<EngineLink>()),
       output_epoch_(std::make_shared<std::atomic<std::uint32_t>>(0)) {
   if (!source_) throw ConfigError("StreamEngine: needs a source");
   options_.workers = std::max(1, options_.workers);
@@ -20,69 +19,97 @@ StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options
   options_.session_queue_blocks = std::max<std::size_t>(2, options_.session_queue_blocks);
   options_.session_output_chunks =
       std::max<std::size_t>(2, options_.session_output_chunks);
-  worker_job_ = [this](int w) { worker_loop(w); };
+  options_.session_quantum_blocks =
+      std::max<std::size_t>(1, options_.session_quantum_blocks);
+  link_->engine = this;
 }
 
 StreamEngine::~StreamEngine() {
   stop();
-  // A stop() that raced a concurrent start() can win the stopped_ guard
-  // before the pump thread was spawned; never destroy it joinable.
-  if (pump_thread_.joinable()) pump_thread_.join();
+  // Session handles may outlive the engine: cut the scheduling link so
+  // their poll()/close() nudges become no-ops instead of dangling.
+  std::lock_guard<std::mutex> lock(link_->mu);
+  link_->engine = nullptr;
 }
 
 std::shared_ptr<Session> StreamEngine::open(const core::ChainPlan& plan,
                                             const std::string& backend_name,
                                             BackpressurePolicy policy) {
-  // The engine is one-shot: a session opened after stop() could never
-  // receive a feed block, so reject it loudly instead of returning a
-  // permanently dead handle.
-  if (stopped_.load(std::memory_order_acquire))
-    throw SimulationError("StreamEngine: open() after stop()");
   auto backend = core::BackendRegistry::instance().create(backend_name);
   backend->configure(plan);  // LoweringError propagates; nothing opened
   std::lock_guard<std::mutex> lock(sessions_mu_);
   std::shared_ptr<Session> session(
       new Session(next_session_id_++, std::move(backend), policy,
                   options_.session_queue_blocks, options_.session_output_chunks,
-                  work_epoch_, output_epoch_));
-  session->worker_ =
-      static_cast<int>(session->id() % static_cast<std::uint64_t>(options_.workers));
+                  link_, output_epoch_));
+  // Initial pinning: round-robin by id.  The pin is advisory -- a steal
+  // re-homes the session -- so any spread works; id keeps it deterministic.
+  session->home_.store(
+      static_cast<int>(session->id() % static_cast<std::uint64_t>(options_.workers)),
+      std::memory_order_release);
   session->set_attached(workers_live_);
   sessions_.push_back(session);
+  sessions_gen_.fetch_add(1, std::memory_order_release);
   return session;
 }
 
 void StreamEngine::start() {
-  if (started_.exchange(true))
-    throw SimulationError("StreamEngine: start() may be called at most once");
-  // start_time_ is non-atomic: publish it BEFORE the running_ release store
-  // so a stats_json() that acquire-reads running_ == true sees it written
-  // (it is never written again).
-  start_time_ = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire))
+    throw SimulationError("StreamEngine: start() while already running");
+  sched_ = std::make_unique<common::TaskScheduler>(options_.workers);
+  stop_.store(false, std::memory_order_release);
+  // run_start_time_ is non-atomic: publish it BEFORE the running_ release
+  // store so a stats_json() that acquire-reads running_ == true sees it.
+  run_start_time_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     workers_live_ = true;
   }
-  for (auto& s : snapshot()) s->set_attached(true);
-  pool_.begin(worker_job_);
+  const auto sessions = snapshot();
+  for (auto& s : sessions) {
+    // A stop() may have dropped queued tasks mid-protocol; re-arm the actor
+    // state machine.  Duplicate tasks are harmless (run_session claims by
+    // CAS), so a racing client nudge cannot double-run a session.
+    s->sched_state_.store(Session::kIdle, std::memory_order_release);
+    s->set_attached(true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(link_->mu);
+    link_->scheduler_live = true;
+  }
+  // Kick every open session once so input queued across a stop, a stashed
+  // chunk or a parked retune is serviced without waiting for fresh feed.
+  for (auto& s : sessions) schedule_session(*s);
   pump_thread_ = std::thread([this] { pump_loop(); });
 }
 
 void StreamEngine::stop() {
-  if (!started_.load(std::memory_order_acquire)) return;
-  if (stopped_.exchange(true)) return;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
   stop_.store(true, std::memory_order_release);
-  work_epoch_->fetch_add(1, std::memory_order_release);
-  work_epoch_->notify_all();
   notify_output();
   for (auto& s : snapshot()) s->in_ring_.wake();  // a kBlock pump push may park here
   if (pump_thread_.joinable()) pump_thread_.join();
-  pool_.finish();
-  elapsed_s_.store(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                 start_time_)
-                       .count(),
-                   std::memory_order_relaxed);
+  {
+    // Client nudges must stop reaching the scheduler before it dies.
+    std::lock_guard<std::mutex> lock(link_->mu);
+    link_->scheduler_live = false;
+  }
+  // Join the workers first, THEN snapshot the counters: queued session
+  // tasks still RUN during the shutdown drain (each a claim + no-op, since
+  // stop_ is already set; their re-queues are dropped and the next start()
+  // re-arms), and that drain must be visible in the stats trajectory.
+  sched_->shutdown();
+  sched_stats_ = sched_->stats();
+  sched_.reset();
+  streamed_elapsed_s_.store(
+      streamed_elapsed_s_.load(std::memory_order_relaxed) +
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start_time_)
+              .count(),
+      std::memory_order_relaxed);
   running_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -93,18 +120,19 @@ void StreamEngine::stop() {
   // left attached with no workers alive.
   for (auto& s : snapshot()) s->set_attached(false);
   {
-    // Sessions closed after the pump's last cycle never hit its pruning;
+    // Sessions closed after the pump's last snapshot never hit its pruning;
     // drop them here so a stopped engine holds only open sessions.
     std::lock_guard<std::mutex> lock(sessions_mu_);
     std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
   }
+  notify_output();
 }
 
 bool StreamEngine::finished(const Session& session) const {
-  // A stop() that cut the feed short is terminal for every session: queued
-  // input is abandoned by contract, so only the output ring matters --
-  // otherwise a drain helper would wait forever for a feed_exhausted()
-  // that can no longer come.
+  // While stopped (or after stop() cut a feed short) queued input cannot
+  // progress, so only the output ring matters -- otherwise a drain helper
+  // would wait forever for processing that cannot happen until the next
+  // start().
   if (stop_.load(std::memory_order_acquire))
     return session.out_ring_.size() == 0;
   // Order matters: the input side is read before the output ring.  Once the
@@ -131,59 +159,82 @@ std::vector<std::shared_ptr<Session>> StreamEngine::snapshot() const {
   return sessions_;
 }
 
-std::vector<std::shared_ptr<Session>> StreamEngine::worker_sessions(int w) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  std::vector<std::shared_ptr<Session>> mine;
-  for (const auto& s : sessions_)
-    if (s->worker_ == w) mine.push_back(s);
-  return mine;
-}
-
 // ------------------------------------------------------------------- pump
 
 void StreamEngine::pump_loop() {
   std::vector<std::int64_t> buffer(options_.block_samples);
+  // The fan-out list is cached: it is refreshed (and closed sessions are
+  // pruned) only when sessions_gen_ says open()/close() changed the set,
+  // so the steady-state pump touches no mutex and copies no session list.
+  std::vector<std::shared_ptr<Session>> live;
+  std::uint64_t seen_gen = 0;  // sessions_gen_ starts at 1: first block snapshots
   bool exhausted = false;
   while (!stop_.load(std::memory_order_acquire)) {
-    const std::size_t n = source_->read(buffer);
-    if (n == 0) {
-      exhausted = true;
-      break;
-    }
     FeedBlock block;
-    block.seq = blocks_pumped_.load(std::memory_order_relaxed);
-    block.samples = std::make_shared<const std::vector<std::int64_t>>(
-        buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
-    std::vector<std::shared_ptr<Session>> live;
-    {
-      // Prune closed sessions so a long-running engine with session churn
-      // does not accumulate dead backends/rings (client handles stay valid).
+    const bool resuming = carry_.has_value();
+    if (resuming) {
+      // A previous run was stopped mid-fan-out; finish that block first so
+      // a restarted stream loses nothing.
+      block = carry_->block;
+    } else {
+      const std::size_t n = source_->read(buffer);
+      if (n == 0) {
+        exhausted = true;
+        break;
+      }
+      block.seq = blocks_pumped_.load(std::memory_order_relaxed);
+      block.samples = std::make_shared<const std::vector<std::int64_t>>(
+          buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    const std::uint64_t gen = sessions_gen_.load(std::memory_order_acquire);
+    if (gen != seen_gen) {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
       live = sessions_;
+      seen_gen = gen;
     }
-    for (auto& s : live) {
-      if (s->closed()) continue;  // may close mid-fan-out
-      enqueue(*s, block);
+    bool aborted = false;
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      Session& s = *live[k];
+      if (s.closed()) continue;  // may close mid-fan-out
+      if (resuming &&
+          std::find(carry_->served.begin(), carry_->served.end(), s.id()) !=
+              carry_->served.end())
+        continue;  // this session already got the block last run
+      if (!enqueue(s, block)) {
+        // stop() cut a kBlock wait short: record the fan-out position --
+        // everything before index k (that was eligible) got the block --
+        // so the next run resumes exactly.  Only this rare abort path
+        // pays for the bookkeeping; the steady-state pump allocates
+        // nothing per block.
+        std::vector<std::uint64_t> served =
+            resuming ? std::move(carry_->served) : std::vector<std::uint64_t>{};
+        for (std::size_t j = 0; j < k; ++j) served.push_back(live[j]->id());
+        carry_.emplace(PendingFanout{block, std::move(served)});
+        aborted = true;
+        break;
+      }
     }
+    if (aborted) break;
+    carry_.reset();
+    // Counted when the fan-out completes (an aborted block is not pumped
+    // yet -- its resumed completion on the next run counts it).
     blocks_pumped_.fetch_add(1, std::memory_order_release);
-    work_epoch_->fetch_add(1, std::memory_order_release);
-    work_epoch_->notify_all();
   }
   if (exhausted) feed_done_.store(true, std::memory_order_release);
-  work_epoch_->fetch_add(1, std::memory_order_release);
-  work_epoch_->notify_all();
   notify_output();
 }
 
-void StreamEngine::enqueue(Session& s, const FeedBlock& block) {
+bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
   FeedBlock copy = block;  // cheap: a seq and a shared_ptr
   if (s.policy_ == BackpressurePolicy::kBlock) {
     // Conservative flow control: a full ring stalls the pump -- and with it
     // the whole feed -- until the session's worker catches up.
     for (;;) {
       const auto token = s.in_ring_.wake_token();
-      if (stop_.load(std::memory_order_acquire) || s.in_ring_.closed()) return;
+      if (s.in_ring_.closed()) return true;  // session closed: nothing owed
+      if (stop_.load(std::memory_order_acquire))
+        return false;  // run ended mid-push: the pump carries this block over
       if (s.in_ring_.try_push(std::move(copy))) break;
       s.in_ring_.wait(token);
     }
@@ -191,7 +242,7 @@ void StreamEngine::enqueue(Session& s, const FeedBlock& block) {
     // Shed load instead of stalling: evict the oldest queued block.  The
     // loss surfaces in-stream as gap metadata on the session's next chunk.
     for (;;) {
-      if (s.in_ring_.closed()) return;
+      if (s.in_ring_.closed()) return true;
       if (s.in_ring_.try_push(std::move(copy))) break;
       if (auto old = s.in_ring_.try_pop()) {
         s.stats_.input_drop_blocks.fetch_add(1, std::memory_order_relaxed);
@@ -207,51 +258,118 @@ void StreamEngine::enqueue(Session& s, const FeedBlock& block) {
   if (s.closed()) {
     while (s.in_ring_.try_pop()) {
     }
-    return;
+    return true;
   }
   s.stats_.blocks_enqueued.fetch_add(1, std::memory_order_relaxed);
   s.stats_.samples_enqueued.fetch_add(block.samples->size(),
                                       std::memory_order_relaxed);
   s.note_queue_depth(s.in_ring_.size());
+  // The targeted wakeup: schedule THIS session on its home worker.  The
+  // old WorkerPool design bumped a global epoch and notify_all()ed every
+  // worker per block; now only the one worker that owns this session gets
+  // touched, and only when the session is not already queued or marked.
+  // Paused sessions are left alone (set_paused(false) re-schedules).
+  if (!s.paused()) schedule_session(s);
+  return true;
 }
 
-// ----------------------------------------------------------------- workers
+// -------------------------------------------------------------- scheduling
 
-void StreamEngine::worker_loop(int w) {
+void StreamEngine::schedule_session(Session& s) {
   for (;;) {
-    const auto epoch = work_epoch_->load(std::memory_order_acquire);
-    bool progressed = false;
-    for (auto& s : worker_sessions(w)) {
-      if (s->closed()) continue;
-      if (s->paused()) {
-        // Paused sessions do not consume, but retunes still apply.
-        progressed |= s->apply_pending_retune();
-        continue;
-      }
-      progressed |= service(*s);
+    int st = s.sched_state_.load(std::memory_order_acquire);
+    if (st == Session::kIdle) {
+      if (s.sched_state_.compare_exchange_weak(st, Session::kScheduled,
+                                               std::memory_order_acq_rel))
+        return submit_session_task(*sched_, s.shared_from_this(),
+                                   /*yield_lane=*/false);
+    } else if (st == Session::kRunning) {
+      if (s.sched_state_.compare_exchange_weak(st, Session::kRunningDirty,
+                                               std::memory_order_acq_rel))
+        return;  // the running pass's epilogue re-queues
+    } else {
+      return;  // already queued or already marked dirty
     }
-    if (stop_.load(std::memory_order_acquire)) return;
-    if (!progressed) work_epoch_->wait(epoch, std::memory_order_acquire);
   }
 }
 
-bool StreamEngine::service(Session& s) {
-  bool progressed = s.apply_pending_retune();
+void StreamEngine::submit_session_task(common::TaskScheduler& sched,
+                                       const std::shared_ptr<Session>& session,
+                                       bool yield_lane) {
+  auto task = [this, &sched, session] { run_session(sched, session); };
+  if (yield_lane)
+    sched.yield(std::move(task));  // behind this worker's other runnables
+  else
+    sched.submit_to(session->home_.load(std::memory_order_acquire),
+                    std::move(task));
+}
+
+void StreamEngine::run_session(common::TaskScheduler& sched,
+                               const std::shared_ptr<Session>& sp) {
+  Session& s = *sp;
+  int expected = Session::kScheduled;
+  // Claim the actor.  A failed claim means a duplicate task (possible only
+  // across a stop()/start() reset) -- drop it; the claimer does the work.
+  if (!s.sched_state_.compare_exchange_strong(expected, Session::kRunning,
+                                              std::memory_order_acq_rel))
+    return;
+  const int w = sched.current_worker_index();
+  if (w >= 0) s.home_.store(w, std::memory_order_release);  // migrate on steal
+  s.stats_.service_passes.fetch_add(1, std::memory_order_relaxed);
+  bool requeue = false;
+  if (!stop_.load(std::memory_order_acquire) && !s.closed()) {
+    const std::size_t quantum =
+        options_.session_quantum_blocks *
+        static_cast<std::size_t>(s.weight_.load(std::memory_order_acquire));
+    try {
+      requeue = service(s, quantum);
+    } catch (...) {
+      // service() handles backend std::exceptions itself; anything that
+      // still escapes (a foreign exception type, an allocation failure in
+      // the handler) must not skip the epilogue below -- the scheduler
+      // would swallow it and leave sched_state_ stuck at kRunning, a
+      // permanently unserviceable session stalling a kBlock feed.  Fail
+      // the session instead.
+      s.busy_.store(false, std::memory_order_release);
+      s.record_failure("service: unexpected exception");
+    }
+  }
+  // Wake output waiters AFTER the final busy_/has_pending_chunk_ stores --
+  // unconditionally: even a no-work pass raises busy_ for its empty-pop
+  // probe, and a drain that read that transient "busy" (not finished) must
+  // get one more wakeup, or it sleeps through the finish transition.
+  notify_output();
+  if (requeue) {
+    // Quantum exhausted with input still queued: yield behind the other
+    // runnable sessions on this worker -- the WRR fairness edge.
+    s.sched_state_.store(Session::kScheduled, std::memory_order_release);
+    return submit_session_task(sched, sp, /*yield_lane=*/true);
+  }
+  int st = Session::kRunning;
+  if (s.sched_state_.compare_exchange_strong(st, Session::kIdle,
+                                             std::memory_order_acq_rel))
+    return;  // parked: a poll()/enqueue/retune nudge re-arms it
+  // kRunningDirty: a request raced the pass; service again promptly.
+  s.sched_state_.store(Session::kScheduled, std::memory_order_release);
+  submit_session_task(sched, sp, /*yield_lane=*/true);
+}
+
+bool StreamEngine::service(Session& s, std::size_t budget) {
+  s.apply_pending_retune();
   // A chunk stashed on an earlier pass (kBlock ring was full) must deliver
   // before any new block is processed -- stream order.  If the ring is
-  // still full the session stays parked; the worker moves on and a poll()
-  // wakes it back up.
-  if (s.pending_chunk_.has_value()) {
-    if (!deliver_chunk(s)) return progressed;
-    progressed = true;
-  }
+  // still full the session stays parked; a poll() re-schedules it.
+  if (s.pending_chunk_.has_value() && !deliver_chunk(s)) return false;
+  std::size_t processed = 0;
   for (;;) {
-    if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused()) break;
+    if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused())
+      return false;
+    if (processed >= budget) return s.in_ring_.size() > 0;
     s.busy_.store(true, std::memory_order_release);
     auto block = s.in_ring_.try_pop();
     if (!block) {
       s.busy_.store(false, std::memory_order_release);
-      break;
+      return false;
     }
     StreamChunk chunk;
     chunk.block_seq = block->seq;
@@ -300,7 +418,7 @@ bool StreamEngine::service(Session& s) {
     } catch (const std::exception& e) {
       s.record_failure(std::string("process_block: ") + e.what());
       s.busy_.store(false, std::memory_order_release);
-      return true;
+      return false;
     }
     s.stats_.blocks_processed.fetch_add(1, std::memory_order_relaxed);
     s.stats_.samples_processed.fetch_add(block->samples->size(),
@@ -310,27 +428,27 @@ bool StreamEngine::service(Session& s) {
     s.has_pending_chunk_.store(true, std::memory_order_release);
     const bool delivered = deliver_chunk(s);
     s.busy_.store(false, std::memory_order_release);
-    progressed = true;
-    progressed |= s.apply_pending_retune();  // between blocks, mid-stream
-    if (!delivered) break;  // session parked until the client polls
+    ++processed;
+    s.apply_pending_retune();  // between blocks, mid-stream
+    if (!delivered) return false;  // session parked until the client polls
   }
-  // Wake output waiters AFTER the final busy_/has_pending_chunk_ stores --
-  // unconditionally: even a no-work pass raises busy_ for its empty-pop
-  // probe, and a drain that read that transient "busy" (not finished) must
-  // get one more wakeup, or it sleeps through the finish transition.
-  notify_output();
-  return progressed;
 }
 
 bool StreamEngine::deliver_chunk(Session& s) {
-  if (stop_.load(std::memory_order_acquire) || s.closed()) {
-    // Terminal: the undelivered chunk is discarded (close()/stop() docs).
-    // Still an output event -- a drain blocked on has_pending_chunk_ must
+  if (s.closed()) {
+    // Terminal: the undelivered chunk is discarded (close() docs).  Still
+    // an output event -- a drain blocked on has_pending_chunk_ must
     // re-check after the discard.
     s.pending_chunk_.reset();
     s.has_pending_chunk_.store(false, std::memory_order_release);
     notify_output();
     return true;
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    // The run is ending but the engine may be restarted: keep the chunk
+    // stashed so the next run's kick delivers it -- a stop loses nothing.
+    notify_output();
+    return false;
   }
   if (s.policy_ == BackpressurePolicy::kBlock) {
     if (!s.out_ring_.try_push(std::move(*s.pending_chunk_))) return false;
@@ -364,19 +482,31 @@ void StreamEngine::notify_output() {
 // ------------------------------------------------------------------- stats
 
 std::string StreamEngine::stats_json() const {
-  const double elapsed =
-      running_.load(std::memory_order_acquire)
-          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start_time_)
-                .count()
-          : elapsed_s_.load(std::memory_order_relaxed);
+  double elapsed = streamed_elapsed_s_.load(std::memory_order_relaxed);
+  common::TaskScheduler::Stats sched_stats;
+  {
+    // run_start_time_ is rewritten by every start() now that the engine is
+    // restartable, so it is only readable under the lifecycle mutex (the
+    // "published once before running_" justification died with one-shot).
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    if (running_.load(std::memory_order_acquire))
+      elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               run_start_time_)
+                     .count();
+    sched_stats = sched_ ? sched_->stats() : sched_stats_;
+  }
   JsonLine engine_line;
   engine_line.field("sessions", session_count())
       .field("workers", static_cast<std::size_t>(options_.workers))
       .field("block_samples", options_.block_samples)
+      .field("quantum_blocks", options_.session_quantum_blocks)
       .field("blocks_pumped", static_cast<std::size_t>(blocks_pumped()))
       .field("feed_exhausted", feed_exhausted())
-      .field("elapsed_s", elapsed);
+      .field("running", running_.load(std::memory_order_acquire))
+      .field("elapsed_s", elapsed)
+      .field("tasks_executed", static_cast<std::size_t>(sched_stats.executed))
+      .field("tasks_stolen", static_cast<std::size_t>(sched_stats.stolen))
+      .field("targeted_wakeups", static_cast<std::size_t>(sched_stats.wakeups));
   std::string out = "{\"engine\": " + engine_line.str() + ", \"sessions\": [";
   bool first = true;
   for (const auto& s : snapshot()) {
@@ -390,6 +520,8 @@ std::string StreamEngine::stats_json() const {
         .field("policy", to_string(s->policy()))
         .field("closed", s->closed())
         .field("paused", s->paused())
+        .field("worker", static_cast<double>(s->home_worker()))
+        .field("weight", static_cast<double>(s->weight()))
         .field("blocks_enqueued", static_cast<std::size_t>(st.blocks_enqueued))
         .field("samples_enqueued", static_cast<std::size_t>(st.samples_enqueued))
         .field("blocks_processed", static_cast<std::size_t>(st.blocks_processed))
@@ -406,6 +538,7 @@ std::string StreamEngine::stats_json() const {
         .field("retunes_rejected", static_cast<std::size_t>(st.retunes_rejected))
         .field("gaps", static_cast<std::size_t>(st.gaps))
         .field("last_retune_block", static_cast<std::size_t>(st.last_retune_block))
+        .field("service_passes", static_cast<std::size_t>(st.service_passes))
         .field("msamples_per_s",
                elapsed > 0.0
                    ? static_cast<double>(st.samples_processed) / elapsed / 1e6

@@ -9,17 +9,24 @@
 //
 //   pump thread   reads Source blocks and fans each one out (zero-copy, a
 //                 shared_ptr per session) to every open session's input
-//                 ring, honouring the session's backpressure policy;
-//   worker pool   a common::WorkerPool of `workers` threads; session k is
-//                 pinned to worker k % workers for its whole life, so each
-//                 ring keeps a single consumer and execution order within a
-//                 session is the feed order (bit-exact with one-shot
-//                 process_block on the same backend);
+//                 ring, honouring the session's backpressure policy, then
+//                 nudges only that session's home worker;
+//   scheduler     a common::TaskScheduler of `workers` threads.  Each
+//                 session is a cooperative actor: when it has input it is
+//                 a queued task on its home worker; an idle worker steals
+//                 queued sessions from its siblings (the stolen session is
+//                 re-pinned to the thief); a session that exhausts its
+//                 weighted quantum yields behind the other runnable
+//                 sessions on its worker.  Sessions with no work are in no
+//                 queue at all -- scheduling cost follows *active*
+//                 sessions, not open ones.
 //   client        opens/polls/retunes/closes sessions from its own threads.
 //
-// The engine is one-shot: construct, open sessions (before or during
-// streaming), start(), stream, stop().  stop() is terminal; queued output
-// remains pollable afterwards.
+// The engine is restartable: construct, open sessions (any time), start(),
+// stream, stop(), and -- new in the scheduler rework -- start() again to
+// resume serving from the current source position.  Queued output remains
+// pollable while stopped; queued input survives a stop and is consumed on
+// the next run.
 #pragma once
 
 #include <atomic>
@@ -28,11 +35,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "src/common/worker_pool.hpp"
+#include "src/common/task_scheduler.hpp"
 #include "src/stream/session.hpp"
 #include "src/stream/source.hpp"
 
@@ -43,6 +51,11 @@ struct EngineOptions {
   std::size_t block_samples = 4096; ///< feed samples per FeedBlock
   std::size_t session_queue_blocks = 8;    ///< input-ring capacity (blocks)
   std::size_t session_output_chunks = 256; ///< output-ring capacity (chunks)
+  /// Weighted-round-robin quantum: a weight-1 session processes at most
+  /// this many feed blocks per scheduling pass before yielding its worker
+  /// (Session::set_weight scales it).  Bounds how long any one backlogged
+  /// session can hold a worker while others are runnable.
+  std::size_t session_quantum_blocks = 4;
 };
 
 class StreamEngine {
@@ -57,16 +70,19 @@ class StreamEngine {
   /// Lowers `plan` onto a fresh instance of the named registered backend
   /// and opens a session for it.  Throws ConfigError for an unknown backend
   /// name and core::LoweringError when the plan does not lower; nothing is
-  /// opened in either case.  Legal before and during streaming; a session
-  /// opened mid-stream joins at the current feed position.
+  /// opened in either case.  Legal before, during and between runs; a
+  /// session opened mid-stream joins at the current feed position.
   std::shared_ptr<Session> open(const core::ChainPlan& plan,
                                 const std::string& backend_name,
                                 BackpressurePolicy policy = BackpressurePolicy::kBlock);
 
-  /// Spawns the pump and parks the workers.  Call at most once.
+  /// Spawns the scheduler and the pump.  Throws if already running; legal
+  /// again after stop() -- the feed resumes at the current source position
+  /// and sessions keep their state (a restarted stream is gap-free).
   void start();
-  /// Terminal: stops the pump and releases the workers.  In-queue input is
-  /// abandoned; queued output remains pollable.  Idempotent.
+  /// Stops the pump and the scheduler.  Queued input stays queued (the
+  /// next start() consumes it); queued output remains pollable.  Waiters
+  /// in drain helpers return once their output rings are empty.  Idempotent.
   void stop();
   [[nodiscard]] bool running() const {
     return running_.load(std::memory_order_acquire);
@@ -80,7 +96,8 @@ class StreamEngine {
 
   /// True when nothing more will reach `session`'s consumer: the feed is
   /// exhausted (or the session closed), every queued block is processed,
-  /// and every produced chunk has been polled.
+  /// and every produced chunk has been polled.  While the engine is
+  /// stopped, only the output ring counts (queued input cannot progress).
   [[nodiscard]] bool finished(const Session& session) const;
 
   [[nodiscard]] std::size_t session_count() const;
@@ -89,8 +106,9 @@ class StreamEngine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
-  /// Serving snapshot as one JSON object: engine totals plus one entry per
-  /// session (stats + derived throughput).  Poll-safe from any thread.
+  /// Serving snapshot as one JSON object: engine totals (including
+  /// scheduler counters) plus one entry per session (stats + derived
+  /// throughput).  Poll-safe from any thread.
   [[nodiscard]] std::string stats_json() const;
 
   /// Eventcount for output-side waiters (the drain helpers): every chunk
@@ -105,49 +123,87 @@ class StreamEngine {
   }
 
  private:
+  friend class Session;
+
   void pump_loop();
-  void worker_loop(int w);
-  /// Drains one session's input ring through its backend.  Returns true
-  /// when any progress was made.
-  bool service(Session& session);
-  void enqueue(Session& session, const FeedBlock& block);
+  /// One scheduling pass over `session`: claim it, service up to its
+  /// weighted quantum, then park / re-queue it per the actor protocol.
+  /// `sched` is the scheduler executing the task, threaded through the
+  /// closure: during stop() the sched_ member is nulled before the
+  /// scheduler destructor finishes draining workers, so in-flight tasks
+  /// must not read the member.
+  void run_session(common::TaskScheduler& sched,
+                   const std::shared_ptr<Session>& session);
+  /// Queues a run_session task for the session.  `yield_lane` re-queues
+  /// behind the worker's other runnable tasks (fairness); otherwise the
+  /// task is a targeted submission to the session's home worker.
+  void submit_session_task(common::TaskScheduler& sched,
+                           const std::shared_ptr<Session>& session,
+                           bool yield_lane);
+  /// The notify half of the actor protocol: idempotent, lock-free, never
+  /// loses a request, never double-runs a session.  Caller must know the
+  /// scheduler is alive (pump; or via EngineLink::scheduler_live).
+  void schedule_session(Session& session);
+  /// Drains up to `budget` input blocks through the backend.  Returns true
+  /// when the session should be re-queued immediately (quantum exhausted
+  /// with input still queued).
+  bool service(Session& session, std::size_t budget);
+  /// Returns false only when stop() aborted a kBlock wait mid-push: the
+  /// pump records the fan-out position so the next run resumes it.
+  bool enqueue(Session& session, const FeedBlock& block);
   /// Tries to hand the session's stashed pending_chunk_ to the output ring
   /// (per its backpressure policy).  Returns false only when a kBlock ring
-  /// is full -- the chunk stays stashed and the worker moves on.
+  /// is full -- the chunk stays stashed and the session parks until poll().
   bool deliver_chunk(Session& session);
   /// Bumps the output eventcount.  Called on EVERY transition an output
   /// waiter can be blocked on: chunk delivery or discard, the end of a
-  /// worker's service pass (the busy_ -> false edge that completes
-  /// finished()), feed exhaustion and stop; Session::close() bumps too.
+  /// service pass (the busy_ -> false edge that completes finished()),
+  /// feed exhaustion and stop; Session::close() bumps too.
   void notify_output();
   [[nodiscard]] std::vector<std::shared_ptr<Session>> snapshot() const;
-  [[nodiscard]] std::vector<std::shared_ptr<Session>> worker_sessions(int w) const;
 
   EngineOptions options_;
   std::unique_ptr<Source> source_;
-  common::WorkerPool pool_;
-  std::function<void(int)> worker_job_;
+  std::shared_ptr<EngineLink> link_;
   std::thread pump_thread_;
+
+  /// Serialises start()/stop()/destruction (and the scheduler-counter part
+  /// of stats_json).  Never held while scheduling work.
+  mutable std::mutex lifecycle_mu_;
+  std::unique_ptr<common::TaskScheduler> sched_;  // live between start/stop
+  common::TaskScheduler::Stats sched_stats_{};    // last run's totals
 
   mutable std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;
   std::uint64_t next_session_id_ = 0;
   /// Guarded by sessions_mu_ so open() and the start()/stop() attach/detach
-  /// passes agree on whether a new session gets a worker -- an atomic read
-  /// of running_ could race stop()'s detach snapshot and strand a session
-  /// attached with no workers alive.
+  /// passes agree on whether a new session gets a worker.
   bool workers_live_ = false;
+  /// Bumped by open() and close(): the pump re-snapshots its fan-out list
+  /// only when this changes, instead of copying the session list under the
+  /// mutex on every block.
+  std::atomic<std::uint64_t> sessions_gen_{1};
 
-  std::shared_ptr<std::atomic<std::uint32_t>> work_epoch_;
+  /// A feed block whose fan-out stop() interrupted (a kBlock ring was full
+  /// and the run ended before space appeared).  The next run's pump
+  /// delivers it to the sessions that have not received it yet before
+  /// reading fresh feed -- restart loses nothing.  Pump-only; the pump is
+  /// joined whenever start()/stop() run, so no locking.
+  struct PendingFanout {
+    FeedBlock block;
+    std::vector<std::uint64_t> served;  ///< session ids that already got it
+  };
+  std::optional<PendingFanout> carry_;
+
   std::shared_ptr<std::atomic<std::uint32_t>> output_epoch_;
-  std::atomic<bool> started_{false};
-  std::atomic<bool> stopped_{false};
   std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_{true};  ///< false only while a run is live
   std::atomic<bool> feed_done_{false};
   std::atomic<std::uint64_t> blocks_pumped_{0};
-  std::chrono::steady_clock::time_point start_time_{};
-  std::atomic<double> elapsed_s_{0.0};
+  /// Rewritten by every start(); guarded by lifecycle_mu_ (the engine is
+  /// restartable, so there is no publish-once story for this field).
+  std::chrono::steady_clock::time_point run_start_time_{};
+  std::atomic<double> streamed_elapsed_s_{0.0};  ///< total across past runs
 };
 
 /// The standard client loop: polls every session until the feed is

@@ -1,8 +1,10 @@
 #include "src/stream/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/stream/engine.hpp"
 
 namespace twiddc::stream {
 
@@ -22,8 +24,7 @@ const char* to_string(GapCause cause) {
 Session::Session(std::uint64_t id,
                  std::unique_ptr<core::ArchitectureBackend> backend,
                  BackpressurePolicy policy, std::size_t queue_blocks,
-                 std::size_t output_chunks,
-                 std::shared_ptr<std::atomic<std::uint32_t>> work_epoch,
+                 std::size_t output_chunks, std::shared_ptr<EngineLink> link,
                  std::shared_ptr<std::atomic<std::uint32_t>> output_epoch)
     : id_(id),
       backend_name_(backend->name()),
@@ -32,8 +33,14 @@ Session::Session(std::uint64_t id,
       backend_(std::move(backend)),
       in_ring_(queue_blocks),
       out_ring_(output_chunks),
-      work_epoch_(std::move(work_epoch)),
+      link_(std::move(link)),
       output_epoch_(std::move(output_epoch)) {}
+
+void Session::request_service() {
+  std::lock_guard<std::mutex> lock(link_->mu);
+  if (link_->engine && link_->scheduler_live)
+    link_->engine->schedule_session(*this);
+}
 
 std::vector<StreamChunk> Session::poll(std::size_t max_chunks) {
   std::vector<StreamChunk> chunks;
@@ -43,9 +50,19 @@ std::vector<StreamChunk> Session::poll(std::size_t max_chunks) {
     chunks.push_back(std::move(*chunk));
   }
   stats_.chunks_polled.fetch_add(chunks.size(), std::memory_order_relaxed);
-  // Freed output-ring space: wake the workers so a session with a stashed
-  // undelivered chunk retries its delivery.
-  if (!chunks.empty()) bump_work_epoch();
+  // A session parked on a stashed undelivered chunk (or holding queued
+  // input) gets its worker nudged -- only its home worker, nobody else.
+  // Deliberately NOT conditioned on this poll having returned chunks: a
+  // stale-false read of has_pending_chunk_ during the poll that actually
+  // freed the ring would otherwise strand the stash forever (no later
+  // poll would pass a got-chunks guard), deadlocking a kBlock feed.
+  // Also deliberately NOT fast-pathed on sched_state_: a stale kScheduled/
+  // kRunningDirty read can describe a pass that already failed delivery
+  // and parked, so skipping the nudge on it is the same lost wakeup in a
+  // different coat.  The link mutex is uncontended except under
+  // multi-threaded polling, where a convoy costs latency, not correctness.
+  if (has_pending_chunk_.load(std::memory_order_acquire) || in_ring_.size() > 0)
+    request_service();
   return chunks;
 }
 
@@ -59,7 +76,7 @@ bool Session::retune(const core::ChainPlan& plan, core::SwapMode mode) {
     return false;
   }
   if (detached_.load(std::memory_order_acquire)) {
-    // No worker is attached; apply on the caller's thread.
+    // No workers are attached; apply on the caller's thread.
     RetuneRequest request{plan, mode};
     apply_swap_locked(request);
     const bool ok = retune_result_.value_or(false);
@@ -68,14 +85,16 @@ bool Session::retune(const core::ChainPlan& plan, core::SwapMode mode) {
   }
   pending_retune_.emplace(RetuneRequest{plan, mode});
   retune_result_.reset();
-  bump_work_epoch();  // wake an idle worker so idle sessions retune promptly
+  lock.unlock();
+  request_service();  // wake the home worker so idle sessions retune promptly
+  lock.lock();
   control_cv_.wait(lock, [this] {
     return retune_result_.has_value() ||
            detached_.load(std::memory_order_acquire) ||
            closed_.load(std::memory_order_acquire);
   });
   if (!retune_result_.has_value() && pending_retune_.has_value()) {
-    // The worker detached (engine stopped) before picking the request up.
+    // The workers detached (engine stopped) before picking the request up.
     const RetuneRequest request = std::move(*pending_retune_);
     pending_retune_.reset();
     if (closed_.load(std::memory_order_acquire)) {
@@ -126,13 +145,19 @@ void Session::set_attached(bool attached) {
 void Session::set_paused(bool paused) {
   paused_.store(paused, std::memory_order_release);
   in_ring_.wake();
-  bump_work_epoch();
+  // Resuming needs a service pass for the backlog; pausing needs none (the
+  // worker simply stops consuming on its next look).
+  if (!paused) request_service();
+}
+
+void Session::set_weight(int weight) {
+  weight_.store(std::clamp(weight, 1, 1024), std::memory_order_release);
 }
 
 void Session::close() {
   closed_.store(true, std::memory_order_release);
   in_ring_.close();  // pump pushes fail from here on
-  // Free the queued feed blocks now (the worker skips closed sessions, so
+  // Free the queued feed blocks now (workers skip closed sessions, so
   // nothing else would release the shared buffers).  Pop claims are
   // MPMC-safe, so racing a mid-block worker is fine.
   while (in_ring_.try_pop()) {
@@ -142,7 +167,13 @@ void Session::close() {
     std::lock_guard<std::mutex> lock(control_mu_);
     control_cv_.notify_all();  // fail any retune() waiting on a worker
   }
-  bump_work_epoch();
+  {
+    // Tell the pump its fan-out list went stale (it prunes on the next
+    // generation change).
+    std::lock_guard<std::mutex> lock(link_->mu);
+    if (link_->engine)
+      link_->engine->sessions_gen_.fetch_add(1, std::memory_order_release);
+  }
   // Closing can complete a drain (finished() treats closed as terminal).
   output_epoch_->fetch_add(1, std::memory_order_release);
   output_epoch_->notify_all();
@@ -174,11 +205,6 @@ void Session::note_queue_depth(std::uint64_t depth) {
   }
 }
 
-void Session::bump_work_epoch() {
-  work_epoch_->fetch_add(1, std::memory_order_release);
-  work_epoch_->notify_all();
-}
-
 SessionStats Session::stats() const {
   SessionStats s;
   s.blocks_enqueued = stats_.blocks_enqueued.load(std::memory_order_relaxed);
@@ -196,6 +222,7 @@ SessionStats Session::stats() const {
   s.retunes_rejected = stats_.retunes_rejected.load(std::memory_order_relaxed);
   s.gaps = stats_.gaps.load(std::memory_order_relaxed);
   s.last_retune_block = stats_.last_retune_block.load(std::memory_order_relaxed);
+  s.service_passes = stats_.service_passes.load(std::memory_order_relaxed);
   return s;
 }
 

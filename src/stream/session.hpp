@@ -8,10 +8,18 @@
 //   pump thread  -> input ring (FeedBlock)  -> worker -> backend
 //   worker       -> output ring (StreamChunk) -> client poll()
 //
-// Threading contract: poll(), retune(), set_paused() and close() are client
-// calls (any one thread); the backend itself is touched only by the
-// session's assigned worker (or, when the engine is not running, inline by
-// retune()).  Backpressure when a ring fills is per-session and explicit:
+// Scheduling: a session is a cooperative actor on the engine's
+// common::TaskScheduler.  It is pinned to a *home worker* (targeted
+// wakeups go only there), runs at most `quantum x weight` feed blocks per
+// scheduling pass before yielding, and migrates -- home and all -- to
+// whichever worker steals its queued task.  While a session has no input
+// it is in no run queue and costs nothing.
+//
+// Threading contract: poll(), retune(), set_paused(), set_weight() and
+// close() are client calls (any one thread); the backend itself is touched
+// only by the worker currently running the session's task (the scheduler
+// guarantees one at a time) or, when the engine is not running, inline by
+// retune().  Backpressure when a ring fills is per-session and explicit:
 //
 //   kBlock      the producer waits -- a slow consumer throttles the pump
 //               (and through it the whole feed: conservative end-to-end
@@ -96,11 +104,22 @@ struct SessionStats {
   std::uint64_t gaps = 0;              ///< discontinuities surfaced in chunks
   std::uint64_t last_retune_block = 0; ///< blocks_processed when the last
                                        ///< retune was applied
+  std::uint64_t service_passes = 0;    ///< scheduler passes that ran this session
 };
 
 class StreamEngine;
 
-class Session {
+/// Shared between an engine and its sessions, outliving the engine: client
+/// calls on a session handle (poll, retune, close) that need a scheduling
+/// nudge look the engine up through here.  The engine flips scheduler_live
+/// around start()/stop() and nulls engine in its destructor, all under mu.
+struct EngineLink {
+  std::mutex mu;
+  StreamEngine* engine = nullptr;  // guarded by mu
+  bool scheduler_live = false;     // guarded by mu
+};
+
+class Session : public std::enable_shared_from_this<Session> {
  public:
   // Sessions are created by StreamEngine::open() and shared with the
   // client; the type is neither copyable nor movable.
@@ -119,15 +138,14 @@ class Session {
   [[nodiscard]] std::vector<StreamChunk> poll(std::size_t max_chunks = 0);
 
   /// Requests a runtime plan swap; the worker applies it between feed
-  /// blocks (workers never park on a full output ring -- they stash the
-  /// undelivered chunk and keep scheduling -- so a single-threaded client
-  /// that is not currently polling cannot deadlock here, and a backlogged
-  /// session cannot starve a co-pinned one) via the backend's swap_plan()
-  /// glitch contract.  Blocks until the swap is applied or rejected;
-  /// returns false -- with the diagnostic in last_error() -- when the
-  /// backend cannot lower the new plan (the old plan keeps streaming) or
-  /// the session is closed.  When the engine is not running the swap is
-  /// applied inline on the caller's thread.
+  /// blocks (a full output ring parks the *session*, never its worker, so
+  /// a single-threaded client that is not currently polling cannot
+  /// deadlock here, and a backlogged session cannot starve a co-pinned
+  /// one) via the backend's swap_plan() glitch contract.  Blocks until the
+  /// swap is applied or rejected; returns false -- with the diagnostic in
+  /// last_error() -- when the backend cannot lower the new plan (the old
+  /// plan keeps streaming) or the session is closed.  When the engine is
+  /// not running the swap is applied inline on the caller's thread.
   bool retune(const core::ChainPlan& plan,
               core::SwapMode mode = core::SwapMode::kFlush);
 
@@ -139,6 +157,21 @@ class Session {
   void set_paused(bool paused);
   [[nodiscard]] bool paused() const {
     return paused_.load(std::memory_order_acquire);
+  }
+
+  /// Weighted-round-robin share: a session processes at most
+  /// `EngineOptions::session_quantum_blocks x weight` feed blocks per
+  /// scheduling pass before yielding its worker to the other runnable
+  /// sessions.  Clamped to [1, 1024]; default 1.
+  void set_weight(int weight);
+  [[nodiscard]] int weight() const {
+    return weight_.load(std::memory_order_acquire);
+  }
+
+  /// The worker this session's wakeups target.  Assigned round-robin at
+  /// open(); re-pinned to whichever worker steals the session's task.
+  [[nodiscard]] int home_worker() const {
+    return home_.load(std::memory_order_acquire);
   }
 
   /// Stops the stream: the pump stops feeding it, queued input is
@@ -162,6 +195,16 @@ class Session {
  private:
   friend class StreamEngine;
 
+  /// Actor scheduling states (sched_state_).  Only the claiming worker
+  /// moves kScheduled -> kRunning (by CAS, so a duplicate queued task is a
+  /// harmless no-op); anyone may mark a running session dirty, which makes
+  /// the worker's epilogue re-queue it.  The protocol never loses a wakeup
+  /// and never runs one session on two workers.
+  static constexpr int kIdle = 0;       ///< not queued, no service requested
+  static constexpr int kScheduled = 1;  ///< a task is queued on some worker
+  static constexpr int kRunning = 2;    ///< a worker is inside run_session
+  static constexpr int kRunningDirty = 3;  ///< running + re-service requested
+
   struct AtomicStats {
     std::atomic<std::uint64_t> blocks_enqueued{0};
     std::atomic<std::uint64_t> samples_enqueued{0};
@@ -178,6 +221,7 @@ class Session {
     std::atomic<std::uint64_t> retunes_rejected{0};
     std::atomic<std::uint64_t> gaps{0};
     std::atomic<std::uint64_t> last_retune_block{0};
+    std::atomic<std::uint64_t> service_passes{0};
   };
 
   struct RetuneRequest {
@@ -187,13 +231,12 @@ class Session {
 
   Session(std::uint64_t id, std::unique_ptr<core::ArchitectureBackend> backend,
           BackpressurePolicy policy, std::size_t queue_blocks,
-          std::size_t output_chunks,
-          std::shared_ptr<std::atomic<std::uint32_t>> work_epoch,
+          std::size_t output_chunks, std::shared_ptr<EngineLink> link,
           std::shared_ptr<std::atomic<std::uint32_t>> output_epoch);
 
   /// Applies a pending retune if one is queued.  Worker thread (or inline
   /// from retune() when detached).  Returns true when a swap was applied or
-  /// rejected (progress for the worker's idle detection).
+  /// rejected.
   bool apply_pending_retune();
   /// The kFlush/kSplice application itself; control_mu_ must be held.
   void apply_swap_locked(const RetuneRequest& request);
@@ -202,27 +245,35 @@ class Session {
   /// worker; while detached, retune() applies inline.
   void set_attached(bool attached);
 
+  /// Asks the engine (if alive and running) to schedule a service pass for
+  /// this session on its home worker.  The client-side scheduling nudge.
+  void request_service();
+
   void note_queue_depth(std::uint64_t depth);
   void record_failure(const std::string& what);
-  void bump_work_epoch();
 
   const std::uint64_t id_;
   const std::string backend_name_;
   std::string plan_name_;  // guarded by control_mu_ (retunes rename it)
   const BackpressurePolicy policy_;
-  int worker_ = 0;  ///< owning worker index (stable for the session's life)
 
   std::unique_ptr<core::ArchitectureBackend> backend_;
   BoundedRing<FeedBlock> in_ring_;
   BoundedRing<StreamChunk> out_ring_;
 
+  std::atomic<int> home_{0};       ///< wakeup target; re-pinned on steal
+  std::atomic<int> weight_{1};     ///< WRR quantum multiplier
+  std::atomic<int> sched_state_{kIdle};
+
   std::atomic<bool> closed_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> busy_{false};     ///< worker mid-block (for drain checks)
-  std::atomic<bool> detached_{true};  ///< no worker attached (engine not running)
+  std::atomic<bool> detached_{true};  ///< no workers attached (engine not running)
   std::atomic<std::uint64_t> pending_dropped_samples_{0};
 
-  // Worker-thread-only state (no synchronisation needed).
+  // Worker-only state: the scheduler runs at most one service pass at a
+  // time, and passes are ordered through the sched_state_ acquire/release
+  // protocol, so no further synchronisation is needed.
   bool pending_flush_gap_ = false;
   std::uint64_t expected_seq_ = 0;  ///< next feed seq if the stream is contiguous
   bool have_seq_ = false;           ///< expected_seq_ valid (a block was processed)
@@ -232,9 +283,9 @@ class Session {
   bool pending_output_marker_lost_ = false;  ///< an evicted chunk carried a
                                              ///< kRetuneFlush marker
   /// A built chunk the kBlock output ring had no room for.  The worker
-  /// stashes it and moves on to its other sessions (a full output ring
-  /// parks the *session*, never the worker); delivery is retried when the
-  /// client polls.  has_pending_chunk_ mirrors it for finished() checks.
+  /// stashes it and moves on (a full output ring parks the *session*,
+  /// never the worker); delivery is retried when the client polls.
+  /// has_pending_chunk_ mirrors it for finished() checks.
   std::optional<StreamChunk> pending_chunk_;
   std::atomic<bool> has_pending_chunk_{false};
 
@@ -248,7 +299,7 @@ class Session {
   std::string last_error_;
 
   AtomicStats stats_;
-  std::shared_ptr<std::atomic<std::uint32_t>> work_epoch_;   ///< wakes workers
+  std::shared_ptr<EngineLink> link_;                         ///< scheduling nudges
   std::shared_ptr<std::atomic<std::uint32_t>> output_epoch_; ///< wakes drainers
 };
 

@@ -159,5 +159,71 @@ TEST(DdcProgram, DeterministicAcrossRuns) {
   EXPECT_EQ(a.stats.cycles, b.stats.cycles);
 }
 
+// ------------------------------------------------------------- DdcStream
+
+TEST(DdcStream, OddSizedBlocksMatchOneBatchRunBitExact) {
+  // The streaming obligation: feeding the program block by block -- with
+  // block edges unaligned to any decimation boundary -- must reproduce one
+  // batch run over the concatenated input exactly, because the CPU's
+  // registers and state memory persist across re-entries.
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  DdcProgram prog(cfg);
+  const auto in = tone_input(10.0037e6, 2688 * 8);
+  const auto batch = prog.run(in).outputs;
+
+  DdcStream stream(prog);
+  std::vector<std::int32_t> got;
+  std::size_t off = 0;
+  std::size_t block = 1;  // growing, always-misaligned block sizes
+  while (off < in.size()) {
+    const std::size_t n = std::min(block, in.size() - off);
+    stream.process_block(std::span<const std::int64_t>(in.data() + off, n), got);
+    off += n;
+    block = block * 2 + 1;
+  }
+  EXPECT_EQ(got, batch);
+}
+
+TEST(DdcStream, LongStreamCostIsLinearNotQuadratic) {
+  // 24 blocks through the stream must cost about ONE batch run's
+  // instructions -- the old re-run-from-reset scheme would pay ~12x.
+  const auto cfg = core::DdcConfig::reference(10.0e6);
+  DdcProgram prog(cfg);
+  const auto in = tone_input(10.0037e6, 2688 * 24);
+  const auto batch = prog.run(in);
+
+  DdcStream stream(prog);
+  std::vector<std::int32_t> got;
+  const std::size_t block = in.size() / 24;
+  for (std::size_t off = 0; off < in.size(); off += block)
+    stream.process_block(
+        std::span<const std::int64_t>(in.data() + off,
+                                      std::min(block, in.size() - off)),
+        got);
+  ASSERT_EQ(got, batch.outputs);
+  EXPECT_LT(stream.instructions(),
+            batch.stats.instructions + batch.stats.instructions / 10 + 10000);
+}
+
+TEST(DdcStream, ResetRestoresPowerOnState) {
+  DdcProgram prog(core::DdcConfig::reference());
+  const auto in = tone_input(9.5e6, 2688 * 2);
+  DdcStream stream(prog);
+  std::vector<std::int32_t> first;
+  stream.process_block(in, first);
+  stream.reset();
+  std::vector<std::int32_t> second;
+  stream.process_block(in, second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(DdcStream, RejectsWideInput) {
+  DdcProgram prog(core::DdcConfig::reference());
+  DdcStream stream(prog);
+  std::vector<std::int64_t> bad{0, 1, 5000};
+  std::vector<std::int32_t> out;
+  EXPECT_THROW(stream.process_block(bad, out), twiddc::SimulationError);
+}
+
 }  // namespace
 }  // namespace twiddc::gpp

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -535,12 +536,110 @@ TEST_F(StreamEngineTest, OpenRejectsUnknownBackendAndUnmappablePlan) {
   EXPECT_EQ(engine.session_count(), 0u);
 }
 
-TEST_F(StreamEngineTest, OpenAfterStopThrows) {
+TEST_F(StreamEngineTest, StartWhileRunningThrowsAndStopIsIdempotent) {
   StreamEngine engine(std::make_unique<VectorSource>(make_feed(2688)));
   engine.start();
+  EXPECT_THROW(engine.start(), twiddc::SimulationError);
   engine.stop();
-  EXPECT_THROW((void)engine.open(figure1_plan(), backends::kNative),
-               twiddc::SimulationError);
+  engine.stop();  // idempotent
+  EXPECT_FALSE(engine.running());
+}
+
+TEST_F(StreamEngineTest, StopStartResumesTheStreamGapFree) {
+  // The engine is restartable: stop() parks the feed (queued input, the
+  // current source position, and even a block whose fan-out the stop
+  // interrupted all survive), start() resumes it, and the concatenated
+  // stream is bit-exact with one uninterrupted run.  A paused kBlock
+  // session pins the pump mid-feed deterministically, so this stop always
+  // lands with the source unread past block 9 -- and always exercises the
+  // interrupted-fan-out carry (the pump is parked inside enqueue()).
+  const auto feed = make_feed(2048 * 24);
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.block_samples = 2048;
+  opts.session_queue_blocks = 8;
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  auto session = engine.open(figure1_plan(), backends::kNative);
+  session->set_paused(true);
+  engine.start();
+  ASSERT_TRUE(wait_until([&] { return session->stats().blocks_enqueued == 8; }));
+  engine.stop();  // pump is parked pushing block 8: carried to the next run
+  EXPECT_FALSE(engine.running());
+  EXPECT_FALSE(engine.feed_exhausted());
+  EXPECT_LT(engine.blocks_pumped(), 24u);
+
+  // A session opened while stopped joins the feed on the next run.
+  auto late = engine.open(figure1_plan(25.0e3), backends::kFixedDdc);
+  session->set_paused(false);
+
+  engine.start();
+  EXPECT_TRUE(engine.running());
+  auto rest = drain_all(engine, {session, late});
+  engine.stop();
+  EXPECT_TRUE(engine.feed_exhausted());
+
+  std::uint64_t expected_seq = 0;
+  for (const auto& chunk : rest[0]) {
+    EXPECT_EQ(chunk.block_seq, expected_seq++);  // no block lost at the seam
+    EXPECT_EQ(chunk.gap_before, GapCause::kNone);
+  }
+  EXPECT_EQ(expected_seq, 24u);
+  expect_equal(flatten(rest[0]), one_shot(backends::kNative, figure1_plan(), feed),
+               "restarted stream");
+  // The late session starts at the carried block and is gap-free from its
+  // join point.
+  ASSERT_FALSE(rest[1].empty());
+  EXPECT_GE(rest[1].front().block_seq, 8u);
+  for (const auto& chunk : rest[1]) EXPECT_EQ(chunk.gap_before, GapCause::kNone);
+}
+
+TEST_F(StreamEngineTest, RestartAfterFeedExhaustionIsBenign) {
+  const auto feed = make_feed(2688 * 2);
+  EngineOptions opts;
+  opts.block_samples = 2688;
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  auto session = engine.open(figure1_plan(), backends::kNative);
+  engine.start();
+  auto chunks = drain_all(engine, {session});
+  engine.stop();
+  ASSERT_TRUE(engine.feed_exhausted());
+  // A second run over the dry source serves nothing but must not hang,
+  // lose state, or disturb already-produced output.
+  engine.start();
+  auto more = drain_all(engine, {session});
+  engine.stop();
+  EXPECT_TRUE(flatten(more[0]).empty());
+  expect_equal(flatten(chunks[0]), one_shot(backends::kNative, figure1_plan(), feed),
+               "pre-restart output");
+}
+
+TEST_F(StreamEngineTest, RetuneWhileStoppedAppliesInlineAndStreamsAfterRestart) {
+  const auto feed = make_feed(2048 * 8);
+  EngineOptions opts;
+  opts.block_samples = 2048;
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  auto session = engine.open(figure1_plan(), backends::kNative);
+  engine.start();
+  ASSERT_TRUE(wait_until([&] { return session->stats().blocks_processed >= 2; }));
+  engine.stop();
+  // Detached: the swap applies on this thread, between runs.
+  ASSERT_TRUE(session->retune(figure1_plan(40.0e3), SwapMode::kSplice));
+  engine.start();
+  auto chunks = drain_all(engine, {session});
+  engine.stop();
+  const auto stats = session->stats();
+  EXPECT_EQ(stats.retunes_applied, 1u);
+  const std::size_t boundary =
+      std::min(static_cast<std::size_t>(stats.last_retune_block) * 2048, feed.size());
+  auto backend = core::BackendRegistry::instance().create(backends::kNative);
+  backend->configure(figure1_plan());
+  std::vector<IqSample> want;
+  backend->process_block(std::span<const std::int64_t>(feed.data(), boundary), want);
+  backend->swap_plan(figure1_plan(40.0e3), SwapMode::kSplice);
+  backend->process_block(
+      std::span<const std::int64_t>(feed.data() + boundary, feed.size() - boundary),
+      want);
+  expect_equal(flatten(chunks[0]), want, "retune-across-restart stream");
 }
 
 TEST_F(StreamEngineTest, StatsJsonDescribesEverySession) {
@@ -562,6 +661,14 @@ TEST_F(StreamEngineTest, StatsJsonDescribesEverySession) {
   EXPECT_NE(json.find("\"msamples_per_s\""), std::string::npos);
   EXPECT_NE(json.find("\"last_retune_block\""), std::string::npos);
   EXPECT_NE(json.find("\"paused\""), std::string::npos);
+  // Scheduler-era fields: per-session pinning/fairness plus engine-level
+  // task counters.
+  EXPECT_NE(json.find("\"worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"weight\""), std::string::npos);
+  EXPECT_NE(json.find("\"service_passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"quantum_blocks\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_executed\""), std::string::npos);
+  EXPECT_NE(json.find("\"targeted_wakeups\""), std::string::npos);
 }
 
 TEST_F(StreamEngineTest, CollectingSinkAdapterMatchesDrainAll) {
@@ -576,6 +683,81 @@ TEST_F(StreamEngineTest, CollectingSinkAdapterMatchesDrainAll) {
   engine.stop();
   expect_equal(sink.samples(session->id()),
                one_shot(backends::kNative, figure1_plan(), feed), "sink adapter");
+}
+
+// --------------------------------------------- scheduler fairness / gpp
+
+TEST_F(StreamEngineTest, SixtyFourSessionsOnTwoWorkersMakeBoundedProgress) {
+  // The admission/fairness acceptance case: sessions massively outnumber
+  // workers.  Under kBlock backpressure every session's lag behind the
+  // pump is bounded by its input ring, so at ANY instant the spread
+  // between the most- and least-served session is bounded -- the weighted
+  // round-robin quantum plus stealing keeps 64 actors on 2 workers from
+  // starving anyone.  (Run under TSan in CI.)
+  constexpr std::size_t kSessions = 64;
+  const auto feed = make_feed(2048 * 12);
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.block_samples = 2048;
+  opts.session_queue_blocks = 4;
+  opts.session_quantum_blocks = 1;  // tightest legal quantum: maximum churn
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    sessions.push_back(
+        engine.open(figure1_plan(1.0e3 * static_cast<double>(s)), backends::kNative));
+  sessions[0]->set_weight(4);  // a weighted session must not break the bounds
+  EXPECT_EQ(sessions[0]->weight(), 4);
+  engine.start();
+
+  // Probe the spread while streaming is in flight.  The bound is the ring
+  // depth plus slack for blocks mid-flight during this (unsynchronised)
+  // 64-session sweep.
+  for (int probe = 0; probe < 20; ++probe) {
+    std::uint64_t lo = ~0ull;
+    std::uint64_t hi = 0;
+    for (const auto& s : sessions) {
+      const auto p = s->stats().blocks_processed;
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    EXPECT_LE(hi - lo, opts.session_queue_blocks + 8)
+        << "unfair spread at probe " << probe;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto chunks = drain_all(engine, sessions);
+  engine.stop();
+  // Nobody starved, nobody dropped, and the streams are bit-exact.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto stats = sessions[i]->stats();
+    EXPECT_EQ(stats.blocks_processed, 12u) << "session " << i;
+    EXPECT_EQ(stats.input_drop_blocks, 0u) << "session " << i;
+    EXPECT_EQ(stats.gaps, 0u) << "session " << i;
+  }
+  for (const std::size_t i : {std::size_t{0}, std::size_t{31}, std::size_t{63}})
+    expect_equal(flatten(chunks[i]),
+                 one_shot(backends::kNative,
+                          figure1_plan(1.0e3 * static_cast<double>(i)), feed),
+                 "session " + std::to_string(i));
+}
+
+TEST_F(StreamEngineTest, GppBackendServesLongStreamsBitExact) {
+  // The ARM program used to re-run from reset on every block (quadratic in
+  // block count); the incremental DdcStream pins CPU state across blocks.
+  // 31 odd-sized blocks through the engine must equal one batch run.
+  const auto feed = make_feed(2688 * 24);
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.block_samples = 2048;  // not a multiple of the 2688 decimation
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  auto session = engine.open(figure1_plan(), backends::kGpp);
+  engine.start();
+  auto chunks = drain_all(engine, {session});
+  engine.stop();
+  EXPECT_EQ(session->stats().blocks_processed, (feed.size() + 2047) / 2048);
+  expect_equal(flatten(chunks[0]), one_shot(backends::kGpp, figure1_plan(), feed),
+               "gpp long stream");
 }
 
 // ------------------------------------------------- many-user acceptance
