@@ -21,7 +21,10 @@
 // Keys are stable and additive across PRs; "kernel" and "channels" lines are
 // new in PR 2, "sessions" lines (end-to-end streaming-engine serving rate per
 // concurrent-session count) are new in PR 4, "chain" lines keep the PR 1
-// schema plus the "simd" tag.
+// schema plus the "simd" tag.  PR 6 adds "figure1:fused_vs_staged" (plan
+// compiler's fused tile executor vs the staged pipeline, bit-exactness
+// asserted inline) and "plan_cache" (compile-time amortisation: 64 sessions
+// sharing one config vs 64 distinct configs).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -39,6 +42,7 @@
 #include "src/core/channel_bank.hpp"
 #include "src/core/fixed_ddc.hpp"
 #include "src/core/float_ddc.hpp"
+#include "src/core/plan_compiler.hpp"
 #include "src/dsp/cic.hpp"
 #include "src/dsp/fir.hpp"
 #include "src/dsp/fir_design.hpp"
@@ -88,6 +92,125 @@ void bench_figure1(const DatapathSpec& spec) {
                                      push, block, input.size())
       .field("simd", twiddc::simd::isa_name())
       .print();
+}
+
+// -------------------------------------------------- fused vs staged chain
+
+// The plan-compiler acceptance line: the same Figure-1 chain executed by the
+// staged DdcPipeline (one memory sweep per stage) and by the fused
+// FusedChainExec (L1-sized tiles, conditioning fused into stage outputs).
+// The two paths are bit-exact (asserted here and pinned by tests); the line
+// records what the fusion buys in block throughput:
+//   {"bench": "throughput_pipeline", "chain": "figure1:fused_vs_staged",
+//    "staged_msamples_per_s": ..., "fused_msamples_per_s": ...,
+//    "speedup_fused_over_staged": ..., ...}
+
+void bench_fused_vs_staged() {
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  const auto plan = ChainPlan::figure1(cfg, spec);
+  const auto input = figure1_stimulus(cfg, kBlock);
+
+  twiddc::core::DdcPipeline staged(plan);
+  std::vector<IqSample> sink;
+  const Throughput t_staged = measure_throughput(input.size(), [&] {
+    sink.clear();
+    staged.process_block(input, sink);
+  });
+  const std::vector<IqSample> staged_out = sink;
+
+  twiddc::core::FusedChainExec fused(
+      twiddc::core::CompiledPlanCache::instance().get_or_compile(plan));
+  const Throughput t_fused = measure_throughput(input.size(), [&] {
+    sink.clear();
+    fused.process_block(input, sink);
+  });
+
+  // Not a substitute for the test suite, but a bench that silently compared
+  // two different computations would be worse than no bench.
+  staged.reset();
+  fused.reset();
+  std::vector<IqSample> a;
+  std::vector<IqSample> b;
+  staged.process_block(input, a);
+  fused.process_block(input, b);
+  const bool bit_exact = a == b;
+
+  JsonLine j;
+  j.field("bench", std::string("throughput_pipeline"))
+      .field("chain", std::string("figure1:fused_vs_staged"))
+      .field("staged_msamples_per_s", t_staged.msamples_per_s())
+      .field("fused_msamples_per_s", t_fused.msamples_per_s())
+      .field("speedup_fused_over_staged",
+             t_staged.msamples_per_s() > 0.0
+                 ? t_fused.msamples_per_s() / t_staged.msamples_per_s()
+                 : 0.0)
+      .field("bit_exact", bit_exact)
+      .field("block_samples", input.size())
+      .field("simd", twiddc::simd::isa_name());
+  j.print();
+}
+
+// ---------------------------------------------------------- plan cache
+
+// Compile-time amortisation: 64 sessions opening the SAME config share one
+// CompiledPlan (63 cache hits), while 64 distinct configs each compile.
+//   {"bench": "throughput_pipeline", "chain": "plan_cache", "sessions": 64,
+//    "shared_hits": 63, "shared_ms": ..., "distinct_ms": ...,
+//    "amortization": distinct/shared, ...}
+
+void bench_plan_cache() {
+  auto& cache = twiddc::core::CompiledPlanCache::instance();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  constexpr std::size_t kSessions = 64;
+
+  cache.clear();
+  const auto before_shared = cache.stats();
+  const auto shared_plan = ChainPlan::figure1(cfg, spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < kSessions; ++s)
+    (void)cache.get_or_compile(shared_plan);
+  const double shared_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const auto after_shared = cache.stats();
+
+  cache.clear();
+  std::vector<ChainPlan> distinct;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    auto c = cfg;
+    c.nco_freq_hz += 25.0e3 * static_cast<double>(s);
+    distinct.push_back(ChainPlan::figure1(c, spec));
+  }
+  const auto before_distinct = cache.stats();
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const auto& p : distinct) (void)cache.get_or_compile(p);
+  const double distinct_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t1)
+          .count();
+  const auto after_distinct = cache.stats();
+
+  JsonLine j;
+  j.field("bench", std::string("throughput_pipeline"))
+      .field("chain", std::string("plan_cache"))
+      .field("sessions", kSessions)
+      .field("shared_hits",
+             static_cast<std::size_t>(after_shared.hits - before_shared.hits))
+      .field("shared_misses",
+             static_cast<std::size_t>(after_shared.misses - before_shared.misses))
+      .field("shared_ms", shared_ms)
+      .field("distinct_misses", static_cast<std::size_t>(after_distinct.misses -
+                                                         before_distinct.misses))
+      .field("distinct_ms", distinct_ms)
+      .field("amortization", shared_ms > 0.0 ? distinct_ms / shared_ms : 0.0)
+      .field("hit_rate_shared",
+             static_cast<double>(after_shared.hits - before_shared.hits) /
+                 static_cast<double>(kSessions))
+      .field("simd", twiddc::simd::isa_name());
+  j.print();
 }
 
 void bench_gc4016() {
@@ -382,6 +505,8 @@ int main() {
   std::printf("# lines give multi-channel aggregate (channel-samples/s) scaling\n");
   bench_figure1(DatapathSpec::wide16());
   bench_figure1(DatapathSpec::fpga());
+  bench_fused_vs_staged();
+  bench_plan_cache();
   bench_gc4016();
   bench_kernel_nco_mixer();
   bench_kernel_cic("cic2", 2, 16);

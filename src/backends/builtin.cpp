@@ -8,6 +8,7 @@
 #include "src/asic/gc4016.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/fixed_ddc.hpp"
+#include "src/core/plan_compiler.hpp"
 #include "src/dsp/nco.hpp"
 #include "src/dsp/signal.hpp"
 #include "src/fpga/ddc_fpga.hpp"
@@ -49,6 +50,10 @@ class BackendBase : public ArchitectureBackend {
 
 // ----------------------------------------------------------- native-pipeline
 
+/// Executes through the plan compiler: configure() resolves the plan in the
+/// process-wide CompiledPlanCache (N sessions on one config share a single
+/// CompiledPlan) and runs it with the fused tile executor, which is bit-exact
+/// with the staged DdcPipeline (pinned by the conformance harness).
 class NativeBackend final : public BackendBase {
  public:
   NativeBackend() : BackendBase(kNative) {}
@@ -65,8 +70,8 @@ class NativeBackend final : public BackendBase {
   }
   void configure(const ChainPlan& plan) override {
     try {
-      core::DdcPipeline pipe(plan);
-      pipe_ = std::move(pipe);
+      auto compiled = core::CompiledPlanCache::instance().get_or_compile(plan);
+      exec_.emplace(std::move(compiled));
     } catch (const LoweringError&) {
       throw;
     } catch (const ConfigError& e) {
@@ -74,20 +79,27 @@ class NativeBackend final : public BackendBase {
     }
     plan_ = plan;
   }
-  [[nodiscard]] bool is_configured() const override { return pipe_.has_value(); }
+  [[nodiscard]] bool is_configured() const override { return exec_.has_value(); }
   void process_block(std::span<const std::int64_t> in,
                      std::vector<IqSample>& out) override {
     require_configured();
-    pipe_->process_block(in, out);
+    exec_->process_block(in, out);
   }
   void reset() override {
     require_configured();
-    pipe_->reset();
+    exec_->reset();
   }
   void swap_plan(const ChainPlan& plan, SwapMode mode) override {
     require_configured();
     try {
-      pipe_->swap_plan(plan, mode);
+      // Compile (or fetch) first so a bad plan throws before any state moves
+      // -- the old plan stays active, matching DdcPipeline::swap_plan.
+      auto compiled = core::CompiledPlanCache::instance().get_or_compile(plan);
+      if (mode == SwapMode::kFlush) {
+        exec_.emplace(std::move(compiled));  // fresh state, like a reconfigure
+      } else {
+        exec_->splice(std::move(compiled));  // throws if structurally incompatible
+      }
     } catch (const LoweringError&) {
       throw;
     } catch (const ConfigError& e) {
@@ -95,11 +107,11 @@ class NativeBackend final : public BackendBase {
       // typed, and the old plan stays active (swap_plan guarantees that).
       throw LoweringError(name_, e.what());
     }
-    plan_ = pipe_->plan();
+    plan_ = plan;
   }
 
  private:
-  std::optional<core::DdcPipeline> pipe_;
+  std::optional<core::FusedChainExec> exec_;
 };
 
 // ----------------------------------------------------------------- fixed-ddc
@@ -120,6 +132,10 @@ class FixedDdcBackend final : public BackendBase {
   }
   void configure(const ChainPlan& plan) override {
     try {
+      // Resolve through the shared cache first: validates the plan once and
+      // dedups its coefficient/LUT storage even though the staged FixedDdc
+      // keeps its own executor.
+      core::CompiledPlanCache::instance().get_or_compile(plan);
       core::FixedDdc ddc(plan);
       ddc_ = std::move(ddc);
     } catch (const LoweringError&) {
@@ -175,8 +191,13 @@ class FloatDdcBackend final : public BackendBase {
     return DatapathSpec::ideal();
   }
   void configure(const ChainPlan& plan) override {
+    std::shared_ptr<const core::CompiledPlan> compiled;
     try {
-      plan.validate();
+      // The canonical key only covers the fixed datapath, so the float rails
+      // must be built from the *original* plan (taps_float/post_scale are
+      // not canonical); the cache still provides validation, the quantised
+      // tuning word and shared stats.
+      compiled = core::CompiledPlanCache::instance().get_or_compile(plan);
       std::vector<core::StageChain<double>> rails;
       rails.push_back(core::make_float_rail(plan));
       rails.push_back(core::make_float_rail(plan));
@@ -186,10 +207,7 @@ class FloatDdcBackend final : public BackendBase {
     }
     plan_ = plan;
     phase_ = 0.0;
-    phase_step_ = kTwoPi *
-                  static_cast<double>(dsp::PhaseAccumulator::tuning_word(
-                      plan.front_end.nco_freq_hz, plan.input_rate_hz)) *
-                  0x1p-32;
+    phase_step_ = kTwoPi * static_cast<double>(compiled->tuning_word()) * 0x1p-32;
     configured_ = true;
   }
   [[nodiscard]] bool is_configured() const override { return configured_; }

@@ -2,10 +2,11 @@
 //
 // Every kernel here has two realisations selected at compile time:
 //
-//   * an intrinsic path (`__AVX2__`; the ideas port directly to NEON) used
-//     when the translation unit is compiled with the matching -march, and
+//   * an intrinsic path (`__AVX2__` on x86, AArch64 NEON for the mixer
+//     mul/shift/narrow and FIR dot kernels) used when the translation unit
+//     is compiled with the matching -march, and
 //   * a scalar fallback written as tight restrict/unrolled loops the
-//     compiler can auto-vectorise on any ISA (SSE2 baseline, NEON, ...).
+//     compiler can auto-vectorise on any ISA (SSE2 baseline, ARMv7 NEON, ...).
 //
 // Both paths are *bit-exact* for the fixed-point chain: all accumulation is
 // two's-complement (mod 2^64) where reordering is an identity, 64-bit
@@ -28,14 +29,25 @@
 #include <immintrin.h>
 #endif
 
+// The NEON intrinsic paths need AArch64: they rely on 64-bit lane compares
+// (vcgtq_s64) and 64-bit shifts that ARMv7 NEON does not provide.  32-bit ARM
+// builds keep the autovectorisable scalar loops.
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#define TWIDDC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace twiddc::simd {
 
-/// Name of the intrinsic path this build was compiled with ("avx2" when the
-/// AVX2 kernels are active, "scalar" when only the autovectorisable fallback
-/// loops exist).  Reported in the bench JSON so trajectories are comparable.
+/// Name of the intrinsic path this build was compiled with ("avx2"/"neon"
+/// when the intrinsic kernels are active, "*-autovec"/"scalar" when only the
+/// autovectorisable fallback loops exist).  Reported in the bench JSON so
+/// trajectories are comparable.
 inline const char* isa_name() {
 #if defined(__AVX2__)
   return "avx2";
+#elif defined(TWIDDC_SIMD_NEON)
+  return "neon";
 #elif defined(__SSE2__) || defined(_M_X64)
   return "sse2-autovec";
 #elif defined(__ARM_NEON)
@@ -59,6 +71,12 @@ inline bool enabled() { return detail::enabled_flag().load(std::memory_order_rel
 inline void set_enabled(bool on) {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
 }
+
+/// The path the kernels take *right now*: isa_name() while the intrinsic
+/// kernels are live, "scalar" once the kill switch forced the fallback.
+/// Bench lines report this so a trajectory captured with the switch thrown
+/// cannot masquerade as an intrinsic-path measurement.
+inline const char* active_path() { return enabled() ? isa_name() : "scalar"; }
 
 /// RAII helper for tests: forces the given SIMD state within a scope.
 class ScopedEnable {
@@ -170,6 +188,30 @@ inline std::int64_t dot_i64(const std::int64_t* a, const std::int64_t* b,
                                             : detail::mullo_epi64(va, vb));
     }
     return detail::hsum_epi64(acc);
+  }
+#elif defined(TWIDDC_SIMD_NEON)
+  // Two int64 lanes per q-register.  Only the narrow path is profitable on
+  // NEON: vmull_s32 is the exact 32x32->64 multiply, and both operands are
+  // proven to fit int32, so vmovn_s64 (keep the low word) loses nothing.  A
+  // full 64x64 low-half emulation needs four vmulls plus shuffles and loses
+  // to the scalar loop, so the wide case falls through.
+  if (enabled() && narrow_ok && n >= 8) {
+    uint64x2_t acc0 = vdupq_n_u64(0);
+    uint64x2_t acc1 = vdupq_n_u64(0);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const int32x2_t a0 = vmovn_s64(vld1q_s64(a + j));
+      const int32x2_t b0 = vmovn_s64(vld1q_s64(b + j));
+      const int32x2_t a1 = vmovn_s64(vld1q_s64(a + j + 2));
+      const int32x2_t b1 = vmovn_s64(vld1q_s64(b + j + 2));
+      acc0 = vaddq_u64(acc0, vreinterpretq_u64_s64(vmull_s32(a0, b0)));
+      acc1 = vaddq_u64(acc1, vreinterpretq_u64_s64(vmull_s32(a1, b1)));
+    }
+    const uint64x2_t acc = vaddq_u64(acc0, acc1);
+    std::uint64_t sum = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; j < n; ++j)
+      sum += static_cast<std::uint64_t>(a[j]) * static_cast<std::uint64_t>(b[j]);
+    return static_cast<std::int64_t>(sum);
   }
 #endif
   (void)narrow_ok;
@@ -305,6 +347,44 @@ inline void mul_shift_narrow_block(const std::int64_t* x, const std::int32_t* m,
         v = detail::sra_epi64(_mm256_slli_epi64(v, ws), ws);
       }
       _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), v);
+    }
+    mul_shift_narrow_scalar(x + k, m + k, n - k, shift, bits, rounding, overflow,
+                            out + k);
+    return;
+  }
+#elif defined(TWIDDC_SIMD_NEON)
+  if (enabled() && narrow_ok && n >= 8) {
+    const int64x2_t round_add =
+        rounding == fixed::Rounding::kNearest && shift > 0
+            ? vdupq_n_s64(std::int64_t{1} << (shift - 1))
+            : vdupq_n_s64(0);
+    // vshlq_s64 by a negative count is the arithmetic right shift NEON
+    // spells differently from x86.
+    const int64x2_t shr = vdupq_n_s64(-shift);
+    const bool saturate = bits != 0 && overflow == fixed::Overflow::kSaturate;
+    const bool wrap = bits != 0 && overflow == fixed::Overflow::kWrap;
+    const int64x2_t sat_hi = vdupq_n_s64(bits ? fixed::max_for_bits(bits) : 0);
+    const int64x2_t sat_lo = vdupq_n_s64(bits ? fixed::min_for_bits(bits) : 0);
+    const int64x2_t wrap_l = vdupq_n_s64(bits ? 64 - bits : 0);
+    const int64x2_t wrap_r = vdupq_n_s64(bits ? bits - 64 : 0);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+      // x fits int32 (narrow_ok), so the low words carry the full value and
+      // vmull_s32 is the exact product.
+      const int32x2_t x32 = vmovn_s64(vld1q_s64(x + k));
+      const int32x2_t m32 = vld1_s32(m + k);
+      int64x2_t v = vmull_s32(x32, m32);
+      if (shift > 0) {
+        v = vaddq_s64(v, round_add);
+        v = vshlq_s64(v, shr);
+      }
+      if (saturate) {
+        v = vbslq_s64(vcgtq_s64(v, sat_hi), sat_hi, v);
+        v = vbslq_s64(vcgtq_s64(sat_lo, v), sat_lo, v);
+      } else if (wrap) {
+        v = vshlq_s64(vshlq_s64(v, wrap_l), wrap_r);
+      }
+      vst1q_s64(out + k, v);
     }
     mul_shift_narrow_scalar(x + k, m + k, n - k, shift, bits, rounding, overflow,
                             out + k);

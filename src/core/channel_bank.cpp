@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
+#include <string>
+#include <tuple>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
+#include "src/dsp/cic.hpp"
+#include "src/fixed/qformat.hpp"
 
 namespace twiddc::core {
 namespace {
@@ -38,6 +44,140 @@ void ChannelBank::set_workers(int workers) {
     sched_ = std::make_unique<common::TaskScheduler>(pool_size);
 }
 
+bool ChannelBank::packable(std::size_t c) {
+  DdcPipeline& p = channels_[c];
+  // Observation taps see per-stage intermediates that a split chain does not
+  // produce in one place; such channels keep the monolithic path.
+  if (p.has_mixer_tap()) return false;
+  const ChainPlan& plan = p.plan();
+  if (plan.stages.empty() || plan.stages[0].kind != StageSpec::Kind::kCic)
+    return false;
+  if (!plan.stages[0].prune_shifts.empty()) return false;
+  for (int r = 0; r < 2; ++r) {
+    StageChain<std::int64_t>& rail = p.rail(r);
+    if (rail.has_taps()) return false;
+    if (rail.size() == 0 || rail.stage(0).cic_kernel() == nullptr) return false;
+  }
+  return true;
+}
+
+std::vector<ChannelBank::Unit> ChannelBank::make_units() {
+  std::vector<Unit> units;
+  // Packing groups: identical first-stage CIC geometry AND decimation phase
+  // (lanes must hit decimation boundaries in lockstep).  Channels are
+  // normally constructed and fed together so phases agree; a channel that
+  // was disabled for a while simply lands in its own group.
+  std::map<std::tuple<int, int, int, int, std::uint64_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (!enabled_[c]) continue;
+    if (!packable(c)) {
+      units.push_back(Unit{{c, 0, 0, 0}, 1});
+      continue;
+    }
+    dsp::CicDecimator* k = channels_[c].rail(0).stage(0).cic_kernel();
+    const auto& cfg = k->config();
+    groups[{cfg.stages, cfg.decimation, cfg.diff_delay, k->register_bits(),
+            k->samples_in() % static_cast<std::uint64_t>(cfg.decimation)}]
+        .push_back(c);
+  }
+  for (auto& [key, chs] : groups) {
+    std::size_t i = 0;
+    for (; i + 4 <= chs.size(); i += 4)
+      units.push_back(Unit{{chs[i], chs[i + 1], chs[i + 2], chs[i + 3]}, 4});
+    for (; i < chs.size(); ++i) units.push_back(Unit{{chs[i], 0, 0, 0}, 1});
+  }
+  // Submit in channel order, not group-key order: scheduling (and therefore
+  // the work-stealing interleave the bank's tests pin down) stays identical
+  // to the pre-packing per-channel path whenever no quad forms.
+  std::sort(units.begin(), units.end(),
+            [](const Unit& a, const Unit& b) { return a.ch[0] < b.ch[0]; });
+  return units;
+}
+
+void ChannelBank::run_packed_tile(const Unit& unit,
+                                  std::span<const std::int64_t> tile,
+                                  std::vector<std::vector<IqSample>>& out,
+                                  PackScratch& s) {
+  const std::size_t m = tile.size();
+  // Same all-or-nothing contract as DdcPipeline::process_block: range-check
+  // the tile against every lane's input width before any state advances.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  simd::minmax_i64(tile.data(), m, lo, hi);
+  for (int l = 0; l < unit.lanes; ++l) {
+    const int bits = channels_[unit.ch[l]].plan().front_end.input_bits;
+    if (!fixed::fits_bits(lo, bits) || !fixed::fits_bits(hi, bits)) {
+      const std::int64_t bad = fixed::fits_bits(lo, bits) ? hi : lo;
+      throw SimulationError("ChannelBank: input " + std::to_string(bad) +
+                            " does not fit " + std::to_string(bits) + " bits");
+    }
+  }
+
+  // Front end per lane: the NCO and mixer already vectorise along time
+  // through the simd shim, so cross-channel packing buys nothing there.
+  dsp::CicDecimator* kern_i[4];
+  dsp::CicDecimator* kern_q[4];
+  const std::int64_t* in_i[4];
+  const std::int64_t* in_q[4];
+  std::vector<std::int64_t>* out_i[4];
+  std::vector<std::int64_t>* out_q[4];
+  for (int l = 0; l < 4; ++l) {
+    DdcPipeline& p = channels_[unit.ch[l]];
+    s.cs[l].resize(m);
+    s.sn[l].resize(m);
+    p.nco().next_block(s.cs[l], s.sn[l]);
+    s.mix_i[l].resize(m);
+    s.mix_q[l].resize(m);
+    p.mixer().mix_block(tile, s.cs[l], s.sn[l], s.mix_i[l], s.mix_q[l]);
+    s.cic_i[l].clear();
+    s.cic_q[l].clear();
+    kern_i[l] = p.rail(0).stage(0).cic_kernel();
+    kern_q[l] = p.rail(1).stage(0).cic_kernel();
+    in_i[l] = s.mix_i[l].data();
+    in_q[l] = s.mix_q[l].data();
+    out_i[l] = &s.cic_i[l];
+    out_q[l] = &s.cic_q[l];
+  }
+
+  // The packed leg: 4 lanes' integrator cascades per AVX2 register, one call
+  // for the I rails and one for the Q rails.  The kernel declines (without
+  // touching state) when the lanes drifted out of phase or the simd kill
+  // switch is off; the per-lane block kernel is bit-exact either way.
+  if (!dsp::CicDecimator::process_block_packed4(kern_i, in_i, m, out_i)) {
+    for (int l = 0; l < 4; ++l)
+      kern_i[l]->process_block(std::span(in_i[l], m), *out_i[l]);
+  }
+  if (!dsp::CicDecimator::process_block_packed4(kern_q, in_q, m, out_q)) {
+    for (int l = 0; l < 4; ++l)
+      kern_q[l]->process_block(std::span(in_q[l], m), *out_q[l]);
+  }
+
+  // Stage-0 conditioning + the rest of each lane's chain, per lane.
+  for (int l = 0; l < 4; ++l) {
+    DdcPipeline& p = channels_[unit.ch[l]];
+    const StageSpec& st0 = p.plan().stages[0];
+    for (std::vector<std::int64_t>* rail : {&s.cic_i[l], &s.cic_q[l]}) {
+      for (std::int64_t& v : *rail) {
+        v = fixed::shift_right(v, st0.post_shift, st0.rounding);
+        if (st0.narrow_bits != 0)
+          v = fixed::narrow(v, st0.narrow_bits, fixed::Overflow::kSaturate);
+      }
+    }
+    s.rail_i[l].clear();
+    s.rail_q[l].clear();
+    p.rail(0).process_block_from(1, s.cic_i[l], s.rail_i[l]);
+    p.rail(1).process_block_from(1, s.cic_q[l], s.rail_q[l]);
+    if (s.rail_i[l].size() != s.rail_q[l].size())
+      throw SimulationError("ChannelBank: I/Q rails lost rate lock");
+    std::vector<IqSample>& o = out[unit.ch[l]];
+    o.reserve(o.size() + s.rail_i[l].size());
+    for (std::size_t j = 0; j < s.rail_i[l].size(); ++j)
+      o.push_back(IqSample{s.rail_i[l][j], s.rail_q[l][j]});
+    p.note_packed_block(m, s.rail_i[l].size());
+  }
+}
+
 void ChannelBank::run_tile_chain(std::span<const std::int64_t> in,
                                  std::vector<IqSample>& out,
                                  common::TaskScheduler::Group group,
@@ -69,40 +209,81 @@ void ChannelBank::run_tile_chain(std::span<const std::int64_t> in,
   }
 }
 
+void ChannelBank::run_packed_chain(std::span<const std::int64_t> in,
+                                   std::vector<std::vector<IqSample>>& out,
+                                   common::TaskScheduler::Group group, Unit unit,
+                                   std::size_t offset, PackScratch* scratch) {
+  try {
+    for (;;) {
+      const std::span<const std::int64_t> tile =
+          in.subspan(offset, std::min(kTileSamples, in.size() - offset));
+      run_packed_tile(unit, tile, out, *scratch);
+      offset += tile.size();
+      if (offset >= in.size()) {
+        group.complete();
+        return;
+      }
+      if (sched_ && sched_->current_worker_index() >= 0) {
+        sched_->submit_local([this, in, &out, group, unit, offset, scratch] {
+          run_packed_chain(in, out, group, unit, offset, scratch);
+        });
+        return;
+      }
+    }
+  } catch (...) {
+    group.fail(std::current_exception());
+  }
+}
+
 void ChannelBank::process_block(std::span<const std::int64_t> in,
                                 std::vector<std::vector<IqSample>>& out) {
   out.resize(channels_.size());
-  std::vector<std::size_t> active;
-  active.reserve(channels_.size());
-  for (std::size_t c = 0; c < channels_.size(); ++c)
-    if (enabled_[c]) active.push_back(c);
-  if (active.empty() || in.empty()) return;
+  if (in.empty()) return;
+  const std::vector<Unit> units = make_units();
+  if (units.empty()) return;
 
   const auto n_workers =
-      static_cast<std::size_t>(std::min<int>(workers_, static_cast<int>(active.size())));
+      static_cast<std::size_t>(std::min<int>(workers_, static_cast<int>(units.size())));
   if (n_workers <= 1 || !sched_) {
-    // Serial mode: tile-outer, channel-inner -- every enabled channel
-    // advances through tile t before any channel starts tile t+1.
+    // Serial mode: tile-outer, unit-inner -- every unit advances through
+    // tile t before any unit starts tile t+1.
+    PackScratch scratch;
     for (std::size_t off = 0; off < in.size(); off += kTileSamples) {
       const std::span<const std::int64_t> tile =
           in.subspan(off, std::min(kTileSamples, in.size() - off));
-      for (const std::size_t c : active) channels_[c].process_block(tile, out[c]);
+      for (const Unit& u : units) {
+        if (u.lanes == 1)
+          channels_[u.ch[0]].process_block(tile, out[u.ch[0]]);
+        else
+          run_packed_tile(u, tile, out, scratch);
+      }
     }
     return;
   }
 
-  // One tile chain per active channel, spread round-robin over the worker
-  // inboxes; the caller joins through wait(), stealing and executing chains
-  // alongside the pool.  Channels are independent state machines writing
-  // disjoint output vectors, so any steal-driven interleaving is bit-exact
-  // with serial execution; the only shared read is `in`.
+  // One tile chain per unit (single channel or packed quad), spread
+  // round-robin over the worker inboxes; the caller joins through wait(),
+  // stealing and executing chains alongside the pool.  Units touch disjoint
+  // channels and output vectors, so any steal-driven interleaving is
+  // bit-exact with serial execution; the only shared read is `in`.
+  std::vector<std::unique_ptr<PackScratch>> scratches;
+  for (const Unit& u : units)
+    if (u.lanes == 4) scratches.push_back(std::make_unique<PackScratch>());
   common::TaskScheduler::Group group;
-  group.expect(active.size());
-  for (std::size_t k = 0; k < active.size(); ++k) {
-    const std::size_t c = active[k];
-    sched_->submit_to(static_cast<int>(k), [this, in, &out, group, c] {
-      run_tile_chain(in, out[c], group, c, 0);
-    });
+  group.expect(units.size());
+  std::size_t si = 0;
+  for (std::size_t k = 0; k < units.size(); ++k) {
+    const Unit u = units[k];
+    if (u.lanes == 1) {
+      sched_->submit_to(static_cast<int>(k), [this, in, &out, group, u] {
+        run_tile_chain(in, out[u.ch[0]], group, u.ch[0], 0);
+      });
+    } else {
+      PackScratch* scratch = scratches[si++].get();
+      sched_->submit_to(static_cast<int>(k), [this, in, &out, group, u, scratch] {
+        run_packed_chain(in, out, group, u, 0, scratch);
+      });
+    }
   }
   sched_->wait(group);
   group.rethrow_if_error();

@@ -22,6 +22,19 @@
 // In both modes the block is walked in cache-sized tiles so per-channel
 // scratch buffers stay hot instead of streaming the full block per channel.
 //
+// Cross-channel SIMD packing: channels whose first stage is a CIC with
+// identical geometry are grouped four at a time, and the group's eight
+// integrator cascades (4 channels x I/Q) run through
+// dsp::CicDecimator::process_block_packed4 -- four lanes' integrator state
+// per AVX2 register.  The cascade is a loop-carried dependency chain, so it
+// cannot vectorise along time within one channel; across channels it packs
+// perfectly.  The NCO and mixer stay per-lane (they already vectorise along
+// time through the simd shim), and every remaining stage runs per lane via
+// StageChain::process_block_from.  Packed execution is bit-exact with the
+// per-channel path, falls back to it when AVX2 is absent or
+// simd::set_enabled(false) is in force, and skips channels with observation
+// taps installed (a split chain cannot feed them).
+//
 // The GC4016 quad-channel model (src/asic/gc4016.cpp) is a shim over this
 // class; the throughput bench sweeps channel counts through it to track
 // scaling.
@@ -81,6 +94,27 @@ class ChannelBank {
   void reset();
 
  private:
+  /// Scratch for one packed quad's tile: per-lane cos/sin, mixed rails, raw
+  /// CIC outputs and tail-chain outputs.  Tile-sized, reused across tiles.
+  struct PackScratch {
+    std::vector<std::int32_t> cs[4], sn[4];
+    std::vector<std::int64_t> mix_i[4], mix_q[4];
+    std::vector<std::int64_t> cic_i[4], cic_q[4];
+    std::vector<std::int64_t> rail_i[4], rail_q[4];
+  };
+  /// One execution unit of a block pass: either a single channel (size 1,
+  /// the per-channel path) or a packed quad (size 4, lockstep CIC lanes).
+  struct Unit {
+    std::size_t ch[4] = {0, 0, 0, 0};
+    int lanes = 1;
+  };
+
+  /// Partitions the enabled channels into packed quads + singles.
+  [[nodiscard]] std::vector<Unit> make_units();
+  /// True when `c` can join a packed quad (first stage is an unpruned CIC,
+  /// no observation taps anywhere on the channel).
+  [[nodiscard]] bool packable(std::size_t c);
+
   /// One link of a channel's tile chain: advances `channel` through the
   /// tile at `offset`, then either re-submits itself (on a scheduler
   /// worker: the continuation lands in the deque, where a thief can take
@@ -90,6 +124,17 @@ class ChannelBank {
                       std::vector<IqSample>& out,
                       common::TaskScheduler::Group group, std::size_t channel,
                       std::size_t offset);
+  /// Packed analogue of run_tile_chain: advances a quad through one tile per
+  /// link, re-submitting the continuation between tiles.
+  void run_packed_chain(std::span<const std::int64_t> in,
+                        std::vector<std::vector<IqSample>>& out,
+                        common::TaskScheduler::Group group, Unit unit,
+                        std::size_t offset, PackScratch* scratch);
+  /// Advances the quad through one tile; bit-exact with running each lane's
+  /// DdcPipeline::process_block over the same tile.
+  void run_packed_tile(const Unit& unit, std::span<const std::int64_t> tile,
+                       std::vector<std::vector<IqSample>>& out,
+                       PackScratch& scratch);
 
   std::vector<DdcPipeline> channels_;
   std::vector<char> enabled_;  // vector<bool> has no per-element data()

@@ -119,6 +119,7 @@ class FixedCicStage final : public Stage<std::int64_t> {
   void reset() override { cic_.reset(); }
   [[nodiscard]] int decimation() const override { return cic_.config().decimation; }
   [[nodiscard]] const std::string& label() const override { return label_; }
+  [[nodiscard]] dsp::CicDecimator* cic_kernel() override { return &cic_; }
 
  private:
   std::string label_;
@@ -548,6 +549,24 @@ void StageChain<T>::process_block(std::span<const T> in, std::vector<T>& out) {
   }
   std::span<const T> cur = in;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::vector<T>& buf = i % 2 == 0 ? scratch_a_ : scratch_b_;
+    buf.clear();
+    stages_[i]->process_block(cur, buf);
+    if (taps_[i]) taps_[i]->insert(taps_[i]->end(), buf.begin(), buf.end());
+    cur = buf;
+  }
+  out.insert(out.end(), cur.begin(), cur.end());
+}
+
+template <typename T>
+void StageChain<T>::process_block_from(std::size_t first, std::span<const T> in,
+                                       std::vector<T>& out) {
+  if (first >= stages_.size()) {
+    out.insert(out.end(), in.begin(), in.end());
+    return;
+  }
+  std::span<const T> cur = in;
+  for (std::size_t i = first; i < stages_.size(); ++i) {
     std::vector<T>& buf = i % 2 == 0 ? scratch_a_ : scratch_b_;
     buf.clear();
     stages_[i]->process_block(cur, buf);

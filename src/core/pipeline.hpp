@@ -36,6 +36,10 @@
 #include "src/dsp/nco.hpp"
 #include "src/fixed/qformat.hpp"
 
+namespace twiddc::dsp {
+class CicDecimator;
+}
+
 namespace twiddc::core {
 
 /// One complex output sample (raw integers in the plan's output width).
@@ -183,6 +187,13 @@ class Stage {
   virtual void reset() = 0;
   [[nodiscard]] virtual int decimation() const = 0;
   [[nodiscard]] virtual const std::string& label() const = 0;
+
+  /// Packed-execution hook: the stage's CIC kernel when (and only when) the
+  /// stage is a fixed-point CIC decimator, else nullptr.  ChannelBank uses
+  /// it to run 4 channels' integrator cascades per AVX2 register; mutating
+  /// the kernel through this pointer is equivalent to feeding the stage the
+  /// same samples minus the stage's output conditioning.
+  [[nodiscard]] virtual dsp::CicDecimator* cic_kernel() { return nullptr; }
 };
 
 /// Builds the fixed-point (int64) realisation of a stage spec.
@@ -213,6 +224,18 @@ class StageChain {
   /// Registers (or clears, with nullptr) the observation tap of stage `i`.
   void set_tap(std::size_t i, std::vector<T>* sink) { taps_.at(i) = sink; }
   void clear_taps();
+  [[nodiscard]] bool has_taps() const {
+    for (const auto* t : taps_)
+      if (t) return true;
+    return false;
+  }
+
+  /// Packed-execution hook: process_block starting at stage `first` -- the
+  /// caller has already run stages [0, first) itself (e.g. the cross-channel
+  /// packed CIC).  Taps of the skipped stages are NOT fed; callers must
+  /// check has_taps() before splitting a chain.
+  void process_block_from(std::size_t first, std::span<const T> in,
+                          std::vector<T>& out);
 
   /// True when every stage can splice to the matching spec (same count,
   /// structurally compatible stage by stage).
@@ -283,6 +306,20 @@ class DdcPipeline {
 
   /// Observation tap for the in-phase mixer output (nullptr disables).
   void set_mixer_tap(std::vector<std::int64_t>* sink) { mixer_tap_ = sink; }
+
+  // Packed-execution hooks (core::ChannelBank cross-channel kernels).  A
+  // packed caller drives the front end itself -- nco().next_block + the
+  // shared mixer -- runs stage 0 through the stages' cic_kernel()s, and
+  // finishes each rail with rail(r).process_block_from(1, ...).  It must
+  // then call note_packed_block so the sample counters stay equivalent to a
+  // process_block call.
+  [[nodiscard]] dsp::Nco& nco() { return nco_; }
+  [[nodiscard]] const dsp::ComplexMixer& mixer() const { return mixer_; }
+  [[nodiscard]] bool has_mixer_tap() const { return mixer_tap_ != nullptr; }
+  void note_packed_block(std::uint64_t in, std::uint64_t out) {
+    samples_in_ += in;
+    samples_out_ += out;
+  }
 
  private:
   ChainPlan plan_;

@@ -44,6 +44,20 @@ class CicDecimator {
   /// Block helper: feeds all of `in`, appends produced outputs to a vector.
   std::vector<std::int64_t> process(const std::vector<std::int64_t>& in);
 
+  /// Cross-channel packed kernel: advances FOUR independent decimators in
+  /// lockstep, one AVX2 register holding the four lanes' integrator state per
+  /// cascade stage.  The integrator cascade is a loop-carried dependency
+  /// chain, so it cannot vectorise along time within one lane -- across
+  /// lanes it packs perfectly.  Requires all four lanes to share geometry
+  /// (stages, decimation, diff_delay, register width, no pruning) and
+  /// decimation phase; returns false without touching any state when the
+  /// lanes are not packable, AVX2 is not compiled in, or the simd kill
+  /// switch is off -- callers then fall back to four process_block calls,
+  /// which are bit-exact with the packed path.
+  static bool process_block_packed4(CicDecimator* const lanes[4],
+                                    const std::int64_t* const in[4], std::size_t n,
+                                    std::vector<std::int64_t>* const out[4]);
+
   void reset();
 
   /// DC gain (R*M)^N before any pruning shifts.

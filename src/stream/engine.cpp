@@ -5,6 +5,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
+#include "src/core/plan_compiler.hpp"
 
 namespace twiddc::stream {
 
@@ -507,7 +508,23 @@ std::string StreamEngine::stats_json() const {
       .field("tasks_executed", static_cast<std::size_t>(sched_stats.executed))
       .field("tasks_stolen", static_cast<std::size_t>(sched_stats.stolen))
       .field("targeted_wakeups", static_cast<std::size_t>(sched_stats.wakeups));
-  std::string out = "{\"engine\": " + engine_line.str() + ", \"sessions\": [";
+  // The compiled-plan cache is process-wide (sessions resolve their plans
+  // through it in configure/retune), so its stats describe every engine in
+  // the process, not just this one.
+  const core::CompiledPlanCache::Stats cache = core::CompiledPlanCache::instance().stats();
+  JsonLine cache_line;
+  cache_line.field("lookups", static_cast<std::size_t>(cache.lookups))
+      .field("hits", static_cast<std::size_t>(cache.hits))
+      .field("misses", static_cast<std::size_t>(cache.misses))
+      .field("evictions", static_cast<std::size_t>(cache.evictions))
+      .field("hit_rate", cache.lookups > 0 ? static_cast<double>(cache.hits) /
+                                                 static_cast<double>(cache.lookups)
+                                           : 0.0)
+      .field("compile_seconds", cache.compile_seconds)
+      .field("entries", cache.entries)
+      .field("capacity", cache.capacity);
+  std::string out = "{\"engine\": " + engine_line.str() +
+                    ", \"plan_cache\": " + cache_line.str() + ", \"sessions\": [";
   bool first = true;
   for (const auto& s : snapshot()) {
     if (!first) out += ", ";

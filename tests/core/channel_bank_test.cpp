@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
 #include "src/dsp/signal.hpp"
@@ -213,18 +214,25 @@ TEST(ChannelBank, StolenTilesKeepOutputsBitExact) {
   sharded.process_block(input, got);
   for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
 
-  // The calling thread only ever executes by stealing, so the counter
-  // proves tiles really migrated between executors.
+  // The calling thread only ever executes by stealing.  Whether it wins a
+  // steal race within one block is timing-dependent (a fast pool worker can
+  // drain every tile first), so stream more blocks -- comparing every one --
+  // until the counter proves tiles really migrated between executors.
   ASSERT_NE(sharded.scheduler(), nullptr);
+  for (int round = 0; round < 50 && sharded.scheduler()->stats().stolen == 0;
+       ++round) {
+    serial.process_block(input, want);
+    sharded.process_block(input, got);
+    for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
+  }
   EXPECT_GE(sharded.scheduler()->stats().stolen, 1u);
   EXPECT_GE(sharded.scheduler()->stats().executed, plans.size());
 
-  // Streaming a second block through the same bank stays exact too (chain
+  // Streaming a further block through the same bank stays exact too (chain
   // state carried across process_block calls).
-  std::vector<std::vector<IqSample>> want2 = want;
-  serial.process_block(input, want2);
+  serial.process_block(input, want);
   sharded.process_block(input, got);
-  for (std::size_t c = 0; c < want2.size(); ++c) expect_equal(got[c], want2[c], c);
+  for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
 }
 
 TEST(ChannelBank, SingleChannelPathMatchesSolo) {
@@ -262,6 +270,115 @@ TEST(ChannelBank, EmptyInputProducesNoOutput) {
   ASSERT_EQ(got.size(), 2u);
   EXPECT_TRUE(got[0].empty());
   EXPECT_TRUE(got[1].empty());
+}
+
+// --------------------------------------------------- cross-channel packing
+//
+// Eight identical-geometry figure-1 channels form two packed quads; the
+// earlier BatchEqualsIndependentRuns/ShardedEqualsSerial tests already run
+// through the packed path (4 and 5 detuned channels), so these focus on the
+// packing-specific seams: remainder lanes, the kill switch, partial blocks,
+// fallback triggers, and the sample counters.
+
+void expect_bank_matches_solo(const std::vector<ChainPlan>& plans,
+                              const std::vector<std::int64_t>& input,
+                              int workers) {
+  ChannelBank bank(plans, workers);
+  std::vector<std::vector<IqSample>> got;
+  bank.process_block(input, got);
+  ASSERT_EQ(got.size(), plans.size());
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    DdcPipeline solo(plans[c]);
+    std::vector<IqSample> want;
+    solo.process_block(input, want);
+    expect_equal(got[c], want, c);
+    EXPECT_EQ(bank.channel(c).samples_in(), solo.samples_in()) << "channel " << c;
+    EXPECT_EQ(bank.channel(c).samples_out(), solo.samples_out()) << "channel " << c;
+  }
+}
+
+TEST(ChannelBank, PackedQuadsWithRemainderLanesMatchSolo) {
+  // 9 channels: two full quads + one leftover single lane.  Uneven block
+  // size exercises the packed tile loop's partial final tile.
+  expect_bank_matches_solo(detuned_plans(9), stimulus(2688 * 4 + 1337), 1);
+}
+
+TEST(ChannelBank, PackedParallelMatchesSolo) {
+  expect_bank_matches_solo(detuned_plans(9), stimulus(2688 * 4 + 1337), 3);
+}
+
+TEST(ChannelBank, PackedKillSwitchFallsBackBitExact) {
+  // With simd disabled process_block_packed4 declines and every lane runs
+  // the scalar per-channel path -- outputs and counters must not change.
+  simd::ScopedEnable guard(false);
+  expect_bank_matches_solo(detuned_plans(8), stimulus(2688 * 3 + 17), 1);
+}
+
+TEST(ChannelBank, MixedGeometriesGroupSeparately) {
+  // Two CIC geometries (4 + 3 channels) plus skew: group keys must keep
+  // them apart (one quad, and 3 singles or a partial group), still exact.
+  const auto spec = DatapathSpec::wide16();
+  std::vector<ChainPlan> plans = detuned_plans(4);
+  auto alt = DdcConfig::reference(10.0e6);
+  alt.cic2_decimation = 8;
+  alt.fir_decimation = 4;
+  for (int c = 0; c < 3; ++c) {
+    auto ch = alt;
+    ch.nco_freq_hz += 55.0e3 * c;
+    plans.push_back(ChainPlan::figure1(ch, spec));
+  }
+  expect_bank_matches_solo(plans, stimulus(2688 * 4), 2);
+}
+
+TEST(ChannelBank, ObservationTapsForceTheUnpackedPath) {
+  // A mid-chain tap needs the full per-channel stage walk; the tapped
+  // channel must fall out of the quad but still produce identical output.
+  const auto plans = detuned_plans(5);
+  const auto input = stimulus(2688 * 3);
+
+  ChannelBank bank(plans, 1);
+  std::vector<std::int64_t> tapped;
+  bank.channel(2).rail(0).set_tap(0, &tapped);
+  std::vector<std::vector<IqSample>> got;
+  bank.process_block(input, got);
+  EXPECT_FALSE(tapped.empty());  // the tap really fired
+
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    DdcPipeline solo(plans[c]);
+    std::vector<IqSample> want;
+    solo.process_block(input, want);
+    expect_equal(got[c], want, c);
+  }
+}
+
+TEST(ChannelBank, PackedStreamingSeamsCarryState) {
+  // Feed the same data as one block and as three ragged blocks through
+  // packed banks: CIC phase (samples_in % decimation) differs mid-stream,
+  // so regrouping must key on it and stay exact.
+  const auto plans = detuned_plans(8);
+  const auto input = stimulus(2688 * 4 + 100);
+
+  ChannelBank whole(plans, 1);
+  std::vector<std::vector<IqSample>> want;
+  whole.process_block(input, want);
+
+  ChannelBank chunked(plans, 1);
+  std::vector<std::vector<IqSample>> got;
+  const std::size_t cut1 = 1234;  // not a multiple of any decimation
+  const std::size_t cut2 = 2688 * 2 + 7;
+  chunked.process_block({input.data(), cut1}, got);
+  chunked.process_block({input.data() + cut1, cut2 - cut1}, got);
+  chunked.process_block({input.data() + cut2, input.size() - cut2}, got);
+  for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
+}
+
+TEST(ChannelBank, PackedRejectsOutOfRangeInputPerLane) {
+  const auto plans = detuned_plans(4);
+  auto input = stimulus(512);
+  input[128] = std::int64_t{1} << 30;  // beyond the 12-bit front end
+  ChannelBank bank(plans, 1);
+  std::vector<std::vector<IqSample>> got;
+  EXPECT_THROW(bank.process_block(input, got), twiddc::SimulationError);
 }
 
 }  // namespace

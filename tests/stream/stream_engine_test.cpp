@@ -19,6 +19,7 @@
 #include "src/core/backend.hpp"
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
+#include "src/core/plan_compiler.hpp"
 #include "src/dsp/signal.hpp"
 #include "src/stream/sink.hpp"
 #include "src/stream/source.hpp"
@@ -669,6 +670,33 @@ TEST_F(StreamEngineTest, StatsJsonDescribesEverySession) {
   EXPECT_NE(json.find("\"quantum_blocks\""), std::string::npos);
   EXPECT_NE(json.find("\"tasks_executed\""), std::string::npos);
   EXPECT_NE(json.find("\"targeted_wakeups\""), std::string::npos);
+}
+
+TEST_F(StreamEngineTest, SixtyFourIdenticalSessionsCompileOnePlan) {
+  // The plan-cache acceptance case: 64 sessions with the same config must
+  // resolve to ONE CompiledPlan -- 1 miss (the first open compiles) and 63
+  // hits.  The cache is process-wide, so assert on counter deltas after a
+  // clear().
+  auto& cache = core::CompiledPlanCache::instance();
+  cache.clear();
+  const auto before = cache.stats();
+
+  StreamEngine engine(std::make_unique<VectorSource>(make_feed(2688)));
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int s = 0; s < 64; ++s)
+    sessions.push_back(engine.open(figure1_plan(), backends::kNative));
+
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 63u);
+  EXPECT_EQ(after.lookups - before.lookups, 64u);
+
+  // The engine surfaces the cache counters alongside its own stats.
+  const std::string json = engine.stats_json();
+  EXPECT_NE(json.find("\"plan_cache\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"compile_seconds\""), std::string::npos);
 }
 
 TEST_F(StreamEngineTest, CollectingSinkAdapterMatchesDrainAll) {
