@@ -24,7 +24,10 @@
 // schema plus the "simd" tag.  PR 6 adds "figure1:fused_vs_staged" (plan
 // compiler's fused tile executor vs the staged pipeline, bit-exactness
 // asserted inline) and "plan_cache" (compile-time amortisation: 64 sessions
-// sharing one config vs 64 distinct configs).
+// sharing one config vs 64 distinct configs).  PR 7 adds
+// "stream_engine:overload" (survivor p99 inter-chunk gap at 2x
+// oversubscription, one line with "shed": false and one with "shed": true --
+// the graceful-degradation headline).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "src/stream/engine.hpp"
+#include "src/stream/sink.hpp"
 #include "src/stream/source.hpp"
 
 #include "bench/bench_util.hpp"
@@ -496,6 +500,98 @@ void bench_stream_sessions() {
   }
 }
 
+// ---------------------------------------------------- overload / shedding
+//
+// Survivor tail latency at 2x oversubscription: `hw` weight-4 sessions are
+// actively drained (the survivors) while `hw` weight-1 sessions are paused
+// dead clients whose kBlock input rings fill and park the pump -- the
+// overload the watchdog's shedding exists to break.  The same setup runs
+// with shedding off and on; the probe is the p99 inter-chunk arrival gap
+// pooled across survivors (LatencyRecorder, tail gap included, so a stalled
+// survivor's silence is charged to the distribution).  With shedding off
+// the survivors starve behind the parked pump; with it on the watchdog
+// discards the victims' backlogs (GapCause::kShed in their streams) and the
+// survivors keep flowing.
+
+void bench_stream_overload() {
+  twiddc::backends::register_builtin();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  const int hw = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  constexpr std::chrono::milliseconds kWindow{300};
+
+  for (const bool shed : {false, true}) {
+    twiddc::stream::EngineOptions opts;
+    opts.workers = hw;
+    opts.block_samples = 4096;
+    opts.session_queue_blocks = 4;
+    opts.watchdog_interval_us = 500;
+    opts.shed_enabled = shed;
+    opts.shed_pump_stall_ms = 5;
+    opts.shed_queue_fraction = 0.5;
+    twiddc::stream::StreamEngine engine(
+        std::make_unique<twiddc::stream::ToneSource>(10.0025e6, cfg.input_rate_hz,
+                                                     12, 0.7),
+        opts);
+
+    std::vector<std::shared_ptr<twiddc::stream::Session>> survivors;
+    for (int s = 0; s < 2 * hw; ++s) {
+      auto ch_cfg = cfg;
+      ch_cfg.nco_freq_hz = cfg.nco_freq_hz + 25.0e3 * static_cast<double>(s);
+      auto session = engine.open(twiddc::core::ChainPlan::figure1(ch_cfg, spec),
+                                 twiddc::backends::kNative);
+      if (s < hw) {
+        session->set_weight(4);
+        survivors.push_back(std::move(session));
+      } else {
+        session->set_weight(1);
+        session->set_paused(true);  // dead client: never polls, ring fills
+      }
+    }
+
+    twiddc::stream::LatencyRecorder recorder;
+    engine.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 < kWindow) {
+      for (const auto& s : survivors)
+        for (auto& chunk : s->poll())
+          recorder.on_chunk(s->id(), std::move(chunk));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    recorder.close_window();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    engine.stop();
+
+    std::vector<std::uint64_t> ids;
+    std::uint64_t survivor_chunks = 0;
+    std::uint64_t survivor_samples = 0;
+    for (const auto& s : survivors) {
+      ids.push_back(s->id());
+      survivor_chunks += recorder.chunks(s->id());
+      survivor_samples += recorder.samples(s->id());
+    }
+    JsonLine j;
+    j.field("bench", std::string("throughput_pipeline"))
+        .field("chain", std::string("stream_engine:overload"))
+        .field("shed", shed)
+        .field("sessions", static_cast<std::size_t>(2 * hw))
+        .field("workers", static_cast<std::size_t>(hw))
+        .field("block_samples", opts.block_samples)
+        .field("window_ms", static_cast<std::size_t>(kWindow.count()))
+        .field("survivor_p50_gap_ms", recorder.gap_quantile_ms(ids, 0.50))
+        .field("survivor_p99_gap_ms", recorder.gap_quantile_ms(ids, 0.99))
+        .field("survivor_chunks", static_cast<std::size_t>(survivor_chunks))
+        .field("survivor_ksamples_per_s",
+               elapsed > 0.0 ? static_cast<double>(survivor_samples) / elapsed / 1e3
+                             : 0.0)
+        .field("shed_events", static_cast<std::size_t>(engine.shed_events()))
+        .field("shed_blocks", static_cast<std::size_t>(engine.shed_blocks()))
+        .field("simd", twiddc::simd::isa_name());
+    j.print();
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -516,5 +612,6 @@ int main() {
   bench_channel_bank();
   bench_channel_bank_skewed();
   bench_stream_sessions();
+  bench_stream_overload();
   return 0;
 }

@@ -503,4 +503,19 @@ void register_builtin() {
   registry.add(kMontium, [] { return std::make_unique<MontiumBackend>(); });
 }
 
+void register_decorated(
+    const std::string& name, const std::string& inner,
+    std::function<std::unique_ptr<core::ArchitectureBackend>(
+        std::unique_ptr<core::ArchitectureBackend>)>
+        decorate) {
+  auto& registry = core::BackendRegistry::instance();
+  if (!registry.contains(inner))
+    throw ConfigError("register_decorated: unknown inner backend '" + inner + "'");
+  // The inner factory is looked up at create() time (not captured), so a
+  // later re-registration of `inner` flows through the decoration too.
+  registry.add(name, [inner, decorate = std::move(decorate)] {
+    return decorate(core::BackendRegistry::instance().create(inner));
+  });
+}
+
 }  // namespace twiddc::backends

@@ -19,6 +19,10 @@
 //                    configuration reload, the paper's 1110-byte blob).
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <string>
+
 #include "src/core/backend.hpp"
 
 namespace twiddc::backends {
@@ -34,5 +38,17 @@ inline constexpr const char* kMontium = "montium";
 /// Registers every built-in backend with core::BackendRegistry::instance().
 /// Idempotent; call before iterating the registry.
 void register_builtin();
+
+/// Registers `name` as a decorated twin of the already-registered backend
+/// `inner`: create(name) builds a fresh create(inner) instance and passes it
+/// through `decorate`.  The seam the stream-layer fault injector uses to put
+/// a misbehaving shim in front of ANY backend without the backend knowing;
+/// also usable for tracing/metering wrappers.  Re-registration by name
+/// follows the registry's last-wins rule.
+void register_decorated(
+    const std::string& name, const std::string& inner,
+    std::function<std::unique_ptr<core::ArchitectureBackend>(
+        std::unique_ptr<core::ArchitectureBackend>)>
+        decorate);
 
 }  // namespace twiddc::backends

@@ -1,6 +1,7 @@
-// twiddc -- error types shared across the library.
+// twiddc -- error types and the fault taxonomy shared across the library.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -19,6 +20,51 @@ class ConfigError : public std::runtime_error {
 class SimulationError : public std::runtime_error {
  public:
   explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Where a runtime fault was caught.  Exceptions from a backend or source
+/// never propagate out of the stream layer; they are converted at the
+/// session (or engine) boundary into a FaultInfo carrying one of these
+/// causes, and the enclosing component degrades per policy instead of
+/// unwinding the whole engine.  Stable numeric codes (error_code) are part
+/// of the wire/stats surface -- append-only.
+enum class FaultCause : std::uint8_t {
+  kNone = 0,              ///< no fault recorded
+  kBackendConfigure = 1,  ///< ArchitectureBackend::configure threw (restart path)
+  kBackendProcess = 2,    ///< ArchitectureBackend::process_block threw
+  kBackendSwap = 3,       ///< swap_plan threw something *other* than a
+                          ///< lowering/config rejection (those are rejected
+                          ///< retunes, not faults: the old plan stays active)
+  kSource = 4,            ///< Source::read threw (engine-level: the feed ends)
+  kStall = 5,             ///< watchdog: progress heartbeat frozen past timeout
+  kInternal = 6,          ///< exception escaped a service pass outside the
+                          ///< per-call catch sites (incl. foreign exceptions)
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultCause cause) {
+  switch (cause) {
+    case FaultCause::kNone: return "none";
+    case FaultCause::kBackendConfigure: return "backend_configure";
+    case FaultCause::kBackendProcess: return "backend_process";
+    case FaultCause::kBackendSwap: return "backend_swap";
+    case FaultCause::kSource: return "source";
+    case FaultCause::kStall: return "stall";
+    case FaultCause::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr int error_code(FaultCause cause) {
+  return static_cast<int>(cause);
+}
+
+/// One recorded fault: what failed, where in the stream, and the diagnostic.
+struct FaultInfo {
+  FaultCause cause = FaultCause::kNone;
+  std::uint64_t block_index = 0;  ///< blocks processed (session) / pumped
+                                  ///< (engine) when the fault was caught
+  std::string what;               ///< exception message (or a synthesised one
+                                  ///< for foreign exceptions)
 };
 
 }  // namespace twiddc

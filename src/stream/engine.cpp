@@ -22,6 +22,9 @@ StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options
       std::max<std::size_t>(2, options_.session_output_chunks);
   options_.session_quantum_blocks =
       std::max<std::size_t>(1, options_.session_quantum_blocks);
+  options_.default_restart.max_restarts =
+      std::max(0, options_.default_restart.max_restarts);
+  options_.shed_queue_fraction = std::clamp(options_.shed_queue_fraction, 0.05, 1.0);
   link_->engine = this;
 }
 
@@ -49,6 +52,7 @@ std::shared_ptr<Session> StreamEngine::open(const core::ChainPlan& plan,
       static_cast<int>(session->id() % static_cast<std::uint64_t>(options_.workers)),
       std::memory_order_release);
   session->set_attached(workers_live_);
+  session->set_restart_policy(options_.default_restart);
   sessions_.push_back(session);
   sessions_gen_.fetch_add(1, std::memory_order_release);
   return session;
@@ -84,6 +88,8 @@ void StreamEngine::start() {
   // chunk or a parked retune is serviced without waiting for fresh feed.
   for (auto& s : sessions) schedule_session(*s);
   pump_thread_ = std::thread([this] { pump_loop(); });
+  if (options_.watchdog_interval_us > 0)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
 }
 
 void StreamEngine::stop() {
@@ -92,6 +98,15 @@ void StreamEngine::stop() {
   stop_.store(true, std::memory_order_release);
   notify_output();
   for (auto& s : snapshot()) s->in_ring_.wake();  // a kBlock pump push may park here
+  {
+    // The empty critical section orders our notify after a watchdog that was
+    // between its stop_ check and its wait; either way it sees stop_ set.
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+  }
+  watchdog_cv_.notify_all();
+  // Join the watchdog BEFORE the scheduler dies: its restart kicks call
+  // schedule_session, which needs the scheduler alive.
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   if (pump_thread_.joinable()) pump_thread_.join();
   {
     // Client nudges must stop reaching the scheduler before it dies.
@@ -142,8 +157,11 @@ bool StreamEngine::finished(const Session& session) const {
   // produced, so an empty output ring read *afterwards* really is final.
   // busy_ is set before the worker pops and cleared after the chunk is
   // delivered or stashed; has_pending_chunk_ covers the stashed window.
+  // A quarantined session is input-terminal too: its backlog was discarded
+  // and the pump skips it, so waiting on its input side would hang a drain.
+  // (Queued output stays pollable, exactly like a closed session's.)
   const bool input_done =
-      session.closed() ||
+      session.closed() || session.health() == SessionHealth::kQuarantined ||
       (feed_exhausted() && session.in_ring_.size() == 0 &&
        !session.busy_.load(std::memory_order_acquire) &&
        !session.has_pending_chunk_.load(std::memory_order_acquire));
@@ -178,8 +196,36 @@ void StreamEngine::pump_loop() {
       // a restarted stream loses nothing.
       block = carry_->block;
     } else {
-      const std::size_t n = source_->read(buffer);
+      std::size_t n = 0;
+      try {
+        n = source_->read(buffer);
+      } catch (const std::exception& e) {
+        // Contain a source failure as an engine-level fault: the feed ends
+        // as if exhausted (sessions drain their queues and finish cleanly)
+        // and the diagnostic is kept, instead of std::terminate taking the
+        // whole process down from a detached pump thread.
+        {
+          std::lock_guard<std::mutex> lock(source_fault_mu_);
+          source_fault_ = FaultInfo{
+              FaultCause::kSource, blocks_pumped_.load(std::memory_order_relaxed),
+              std::string("source read: ") + e.what()};
+        }
+        source_faults_.fetch_add(1, std::memory_order_relaxed);
+        exhausted = true;
+        break;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(source_fault_mu_);
+          source_fault_ = FaultInfo{
+              FaultCause::kSource, blocks_pumped_.load(std::memory_order_relaxed),
+              "source read: foreign exception"};
+        }
+        source_faults_.fetch_add(1, std::memory_order_relaxed);
+        exhausted = true;
+        break;
+      }
       if (n == 0) {
+        // End of stream, by contract a clean exit: EOF is never a fault.
         exhausted = true;
         break;
       }
@@ -198,6 +244,13 @@ void StreamEngine::pump_loop() {
     for (std::size_t k = 0; k < live.size(); ++k) {
       Session& s = *live[k];
       if (s.closed()) continue;  // may close mid-fan-out
+      // Quarantined/faulted sessions are out of the feed (their backlog was
+      // discarded); a kBackoff session keeps receiving -- its ring buffers
+      // the stream across the restart window.
+      const auto health = s.health();
+      if (health == SessionHealth::kQuarantined ||
+          health == SessionHealth::kFaulted)
+        continue;
       if (resuming &&
           std::find(carry_->served.begin(), carry_->served.end(), s.id()) !=
               carry_->served.end())
@@ -230,20 +283,46 @@ bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
   FeedBlock copy = block;  // cheap: a seq and a shared_ptr
   if (s.policy_ == BackpressurePolicy::kBlock) {
     // Conservative flow control: a full ring stalls the pump -- and with it
-    // the whole feed -- until the session's worker catches up.
+    // the whole feed -- until the session's worker catches up.  The stall is
+    // published (session id + park time) so the watchdog's overload pass can
+    // see WHO is holding the feed hostage and shed its backlog.
+    bool stall_published = false;
+    const auto unpublish = [&] {
+      if (stall_published) pump_stalled_on_.store(0, std::memory_order_release);
+    };
     for (;;) {
       const auto token = s.in_ring_.wake_token();
-      if (s.in_ring_.closed()) return true;  // session closed: nothing owed
-      if (stop_.load(std::memory_order_acquire))
+      if (s.in_ring_.closed()) {
+        unpublish();
+        return true;  // session closed: nothing owed
+      }
+      if (s.health() == SessionHealth::kQuarantined) {
+        unpublish();
+        return true;  // quarantined mid-wait: it left the feed
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        unpublish();
         return false;  // run ended mid-push: the pump carries this block over
+      }
       if (s.in_ring_.try_push(std::move(copy))) break;
+      if (!stall_published) {
+        pump_stall_since_ns_.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count(),
+            std::memory_order_release);
+        pump_stalled_on_.store(s.id() + 1, std::memory_order_release);
+        stall_published = true;
+      }
       s.in_ring_.wait(token);
     }
+    unpublish();
   } else {
     // Shed load instead of stalling: evict the oldest queued block.  The
     // loss surfaces in-stream as gap metadata on the session's next chunk.
     for (;;) {
       if (s.in_ring_.closed()) return true;
+      if (s.health() == SessionHealth::kQuarantined) return true;
       if (s.in_ring_.try_push(std::move(copy))) break;
       if (auto old = s.in_ring_.try_pop()) {
         s.stats_.input_drop_blocks.fetch_add(1, std::memory_order_relaxed);
@@ -324,15 +403,17 @@ void StreamEngine::run_session(common::TaskScheduler& sched,
         static_cast<std::size_t>(s.weight_.load(std::memory_order_acquire));
     try {
       requeue = service(s, quantum);
-    } catch (...) {
-      // service() handles backend std::exceptions itself; anything that
-      // still escapes (a foreign exception type, an allocation failure in
-      // the handler) must not skip the epilogue below -- the scheduler
+    } catch (const std::exception& e) {
+      // service() converts backend exceptions at their call sites; anything
+      // that still escapes must not skip the epilogue below -- the scheduler
       // would swallow it and leave sched_state_ stuck at kRunning, a
-      // permanently unserviceable session stalling a kBlock feed.  Fail
-      // the session instead.
+      // permanently unserviceable session stalling a kBlock feed.  Convert
+      // it to a typed fault instead of dropping it.
       s.busy_.store(false, std::memory_order_release);
-      s.record_failure("service: unexpected exception");
+      s.fault(FaultCause::kInternal, std::string("service: ") + e.what());
+    } catch (...) {
+      s.busy_.store(false, std::memory_order_release);
+      s.fault(FaultCause::kInternal, "service: foreign exception");
     }
   }
   // Wake output waiters AFTER the final busy_/has_pending_chunk_ stores --
@@ -355,17 +436,57 @@ void StreamEngine::run_session(common::TaskScheduler& sched,
   submit_session_task(sched, sp, /*yield_lane=*/true);
 }
 
+bool StreamEngine::try_restart(Session& s) {
+  if (!s.restart_due(std::chrono::steady_clock::now())) return false;
+  try {
+    // Copy before configure: the backend replaces its stored plan mid-call,
+    // so configure(backend->plan()) would read a dying object.
+    const core::ChainPlan plan = s.backend_->plan();
+    // Re-lowering goes through configure, hence (for the compiled backends)
+    // through the process-wide CompiledPlanCache -- a restart of one of N
+    // identical sessions re-links the shared artifact, it does not recompile.
+    s.backend_->configure(plan);
+  } catch (const std::exception& e) {
+    s.fault(FaultCause::kBackendConfigure,
+            std::string("restart configure: ") + e.what());
+    return false;
+  } catch (...) {
+    s.fault(FaultCause::kBackendConfigure, "restart configure: foreign exception");
+    return false;
+  }
+  s.complete_restart();
+  return true;
+}
+
 bool StreamEngine::service(Session& s, std::size_t budget) {
   s.apply_pending_retune();
   // A chunk stashed on an earlier pass (kBlock ring was full) must deliver
-  // before any new block is processed -- stream order.  If the ring is
+  // before any new block is processed -- stream order, and a pre-fault
+  // chunk stays deliverable whatever the health state.  If the ring is
   // still full the session stays parked; a poll() re-schedules it.
   if (s.pending_chunk_.has_value() && !deliver_chunk(s)) return false;
+  switch (s.health()) {
+    case SessionHealth::kHealthy:
+      break;
+    case SessionHealth::kBackoff:
+      // The timed retry: re-lower the plan and resume at the next block
+      // boundary, or stay parked until the watchdog re-kicks us.
+      if (!try_restart(s)) return false;
+      break;
+    case SessionHealth::kQuarantined:
+    case SessionHealth::kFaulted:
+      return false;  // parked; restart()/close() are the only exits
+  }
   std::size_t processed = 0;
   for (;;) {
-    if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused())
+    if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused() ||
+        s.health() != SessionHealth::kHealthy)
       return false;
     if (processed >= budget) return s.in_ring_.size() > 0;
+    // The watchdog's stall detector keys on this: heartbeat_ advancing
+    // means the loop is alive; heartbeat_ frozen while busy_ stays up means
+    // the backend call below never returned.
+    s.heartbeat_.fetch_add(1, std::memory_order_release);
     s.busy_.store(true, std::memory_order_release);
     auto block = s.in_ring_.try_pop();
     if (!block) {
@@ -412,13 +533,46 @@ bool StreamEngine::service(Session& s, std::size_t budget) {
       s.pending_evicted_feed_samples_ = 0;
       s.pending_output_marker_lost_ = false;
     }
+    // Shed losses: the watchdog discarded queued feed (which also shows up
+    // as a seq gap above); kShed overrides the generic kDropOldest cause
+    // but yields to retune/fault markers, and the sample tally is additive.
+    const std::uint64_t shed =
+        s.pending_shed_samples_.exchange(0, std::memory_order_relaxed);
+    if (shed > 0) {
+      if (chunk.gap_before == GapCause::kNone ||
+          chunk.gap_before == GapCause::kDropOldest)
+        chunk.gap_before = GapCause::kShed;
+      chunk.dropped_feed_samples += shed;
+    }
+    // Strongest cause last: the first chunk after a fault restart marks the
+    // resume point (the faulted block's samples are part of the loss).
+    if (s.pending_fault_gap_) {
+      chunk.gap_before = GapCause::kFault;
+      s.pending_fault_gap_ = false;
+      chunk.dropped_feed_samples += s.pending_fault_lost_samples_;
+      s.pending_fault_lost_samples_ = 0;
+    }
     if (chunk.gap_before != GapCause::kNone)
       s.stats_.gaps.fetch_add(1, std::memory_order_relaxed);
     try {
       s.backend_->process_block(*block->samples, chunk.iq);
     } catch (const std::exception& e) {
-      s.record_failure(std::string("process_block: ") + e.what());
+      // The faulting block is consumed, not retried: a deterministic
+      // failure (this very block, this plan) would otherwise re-fire on
+      // every restart forever.  Its samples -- and any loss tallies the
+      // discarded chunk was already carrying -- ride the next chunk's
+      // kFault gap.
+      s.pending_fault_lost_samples_ +=
+          block->samples->size() + chunk.dropped_feed_samples;
       s.busy_.store(false, std::memory_order_release);
+      s.fault(FaultCause::kBackendProcess,
+              std::string("process_block: ") + e.what());
+      return false;
+    } catch (...) {
+      s.pending_fault_lost_samples_ +=
+          block->samples->size() + chunk.dropped_feed_samples;
+      s.busy_.store(false, std::memory_order_release);
+      s.fault(FaultCause::kBackendProcess, "process_block: foreign exception");
       return false;
     }
     s.stats_.blocks_processed.fetch_add(1, std::memory_order_relaxed);
@@ -480,6 +634,138 @@ void StreamEngine::notify_output() {
   output_epoch_->notify_all();
 }
 
+// --------------------------------------------------------------- watchdog
+
+std::uint64_t StreamEngine::shed_backlog(Session& s) {
+  std::uint64_t blocks = 0;
+  std::uint64_t samples = 0;
+  while (auto old = s.in_ring_.try_pop()) {
+    ++blocks;
+    samples += old->samples->size();
+  }
+  if (blocks == 0) return 0;
+  shed_events_.fetch_add(1, std::memory_order_relaxed);
+  shed_blocks_.fetch_add(blocks, std::memory_order_relaxed);
+  shed_samples_.fetch_add(samples, std::memory_order_relaxed);
+  s.note_shed(samples);
+  // The pump may be parked on this very ring (kBlock): the drain made room,
+  // wake it.  Output waiters learn about the state change too.
+  s.in_ring_.wake();
+  notify_output();
+  return blocks;
+}
+
+bool StreamEngine::shed_one(const std::vector<std::shared_ptr<Session>>& sessions) {
+  // The shedding contract: lowest weight first (weight is the only priority
+  // knob a session has), ties broken toward the newest id -- deterministic,
+  // and long-lived sessions win over late joiners.
+  std::shared_ptr<Session> victim;
+  for (const auto& s : sessions) {
+    if (s->closed()) continue;
+    const auto h = s->health();
+    if (h == SessionHealth::kQuarantined || h == SessionHealth::kFaulted) continue;
+    if (s->in_ring_.size() == 0) continue;
+    if (!victim || s->weight() < victim->weight() ||
+        (s->weight() == victim->weight() && s->id() > victim->id()))
+      victim = s;
+  }
+  return victim && shed_backlog(*victim) > 0;
+}
+
+void StreamEngine::watchdog_loop() {
+  const auto interval = std::chrono::microseconds(
+      std::max<std::size_t>(100, options_.watchdog_interval_us));
+  const auto stall_timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
+  const auto pump_stall_limit =
+      std::chrono::milliseconds(options_.shed_pump_stall_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, interval, [this] {
+        return stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    watchdog_ticks_.fetch_add(1, std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    const auto sessions = snapshot();
+
+    // 1. Timed kBackoff restarts: kick the session's worker; the service
+    //    pass does the actual re-configure (only workers touch backends).
+    for (const auto& s : sessions)
+      if (!s->closed() && s->restart_due(now)) schedule_session(*s);
+
+    // 2. Stall quarantine: heartbeat frozen while busy_ stays up means a
+    //    backend call never returned.  Quarantine unhooks the session from
+    //    the feed and the drains; the hostage worker thread itself is only
+    //    reclaimed when (if) the call returns -- see DESIGN.md.
+    if (options_.stall_timeout_ms > 0) {
+      for (const auto& s : sessions) {
+        if (s->closed() || s->health() != SessionHealth::kHealthy) continue;
+        const std::uint64_t hb = s->heartbeat_.load(std::memory_order_acquire);
+        if (!s->busy_.load(std::memory_order_acquire) || hb != s->wd_heartbeat_) {
+          s->wd_heartbeat_ = hb;
+          s->wd_busy_since_ = now;
+          continue;
+        }
+        if (now - s->wd_busy_since_ >= stall_timeout) {
+          stall_quarantines_.fetch_add(1, std::memory_order_relaxed);
+          s->quarantine(FaultCause::kStall,
+                        "watchdog: no progress for " +
+                            std::to_string(options_.stall_timeout_ms) +
+                            " ms inside a backend call");
+        }
+      }
+    }
+
+    // 3. Overload shedding -- only while the feed is live (a post-exhaustion
+    //    backlog is drainage, not overload).
+    if (options_.shed_enabled && !feed_exhausted()) {
+      // Trigger A: the pump has been parked in one session's kBlock push
+      // too long.  That session is stalling the whole feed; shed ITS
+      // backlog (whatever its weight) to unblock everyone else.
+      const std::uint64_t parked_on = pump_stalled_on_.load(std::memory_order_acquire);
+      if (parked_on != 0) {
+        const auto since = std::chrono::steady_clock::time_point(
+            std::chrono::nanoseconds(
+                pump_stall_since_ns_.load(std::memory_order_acquire)));
+        if (now - since >= pump_stall_limit) {
+          for (const auto& s : sessions) {
+            if (s->id() + 1 == parked_on) {
+              shed_backlog(*s);
+              break;
+            }
+          }
+        }
+      }
+      // Trigger B: aggregate input occupancy over the threshold -- shed
+      // lowest-weight backlogs until back under (or nobody is sheddable).
+      for (;;) {
+        std::size_t queued = 0;
+        std::size_t capacity = 0;
+        for (const auto& s : sessions) {
+          if (s->closed()) continue;
+          const auto h = s->health();
+          if (h == SessionHealth::kQuarantined || h == SessionHealth::kFaulted)
+            continue;
+          queued += s->in_ring_.size();
+          capacity += options_.session_queue_blocks;
+        }
+        if (capacity == 0 ||
+            static_cast<double>(queued) <=
+                options_.shed_queue_fraction * static_cast<double>(capacity))
+          break;
+        if (!shed_one(sessions)) break;
+      }
+    }
+  }
+}
+
+FaultInfo StreamEngine::source_fault() const {
+  std::lock_guard<std::mutex> lock(source_fault_mu_);
+  return source_fault_;
+}
+
 // ------------------------------------------------------------------- stats
 
 std::string StreamEngine::stats_json() const {
@@ -508,6 +794,40 @@ std::string StreamEngine::stats_json() const {
       .field("tasks_executed", static_cast<std::size_t>(sched_stats.executed))
       .field("tasks_stolen", static_cast<std::size_t>(sched_stats.stolen))
       .field("targeted_wakeups", static_cast<std::size_t>(sched_stats.wakeups));
+  // Fault-containment counters.  faults/restarts aggregate the LIVE
+  // sessions (a closed, pruned session takes its share with it); the
+  // watchdog/shed/source counters are engine-owned and cumulative.
+  {
+    std::uint64_t faults = 0;
+    std::uint64_t restarts = 0;
+    std::size_t quarantined = 0;
+    for (const auto& s : snapshot()) {
+      const SessionStats st = s->stats();
+      faults += st.faults;
+      restarts += st.restarts;
+      if (s->health() == SessionHealth::kQuarantined) ++quarantined;
+    }
+    const FaultInfo src = source_fault();
+    engine_line.field("faults", static_cast<std::size_t>(faults))
+        .field("restarts", static_cast<std::size_t>(restarts))
+        .field("quarantined", quarantined)
+        .field("stall_quarantines",
+               static_cast<std::size_t>(
+                   stall_quarantines_.load(std::memory_order_relaxed)))
+        .field("shed_events",
+               static_cast<std::size_t>(shed_events_.load(std::memory_order_relaxed)))
+        .field("shed_blocks",
+               static_cast<std::size_t>(shed_blocks_.load(std::memory_order_relaxed)))
+        .field("shed_samples",
+               static_cast<std::size_t>(shed_samples_.load(std::memory_order_relaxed)))
+        .field("watchdog_ticks",
+               static_cast<std::size_t>(
+                   watchdog_ticks_.load(std::memory_order_relaxed)))
+        .field("source_faults",
+               static_cast<std::size_t>(
+                   source_faults_.load(std::memory_order_relaxed)))
+        .field("source_fault_cause", to_string(src.cause));
+  }
   // The compiled-plan cache is process-wide (sessions resolve their plans
   // through it in configure/retune), so its stats describe every engine in
   // the process, not just this one.
@@ -530,6 +850,7 @@ std::string StreamEngine::stats_json() const {
     if (!first) out += ", ";
     first = false;
     const SessionStats st = s->stats();
+    const FaultInfo fault = s->last_fault();
     JsonLine line;
     line.field("id", static_cast<std::size_t>(s->id()))
         .field("backend", s->backend_name())
@@ -556,6 +877,13 @@ std::string StreamEngine::stats_json() const {
         .field("gaps", static_cast<std::size_t>(st.gaps))
         .field("last_retune_block", static_cast<std::size_t>(st.last_retune_block))
         .field("service_passes", static_cast<std::size_t>(st.service_passes))
+        .field("health", to_string(s->health()))
+        .field("faults", static_cast<std::size_t>(st.faults))
+        .field("restarts", static_cast<std::size_t>(st.restarts))
+        .field("shed_events", static_cast<std::size_t>(st.shed_events))
+        .field("shed_samples", static_cast<std::size_t>(st.shed_samples))
+        .field("last_fault_cause", to_string(fault.cause))
+        .field("last_fault_block", static_cast<std::size_t>(fault.block_index))
         .field("msamples_per_s",
                elapsed > 0.0
                    ? static_cast<double>(st.samples_processed) / elapsed / 1e6

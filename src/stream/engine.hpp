@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,6 +57,31 @@ struct EngineOptions {
   /// (Session::set_weight scales it).  Bounds how long any one backlogged
   /// session can hold a worker while others are runnable.
   std::size_t session_quantum_blocks = 4;
+
+  /// Restart policy stamped onto every session at open() (Session::
+  /// set_restart_policy overrides per session).  Default kFail: a backend
+  /// exception closes that one session, typed via last_fault().
+  RestartOptions default_restart;
+  /// Watchdog tick (microseconds; 0 disables the thread).  The watchdog
+  /// drives timed kBackoff restarts, stall quarantine and overload shedding;
+  /// with it disabled, backoff restarts still happen on poll()/feed nudges.
+  std::size_t watchdog_interval_us = 1000;
+  /// Quarantine a session whose progress heartbeat freezes mid-block for
+  /// this long (a backend stuck inside process_block).  0 disables.  The
+  /// stuck pass still occupies its worker thread until the call returns --
+  /// quarantine unblocks the pump and the drains, not the hostage worker.
+  std::size_t stall_timeout_ms = 10000;
+  /// Overload shedding (off by default: kBlock's stall-everyone semantics
+  /// are the conservative contract).  When enabled, the watchdog sheds the
+  /// input backlog of the lowest-weight sessions first -- see DESIGN.md
+  /// "Fault containment & graceful degradation".
+  bool shed_enabled = false;
+  /// Shed when aggregate queued input exceeds this fraction of aggregate
+  /// input-ring capacity across open sessions.
+  double shed_queue_fraction = 0.75;
+  /// Also shed when the pump has been stuck in one session's kBlock
+  /// enqueue for this long (a dead client holding the whole feed hostage).
+  std::size_t shed_pump_stall_ms = 50;
 };
 
 class StreamEngine {
@@ -106,6 +132,21 @@ class StreamEngine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  /// The fault that ended the feed, if Source::read ever threw: the pump
+  /// contains a source exception as an engine-level fault (the feed ends as
+  /// if exhausted, sessions drain cleanly) instead of letting it escape a
+  /// detached thread.  cause == kNone when the feed is healthy.
+  [[nodiscard]] FaultInfo source_fault() const;
+
+  /// Watchdog/shedding counters (engine totals; per-session counters are in
+  /// each session's stats()).
+  [[nodiscard]] std::uint64_t shed_events() const {
+    return shed_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_blocks() const {
+    return shed_blocks_.load(std::memory_order_relaxed);
+  }
+
   /// Serving snapshot as one JSON object: engine totals (including
   /// scheduler counters) plus one entry per session (stats + derived
   /// throughput).  Poll-safe from any thread.
@@ -148,6 +189,20 @@ class StreamEngine {
   /// when the session should be re-queued immediately (quantum exhausted
   /// with input still queued).
   bool service(Session& session, std::size_t budget);
+  /// kBackoff sessions only: if the timed retry is due, re-lowers the plan
+  /// through backend configure (hence the process-wide CompiledPlanCache)
+  /// and returns true on recovery.  Worker thread (it touches the backend).
+  bool try_restart(Session& session);
+  /// The watchdog thread: timed kBackoff restarts, stall quarantine,
+  /// overload shedding.  Runs between start() and stop().
+  void watchdog_loop();
+  /// One shedding decision: picks the lowest-weight open session with
+  /// queued input (ties broken toward the newest id) and discards its
+  /// backlog.  Returns false when nobody is sheddable.
+  bool shed_one(const std::vector<std::shared_ptr<Session>>& sessions);
+  /// Discards `session`'s queued input (watchdog thread; ring pops are
+  /// MPMC-safe against the worker).  Returns the blocks discarded.
+  std::uint64_t shed_backlog(Session& session);
   /// Returns false only when stop() aborted a kBlock wait mid-push: the
   /// pump records the fan-out position so the next run resumes it.
   bool enqueue(Session& session, const FeedBlock& block);
@@ -166,6 +221,10 @@ class StreamEngine {
   std::unique_ptr<Source> source_;
   std::shared_ptr<EngineLink> link_;
   std::thread pump_thread_;
+  std::thread watchdog_thread_;
+  /// Wakes the watchdog out of its tick sleep at stop() (and re-arms it).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
 
   /// Serialises start()/stop()/destruction (and the scheduler-counter part
   /// of stats_json).  Never held while scheduling work.
@@ -200,6 +259,27 @@ class StreamEngine {
   std::atomic<bool> stop_{true};  ///< false only while a run is live
   std::atomic<bool> feed_done_{false};
   std::atomic<std::uint64_t> blocks_pumped_{0};
+
+  /// Engine-level fault record (Source::read threw); guarded by
+  /// source_fault_mu_, written only by the pump.
+  mutable std::mutex source_fault_mu_;
+  FaultInfo source_fault_{};
+  std::atomic<std::uint64_t> source_faults_{0};
+
+  // Watchdog / shedding totals (cumulative across runs; sessions that are
+  // closed and pruned keep their share here even after they leave
+  // stats_json's per-session list).
+  std::atomic<std::uint64_t> watchdog_ticks_{0};
+  std::atomic<std::uint64_t> stall_quarantines_{0};
+  std::atomic<std::uint64_t> shed_events_{0};
+  std::atomic<std::uint64_t> shed_blocks_{0};
+  std::atomic<std::uint64_t> shed_samples_{0};
+
+  /// Pump kBlock-wait publication for the watchdog's pump-stall shed
+  /// trigger: the session id + 1 the pump is parked on (0 = not parked) and
+  /// when it parked (steady_clock nanos).
+  std::atomic<std::uint64_t> pump_stalled_on_{0};
+  std::atomic<std::int64_t> pump_stall_since_ns_{0};
   /// Rewritten by every start(); guarded by lifecycle_mu_ (the engine is
   /// restartable, so there is no publish-once story for this field).
   std::chrono::steady_clock::time_point run_start_time_{};

@@ -1,0 +1,300 @@
+#include "src/stream/fault_injector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "src/backends/builtin.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace twiddc::stream {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kProcess: return "process";
+    case FaultSite::kConfigure: return "configure";
+    case FaultSite::kSwap: return "swap";
+    case FaultSite::kRead: return "read";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kShortOutput: return "short_output";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kEof: return "eof";
+  }
+  return "unknown";
+}
+
+struct FaultInjector::State {
+  std::uint64_t seed = 0;
+  std::atomic<std::uint64_t> instances{0};
+  std::atomic<std::uint64_t> throws_fired{0};
+  std::atomic<std::uint64_t> stalls_fired{0};
+  std::atomic<std::uint64_t> short_outputs_fired{0};
+  std::atomic<std::uint64_t> corruptions_fired{0};
+  std::atomic<std::uint64_t> eofs_fired{0};
+};
+
+namespace {
+
+/// Does the schedule fire on call index `k` (given `fired` prior firings)?
+bool due(const FaultSpec& spec, std::uint64_t k, std::uint64_t fired) {
+  if (fired >= spec.max_fires || k < spec.first) return false;
+  if (spec.period == 0) return k == spec.first;
+  return (k - spec.first) % spec.period == 0;
+}
+
+/// Shared per-wrapped-instance plumbing: the rng stream (seeded by injector
+/// seed and wrap order) and the fired tallies routed to the injector state.
+struct InjectionContext {
+  InjectionContext(std::shared_ptr<FaultInjector::State> state, FaultSpec spec)
+      : state(std::move(state)),
+        spec(std::move(spec)),
+        rng(this->state->seed +
+            0x9e3779b97f4a7c15ull *
+                (this->state->instances.fetch_add(1, std::memory_order_relaxed) + 1)) {}
+
+  void count(FaultKind kind) {
+    switch (kind) {
+      case FaultKind::kThrow:
+        state->throws_fired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kStall:
+        state->stalls_fired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kShortOutput:
+        state->short_outputs_fired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kCorrupt:
+        state->corruptions_fired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kEof:
+        state->eofs_fired.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  [[nodiscard]] std::int64_t corrupt_value() {
+    const int bits = std::clamp(spec.corrupt_bits, 1, 62);
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    return rng.uniform_int(-hi - 1, hi);
+  }
+
+  std::shared_ptr<FaultInjector::State> state;
+  FaultSpec spec;
+  Rng rng;
+  std::uint64_t fired = 0;
+};
+
+/// Decorates a real backend with the fault schedule.  Call counters are
+/// per-site; only the spec's site is scheduled, everything else forwards
+/// verbatim.  The session layer serialises all lifecycle calls on one
+/// component, so plain counters suffice.
+class FaultyBackend final : public core::ArchitectureBackend {
+ public:
+  FaultyBackend(std::unique_ptr<core::ArchitectureBackend> inner,
+                std::shared_ptr<FaultInjector::State> state, FaultSpec spec)
+      : inner_(std::move(inner)),
+        ctx_(std::move(state), std::move(spec)),
+        name_(inner_->name() + "+faulty") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] core::BackendCapabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+  [[nodiscard]] core::DatapathSpec datapath() const override {
+    return inner_->datapath();
+  }
+  [[nodiscard]] core::ChainPlan plan_for(const core::DdcConfig& config) const override {
+    return inner_->plan_for(config);
+  }
+  [[nodiscard]] bool is_configured() const override { return inner_->is_configured(); }
+  [[nodiscard]] const core::ChainPlan& plan() const override { return inner_->plan(); }
+  void reset() override { inner_->reset(); }
+  [[nodiscard]] double output_scale() const override { return inner_->output_scale(); }
+  [[nodiscard]] core::BackendPowerProfile power_profile() const override {
+    return inner_->power_profile();
+  }
+
+  void configure(const core::ChainPlan& plan) override {
+    // Fires BEFORE touching the inner backend so a thrown configure leaves
+    // whatever was configured untouched (mirrors the real failure mode the
+    // restart path must survive).
+    maybe_fire(FaultSite::kConfigure, configure_calls_++);
+    inner_->configure(plan);
+  }
+
+  void swap_plan(const core::ChainPlan& plan, core::SwapMode mode) override {
+    maybe_fire(FaultSite::kSwap, swap_calls_++);
+    inner_->swap_plan(plan, mode);
+  }
+
+  void process_block(std::span<const std::int64_t> in,
+                     std::vector<core::IqSample>& out) override {
+    const std::uint64_t k = process_calls_++;
+    if (ctx_.spec.site != FaultSite::kProcess || !due(ctx_.spec, k, ctx_.fired)) {
+      inner_->process_block(in, out);
+      return;
+    }
+    ctx_.fired++;
+    ctx_.count(ctx_.spec.kind);
+    switch (ctx_.spec.kind) {
+      case FaultKind::kThrow:
+        throw SimulationError(ctx_.spec.what + " (process_block #" +
+                              std::to_string(k) + ")");
+      case FaultKind::kStall:
+        std::this_thread::sleep_for(ctx_.spec.stall);
+        inner_->process_block(in, out);
+        return;
+      case FaultKind::kShortOutput: {
+        const std::size_t before = out.size();
+        inner_->process_block(in, out);
+        const std::size_t appended = out.size() - before;
+        out.resize(before + appended / 2);
+        return;
+      }
+      case FaultKind::kCorrupt: {
+        const std::size_t before = out.size();
+        inner_->process_block(in, out);
+        for (std::size_t j = before; j < out.size(); ++j) {
+          out[j].i = ctx_.corrupt_value();
+          out[j].q = ctx_.corrupt_value();
+        }
+        return;
+      }
+      case FaultKind::kEof:
+        // Source-only kind; FaultInjector::wrap rejects it, but stay safe.
+        inner_->process_block(in, out);
+        return;
+    }
+  }
+
+ private:
+  void maybe_fire(FaultSite site, std::uint64_t k) {
+    if (ctx_.spec.site != site || !due(ctx_.spec, k, ctx_.fired)) return;
+    ctx_.fired++;
+    const char* site_name = to_string(site);
+    switch (ctx_.spec.kind) {
+      case FaultKind::kThrow:
+        ctx_.count(FaultKind::kThrow);
+        throw SimulationError(ctx_.spec.what + " (" + site_name + " #" +
+                              std::to_string(k) + ")");
+      case FaultKind::kStall:
+        ctx_.count(FaultKind::kStall);
+        std::this_thread::sleep_for(ctx_.spec.stall);
+        return;
+      default:
+        // Short/corrupt have no payload at configure/swap; nothing to do.
+        return;
+    }
+  }
+
+  std::unique_ptr<core::ArchitectureBackend> inner_;
+  InjectionContext ctx_;
+  std::string name_;
+  std::uint64_t process_calls_ = 0;
+  std::uint64_t configure_calls_ = 0;
+  std::uint64_t swap_calls_ = 0;
+};
+
+/// Decorates a feed source.  Only the pump thread calls read(), so plain
+/// counters suffice here too.
+class FaultySource final : public Source {
+ public:
+  FaultySource(std::unique_ptr<Source> inner,
+               std::shared_ptr<FaultInjector::State> state, FaultSpec spec)
+      : inner_(std::move(inner)), ctx_(std::move(state), std::move(spec)) {}
+
+  std::size_t read(std::span<std::int64_t> out) override {
+    const std::uint64_t k = calls_++;
+    if (eof_latched_) return 0;
+    if (!due(ctx_.spec, k, ctx_.fired)) return inner_->read(out);
+    ctx_.fired++;
+    ctx_.count(ctx_.spec.kind);
+    switch (ctx_.spec.kind) {
+      case FaultKind::kThrow:
+        throw SimulationError(ctx_.spec.what + " (read #" + std::to_string(k) + ")");
+      case FaultKind::kStall:
+        std::this_thread::sleep_for(ctx_.spec.stall);
+        return inner_->read(out);
+      case FaultKind::kShortOutput: {
+        const std::size_t half = std::max<std::size_t>(1, out.size() / 2);
+        return inner_->read(out.first(half));
+      }
+      case FaultKind::kCorrupt: {
+        const std::size_t n = inner_->read(out);
+        for (std::size_t j = 0; j < n; ++j) out[j] = ctx_.corrupt_value();
+        return n;
+      }
+      case FaultKind::kEof:
+        eof_latched_ = true;
+        return 0;
+    }
+    return inner_->read(out);
+  }
+
+ private:
+  std::unique_ptr<Source> inner_;
+  InjectionContext ctx_;
+  std::uint64_t calls_ = 0;
+  bool eof_latched_ = false;
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : state_(std::make_shared<State>()) {
+  state_->seed = seed;
+}
+
+std::uint64_t FaultInjector::seed() const { return state_->seed; }
+
+std::unique_ptr<core::ArchitectureBackend> FaultInjector::wrap(
+    std::unique_ptr<core::ArchitectureBackend> inner, FaultSpec spec) {
+  if (spec.kind == FaultKind::kEof)
+    throw ConfigError("FaultInjector::wrap: kEof is a source-only fault kind");
+  if (spec.site == FaultSite::kRead)
+    throw ConfigError("FaultInjector::wrap: kRead is a source-only fault site");
+  return std::make_unique<FaultyBackend>(std::move(inner), state_, std::move(spec));
+}
+
+std::unique_ptr<Source> FaultInjector::wrap_source(std::unique_ptr<Source> inner,
+                                                   FaultSpec spec) {
+  spec.site = FaultSite::kRead;
+  return std::make_unique<FaultySource>(std::move(inner), state_, std::move(spec));
+}
+
+std::string FaultInjector::register_faulty_backend(const std::string& inner_name,
+                                                   FaultSpec spec) {
+  if (spec.kind == FaultKind::kEof)
+    throw ConfigError("register_faulty_backend: kEof is a source-only fault kind");
+  if (spec.site == FaultSite::kRead)
+    throw ConfigError("register_faulty_backend: kRead is a source-only fault site");
+  const std::uint64_t n = state_->instances.load(std::memory_order_relaxed);
+  const std::string name = inner_name + "+faulty" + std::to_string(n);
+  backends::register_decorated(
+      name, inner_name,
+      [state = state_, spec = std::move(spec)](
+          std::unique_ptr<core::ArchitectureBackend> inner) {
+        return std::make_unique<FaultyBackend>(std::move(inner), state, spec);
+      });
+  return name;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  Counters c;
+  c.throws_fired = state_->throws_fired.load(std::memory_order_relaxed);
+  c.stalls_fired = state_->stalls_fired.load(std::memory_order_relaxed);
+  c.short_outputs_fired = state_->short_outputs_fired.load(std::memory_order_relaxed);
+  c.corruptions_fired = state_->corruptions_fired.load(std::memory_order_relaxed);
+  c.eofs_fired = state_->eofs_fired.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace twiddc::stream

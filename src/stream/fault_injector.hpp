@@ -1,0 +1,109 @@
+// twiddc::stream -- deterministic fault injection for the streaming layer.
+//
+// The supervision machinery in engine/session (fault states, restart
+// policies, the watchdog) is only trustworthy if it can be driven through
+// every failure path on demand.  FaultInjector builds misbehaving twins of
+// real components: a wrapped ArchitectureBackend that throws, stalls,
+// truncates or corrupts at chosen call indices, and a wrapped Source that
+// does the same to the feed.  Everything is deterministic -- the schedule
+// is an explicit (first, period, max_fires) triple per FaultSpec, and
+// corrupted payloads come from common/rng.hpp seeded off the injector seed
+// and the wrap order -- so a failing injection run replays bit-for-bit.
+//
+// Wrapped backends can also be registered with the BackendRegistry (via the
+// backends::register_decorated seam), which makes them openable by name
+// through the normal StreamEngine::open() path: the engine under test runs
+// unmodified production code.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/backend.hpp"
+#include "src/stream/source.hpp"
+
+namespace twiddc::stream {
+
+/// Which call the fault schedule counts and fires on.
+enum class FaultSite : std::uint8_t {
+  kProcess,    ///< ArchitectureBackend::process_block
+  kConfigure,  ///< ArchitectureBackend::configure (index 0 is the open()
+               ///< lowering; restarts re-enter here)
+  kSwap,       ///< ArchitectureBackend::swap_plan (retunes)
+  kRead,       ///< Source::read (wrap_source forces this site)
+};
+
+enum class FaultKind : std::uint8_t {
+  kThrow,        ///< throw SimulationError(what)
+  kStall,        ///< sleep `stall`, then behave normally (watchdog fodder)
+  kShortOutput,  ///< truncate the call's output to half (a short read/write)
+  kCorrupt,      ///< replace the call's output with in-range rng garbage
+  kEof,          ///< sources only: report end-of-stream from this read on
+};
+
+[[nodiscard]] const char* to_string(FaultSite site);
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One deterministic fault schedule: fire at call index `first` of `site`,
+/// then every `period` calls (0 = only once), at most `max_fires` times.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kThrow;
+  FaultSite site = FaultSite::kProcess;
+  std::uint64_t first = 0;
+  std::uint64_t period = 0;
+  std::uint64_t max_fires = ~std::uint64_t{0};
+  std::chrono::milliseconds stall{20};  ///< kStall duration
+  int corrupt_bits = 12;  ///< kCorrupt amplitude bound: garbage stays inside
+                          ///< this signed width (RF trash, not UB fodder)
+  std::string what = "injected fault";
+};
+
+/// Factory for misbehaving component twins.  Copyable handle; all copies
+/// share the fired-counters and the wrap-order seed sequence.  Thread-safe
+/// counters; wrap calls themselves are whatever-thread.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x5eedf417u);
+
+  [[nodiscard]] std::uint64_t seed() const;
+
+  /// Wraps a backend so `spec` fires on its lifecycle calls.  The wrapper
+  /// forwards everything else verbatim; name() gains a "+faulty" suffix.
+  [[nodiscard]] std::unique_ptr<core::ArchitectureBackend> wrap(
+      std::unique_ptr<core::ArchitectureBackend> inner, FaultSpec spec);
+
+  /// Wraps a feed source; spec.site is forced to kRead.
+  [[nodiscard]] std::unique_ptr<Source> wrap_source(std::unique_ptr<Source> inner,
+                                                    FaultSpec spec);
+
+  /// Registers a faulty twin of the registered backend `inner_name` under a
+  /// fresh unique name ("<inner>+faulty<n>") and returns that name -- open a
+  /// session on it through the normal engine path.  Every create() wraps a
+  /// fresh inner instance with its own call counters (and its own rng
+  /// stream, in wrap order).
+  [[nodiscard]] std::string register_faulty_backend(const std::string& inner_name,
+                                                    FaultSpec spec);
+
+  /// How many times each fault kind actually fired, across every component
+  /// this injector (and its copies) wrapped.
+  struct Counters {
+    std::uint64_t throws_fired = 0;
+    std::uint64_t stalls_fired = 0;
+    std::uint64_t short_outputs_fired = 0;
+    std::uint64_t corruptions_fired = 0;
+    std::uint64_t eofs_fired = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// Shared mutable injector state (seed, wrap counter, fired tallies).
+  /// Public only so the wrapper classes in the .cpp can hold it; not part of
+  /// the user-facing API.
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace twiddc::stream

@@ -17,6 +17,27 @@ const char* to_string(GapCause cause) {
     case GapCause::kNone: return "none";
     case GapCause::kDropOldest: return "drop_oldest";
     case GapCause::kRetuneFlush: return "retune_flush";
+    case GapCause::kShed: return "shed";
+    case GapCause::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* to_string(SessionHealth health) {
+  switch (health) {
+    case SessionHealth::kHealthy: return "healthy";
+    case SessionHealth::kBackoff: return "backoff";
+    case SessionHealth::kQuarantined: return "quarantined";
+    case SessionHealth::kFaulted: return "faulted";
+  }
+  return "unknown";
+}
+
+const char* to_string(RestartPolicy policy) {
+  switch (policy) {
+    case RestartPolicy::kFail: return "fail";
+    case RestartPolicy::kRestartWithBackoff: return "restart_with_backoff";
+    case RestartPolicy::kQuarantine: return "quarantine";
   }
   return "unknown";
 }
@@ -81,6 +102,10 @@ bool Session::retune(const core::ChainPlan& plan, core::SwapMode mode) {
     apply_swap_locked(request);
     const bool ok = retune_result_.value_or(false);
     retune_result_.reset();
+    auto swap_fault = std::move(pending_swap_fault_);
+    pending_swap_fault_.reset();
+    lock.unlock();
+    if (swap_fault) fault(FaultCause::kBackendSwap, std::move(*swap_fault));
     return ok;
   }
   pending_retune_.emplace(RetuneRequest{plan, mode});
@@ -105,16 +130,26 @@ bool Session::retune(const core::ChainPlan& plan, core::SwapMode mode) {
   }
   const bool ok = retune_result_.value_or(false);
   retune_result_.reset();
+  auto swap_fault = std::move(pending_swap_fault_);
+  pending_swap_fault_.reset();
+  lock.unlock();
+  if (swap_fault) fault(FaultCause::kBackendSwap, std::move(*swap_fault));
   return ok;
 }
 
 bool Session::apply_pending_retune() {
-  std::unique_lock<std::mutex> lock(control_mu_);
-  if (!pending_retune_.has_value()) return false;
-  const RetuneRequest request = std::move(*pending_retune_);
-  pending_retune_.reset();
-  apply_swap_locked(request);
-  control_cv_.notify_all();
+  std::optional<std::string> swap_fault;
+  {
+    std::unique_lock<std::mutex> lock(control_mu_);
+    if (!pending_retune_.has_value()) return false;
+    const RetuneRequest request = std::move(*pending_retune_);
+    pending_retune_.reset();
+    apply_swap_locked(request);
+    swap_fault = std::move(pending_swap_fault_);
+    pending_swap_fault_.reset();
+    control_cv_.notify_all();
+  }
+  if (swap_fault) fault(FaultCause::kBackendSwap, std::move(*swap_fault));
   return true;
 }
 
@@ -128,11 +163,23 @@ void Session::apply_swap_locked(const RetuneRequest& request) {
         std::memory_order_relaxed);
     if (request.mode == core::SwapMode::kFlush) pending_flush_gap_ = true;
     retune_result_ = true;
-  } catch (const std::exception& e) {
-    // swap_plan guarantees the old configuration stays active.
+  } catch (const ConfigError& e) {
+    // A lowering/config rejection is the swap contract working, not a
+    // fault: swap_plan guarantees the old configuration stays active and
+    // the session keeps streaming on it.  (LoweringError derives ConfigError.)
     last_error_ = e.what();
     stats_.retunes_rejected.fetch_add(1, std::memory_order_relaxed);
     retune_result_ = false;
+  } catch (const std::exception& e) {
+    // Anything else means the backend broke mid-swap; the caller converts
+    // the stash into a kBackendSwap fault after releasing control_mu_.
+    last_error_ = e.what();
+    retune_result_ = false;
+    pending_swap_fault_ = e.what();
+  } catch (...) {
+    last_error_ = "swap_plan: foreign exception";
+    retune_result_ = false;
+    pending_swap_fault_ = "swap_plan: foreign exception";
   }
 }
 
@@ -189,12 +236,139 @@ std::string Session::last_error() const {
   return last_error_;
 }
 
-void Session::record_failure(const std::string& what) {
+void Session::fault(FaultCause cause, std::string what) {
+  RestartPolicy policy;
   {
     std::lock_guard<std::mutex> lock(control_mu_);
-    last_error_ = what;
+    policy = restart_opts_.policy;
   }
-  close();
+  apply_fault_transition(
+      FaultInfo{cause, stats_.blocks_processed.load(std::memory_order_relaxed),
+                std::move(what)},
+      policy);
+}
+
+void Session::quarantine(FaultCause cause, std::string what) {
+  apply_fault_transition(
+      FaultInfo{cause, stats_.blocks_processed.load(std::memory_order_relaxed),
+                std::move(what)},
+      RestartPolicy::kQuarantine);
+}
+
+void Session::apply_fault_transition(FaultInfo info, RestartPolicy policy) {
+  bool do_close = false;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    last_error_ = info.what;
+    last_fault_ = std::move(info);
+    stats_.faults.fetch_add(1, std::memory_order_relaxed);
+    switch (policy) {
+      case RestartPolicy::kFail:
+        health_.store(static_cast<std::uint8_t>(SessionHealth::kFaulted),
+                      std::memory_order_release);
+        do_close = true;
+        break;
+      case RestartPolicy::kRestartWithBackoff:
+        if (restarts_done_ >= restart_opts_.max_restarts) {
+          health_.store(static_cast<std::uint8_t>(SessionHealth::kQuarantined),
+                        std::memory_order_release);
+        } else {
+          if (current_backoff_.count() <= 0)
+            current_backoff_ =
+                std::max(std::chrono::milliseconds{1}, restart_opts_.initial_backoff);
+          restart_at_ = std::chrono::steady_clock::now() + current_backoff_;
+          current_backoff_ = std::min(current_backoff_ * 2, restart_opts_.max_backoff);
+          health_.store(static_cast<std::uint8_t>(SessionHealth::kBackoff),
+                        std::memory_order_release);
+        }
+        break;
+      case RestartPolicy::kQuarantine:
+        health_.store(static_cast<std::uint8_t>(SessionHealth::kQuarantined),
+                      std::memory_order_release);
+        break;
+    }
+    // A retune() parked on the mailbox must re-check: a quarantined session
+    // still applies pending retunes on its next service pass, but a kFail
+    // close below is terminal.
+    control_cv_.notify_all();
+  }
+  if (do_close) {
+    close();
+    return;
+  }
+  if (health() == SessionHealth::kQuarantined) {
+    // Quarantine freezes the stream: free the queued feed blocks (the pump
+    // stops feeding us, and nothing else would release the shared buffers).
+    while (in_ring_.try_pop()) {
+    }
+  }
+  // A kBlock pump wait on our full ring must re-check (quarantine removes us
+  // from the fan-out), and a drain blocked on the output eventcount must see
+  // the state change (finished() treats quarantine as input-terminal).
+  in_ring_.wake();
+  out_ring_.wake();
+  output_epoch_->fetch_add(1, std::memory_order_release);
+  output_epoch_->notify_all();
+}
+
+FaultInfo Session::last_fault() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return last_fault_;
+}
+
+void Session::set_restart_policy(const RestartOptions& options) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  restart_opts_ = options;
+  restart_opts_.max_restarts = std::max(0, options.max_restarts);
+  restart_opts_.initial_backoff =
+      std::max(std::chrono::milliseconds{0}, options.initial_backoff);
+  restart_opts_.max_backoff =
+      std::max(restart_opts_.initial_backoff, options.max_backoff);
+  // A policy change grants a fresh budget: restart() after set_restart_policy
+  // retries with the new counters.
+  restarts_done_ = 0;
+  current_backoff_ = restart_opts_.initial_backoff;
+}
+
+RestartOptions Session::restart_policy() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return restart_opts_;
+}
+
+bool Session::restart() {
+  if (closed()) return false;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    const auto h = health();
+    if (h == SessionHealth::kHealthy || h == SessionHealth::kFaulted) return false;
+    restart_at_ = std::chrono::steady_clock::now();  // retry immediately
+    health_.store(static_cast<std::uint8_t>(SessionHealth::kBackoff),
+                  std::memory_order_release);
+  }
+  request_service();
+  return true;
+}
+
+bool Session::restart_due(std::chrono::steady_clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return health() == SessionHealth::kBackoff && now >= restart_at_;
+}
+
+void Session::complete_restart() {
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    ++restarts_done_;
+    stats_.restarts.fetch_add(1, std::memory_order_relaxed);
+    health_.store(static_cast<std::uint8_t>(SessionHealth::kHealthy),
+                  std::memory_order_release);
+  }
+  pending_fault_gap_ = true;  // worker thread: mark the resume point in-stream
+}
+
+void Session::note_shed(std::uint64_t samples) {
+  stats_.shed_events.fetch_add(1, std::memory_order_relaxed);
+  stats_.shed_samples.fetch_add(samples, std::memory_order_relaxed);
+  pending_shed_samples_.fetch_add(samples, std::memory_order_relaxed);
 }
 
 void Session::note_queue_depth(std::uint64_t depth) {
@@ -223,6 +397,10 @@ SessionStats Session::stats() const {
   s.gaps = stats_.gaps.load(std::memory_order_relaxed);
   s.last_retune_block = stats_.last_retune_block.load(std::memory_order_relaxed);
   s.service_passes = stats_.service_passes.load(std::memory_order_relaxed);
+  s.faults = stats_.faults.load(std::memory_order_relaxed);
+  s.restarts = stats_.restarts.load(std::memory_order_relaxed);
+  s.shed_events = stats_.shed_events.load(std::memory_order_relaxed);
+  s.shed_samples = stats_.shed_samples.load(std::memory_order_relaxed);
   return s;
 }
 

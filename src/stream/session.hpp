@@ -32,9 +32,16 @@
 // retune surfaces as GapCause::kRetuneFlush on the first post-swap chunk (a
 // clean gap: the backend restarts its settling transient), a kSplice retune
 // is gap-free by construction.  See DESIGN.md "The stream layer".
+//
+// Fault containment: exceptions a backend throws during configure/
+// process_block/swap_plan are caught at the session boundary and walk the
+// SessionHealth state machine per the session's RestartPolicy -- they never
+// reach another session, the pump, or the client.  See DESIGN.md "Fault
+// containment & graceful degradation".
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -43,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/core/backend.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/stream/ring.hpp"
@@ -56,10 +64,49 @@ enum class GapCause : std::uint8_t {
   kNone,         ///< contiguous
   kDropOldest,   ///< feed blocks were evicted under kDropOldest backpressure
   kRetuneFlush,  ///< a kFlush retune restarted the backend's transient
+  kShed,         ///< the watchdog shed this session's input backlog (overload)
+  kFault,        ///< the session faulted and was restarted; the faulting
+                 ///< block (and any blocks lost while down) are gone
+};
+
+/// Session fault-state machine (see DESIGN.md "Fault containment"):
+///
+///   kHealthy --fault--> per RestartPolicy:
+///     kFail               -> kFaulted (terminal; session is closed)
+///     kRestartWithBackoff -> kBackoff -> (restart ok) -> kHealthy
+///                                     -> (restarts exhausted) -> kQuarantined
+///     kQuarantine         -> kQuarantined (parked; restart() revives)
+///
+/// A kQuarantined session stays open: queued output remains pollable and an
+/// explicit restart() moves it back to kBackoff for an immediate retry.
+enum class SessionHealth : std::uint8_t {
+  kHealthy = 0,
+  kBackoff = 1,      ///< faulted; a timed re-configure is scheduled
+  kQuarantined = 2,  ///< parked by policy, exhausted restarts, or the watchdog
+  kFaulted = 3,      ///< terminal (kFail policy); the session is closed
+};
+
+/// What the session boundary does with a caught backend/source exception.
+enum class RestartPolicy : std::uint8_t {
+  kFail = 0,                ///< close the session (the pre-supervision behaviour,
+                            ///< with the fault now typed instead of swallowed)
+  kRestartWithBackoff = 1,  ///< re-lower the plan (through the process-wide
+                            ///< CompiledPlanCache) after a bounded exponential
+                            ///< backoff and resume at the next block boundary
+  kQuarantine = 2,          ///< park the session; an operator restart() revives
+};
+
+struct RestartOptions {
+  RestartPolicy policy = RestartPolicy::kFail;
+  int max_restarts = 8;  ///< kRestartWithBackoff: quarantine after this many
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{1000};  ///< backoff doubles up to this
 };
 
 [[nodiscard]] const char* to_string(GapCause cause);
 [[nodiscard]] const char* to_string(BackpressurePolicy policy);
+[[nodiscard]] const char* to_string(SessionHealth health);
+[[nodiscard]] const char* to_string(RestartPolicy policy);
 
 /// One block of the shared wideband feed.  The sample buffer is shared
 /// (not copied) between every session the pump fans it out to.
@@ -105,6 +152,10 @@ struct SessionStats {
   std::uint64_t last_retune_block = 0; ///< blocks_processed when the last
                                        ///< retune was applied
   std::uint64_t service_passes = 0;    ///< scheduler passes that ran this session
+  std::uint64_t faults = 0;            ///< exceptions caught at the session boundary
+  std::uint64_t restarts = 0;          ///< successful kRestartWithBackoff recoveries
+  std::uint64_t shed_events = 0;       ///< watchdog backlog sheds
+  std::uint64_t shed_samples = 0;      ///< feed samples discarded by shedding
 };
 
 class StreamEngine;
@@ -192,6 +243,28 @@ class Session : public std::enable_shared_from_this<Session> {
 
   [[nodiscard]] SessionStats stats() const;
 
+  /// Current position in the fault-state machine.
+  [[nodiscard]] SessionHealth health() const {
+    return static_cast<SessionHealth>(health_.load(std::memory_order_acquire));
+  }
+
+  /// The last fault caught at this session's boundary (cause kNone if never
+  /// faulted).  Poll-safe from any thread.
+  [[nodiscard]] FaultInfo last_fault() const;
+
+  /// Sets what the session boundary does with the NEXT caught exception.
+  /// Takes effect immediately; legal any time (default comes from
+  /// EngineOptions::default_restart).
+  void set_restart_policy(const RestartOptions& options);
+  [[nodiscard]] RestartOptions restart_policy() const;
+
+  /// Operator revival of a kQuarantined (or still-backing-off) session: moves
+  /// it to kBackoff with an immediate retry, so the next service pass
+  /// re-lowers the plan and resumes.  Returns false when the session is
+  /// closed or healthy.  The restart counter is NOT reset; set_restart_policy
+  /// first to grant a fresh budget.
+  bool restart();
+
  private:
   friend class StreamEngine;
 
@@ -222,6 +295,10 @@ class Session : public std::enable_shared_from_this<Session> {
     std::atomic<std::uint64_t> gaps{0};
     std::atomic<std::uint64_t> last_retune_block{0};
     std::atomic<std::uint64_t> service_passes{0};
+    std::atomic<std::uint64_t> faults{0};
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<std::uint64_t> shed_events{0};
+    std::atomic<std::uint64_t> shed_samples{0};
   };
 
   struct RetuneRequest {
@@ -241,6 +318,26 @@ class Session : public std::enable_shared_from_this<Session> {
   /// The kFlush/kSplice application itself; control_mu_ must be held.
   void apply_swap_locked(const RetuneRequest& request);
 
+  /// Converts a caught exception into a FaultInfo and walks the fault-state
+  /// machine per restart_opts_.  Callable from any thread (the worker's
+  /// catch sites, the watchdog); never throws.
+  void fault(FaultCause cause, std::string what);
+  /// Forces kQuarantined regardless of policy (the watchdog's stall path:
+  /// a stuck backend cannot be restarted, only isolated).
+  void quarantine(FaultCause cause, std::string what);
+  /// Records a watchdog backlog shed: `samples` feed samples were discarded
+  /// from the input ring.  The loss surfaces on the next processed chunk as
+  /// GapCause::kShed.
+  void note_shed(std::uint64_t samples);
+  /// kBackoff bookkeeping for the watchdog / service pass: whether the timed
+  /// retry is due at `now`.
+  [[nodiscard]] bool restart_due(std::chrono::steady_clock::time_point now) const;
+  /// kBackoff -> kHealthy after a successful re-configure (worker thread).
+  void complete_restart();
+  /// Shared tail of fault()/quarantine(): state transition under control_mu_,
+  /// then the unlock-side effects (ring drain/wakes, drain notification).
+  void apply_fault_transition(FaultInfo info, RestartPolicy policy);
+
   /// Engine start/stop handshake: while attached, retunes go through the
   /// worker; while detached, retune() applies inline.
   void set_attached(bool attached);
@@ -250,7 +347,6 @@ class Session : public std::enable_shared_from_this<Session> {
   void request_service();
 
   void note_queue_depth(std::uint64_t depth);
-  void record_failure(const std::string& what);
 
   const std::uint64_t id_;
   const std::string backend_name_;
@@ -270,11 +366,22 @@ class Session : public std::enable_shared_from_this<Session> {
   std::atomic<bool> busy_{false};     ///< worker mid-block (for drain checks)
   std::atomic<bool> detached_{true};  ///< no workers attached (engine not running)
   std::atomic<std::uint64_t> pending_dropped_samples_{0};
+  std::atomic<std::uint8_t> health_{0};  ///< SessionHealth (kHealthy)
+  /// Progress heartbeat: bumped by the worker once per service-loop
+  /// iteration.  The watchdog flags a session whose heartbeat freezes while
+  /// busy_ stays up (a backend stuck inside process_block).
+  std::atomic<std::uint64_t> heartbeat_{0};
+  /// Feed samples the watchdog shed from the input ring, not yet surfaced
+  /// in-stream (watchdog writes, worker drains onto the next chunk).
+  std::atomic<std::uint64_t> pending_shed_samples_{0};
 
   // Worker-only state: the scheduler runs at most one service pass at a
   // time, and passes are ordered through the sched_state_ acquire/release
   // protocol, so no further synchronisation is needed.
   bool pending_flush_gap_ = false;
+  bool pending_fault_gap_ = false;  ///< first post-restart chunk marks kFault
+  std::uint64_t pending_fault_lost_samples_ = 0;  ///< feed samples the faulted
+                                                  ///< block(s) took with them
   std::uint64_t expected_seq_ = 0;  ///< next feed seq if the stream is contiguous
   bool have_seq_ = false;           ///< expected_seq_ valid (a block was processed)
   std::uint64_t pending_output_drop_samples_ = 0;  ///< evicted IQ, unreported
@@ -297,6 +404,21 @@ class Session : public std::enable_shared_from_this<Session> {
   std::optional<RetuneRequest> pending_retune_;
   std::optional<bool> retune_result_;
   std::string last_error_;
+  /// A swap_plan exception that was NOT a lowering rejection: stashed by
+  /// apply_swap_locked for the caller to convert into a kBackendSwap fault
+  /// once control_mu_ is released (the transition takes the lock itself).
+  std::optional<std::string> pending_swap_fault_;
+  // Fault bookkeeping, guarded by control_mu_ (watchdog reads are per-tick,
+  // so a shared mutex with the retune mailbox costs nothing measurable).
+  FaultInfo last_fault_;
+  RestartOptions restart_opts_;
+  int restarts_done_ = 0;
+  std::chrono::steady_clock::time_point restart_at_{};
+  std::chrono::milliseconds current_backoff_{0};
+
+  // Watchdog-thread-only stall-tracking state (one watchdog per engine).
+  std::uint64_t wd_heartbeat_ = 0;
+  std::chrono::steady_clock::time_point wd_busy_since_{};
 
   AtomicStats stats_;
   std::shared_ptr<EngineLink> link_;                         ///< scheduling nudges

@@ -18,8 +18,23 @@ class Source {
   virtual ~Source() = default;
 
   /// Fills up to out.size() samples (already quantised to the feed's input
-  /// width); returns the number written.  0 means end of stream -- the pump
-  /// stops asking.  Called only from the engine's pump thread.
+  /// width); returns the number written.  Called only from the engine's pump
+  /// thread.
+  ///
+  /// End-of-stream vs. error -- the contract the engine holds sources to:
+  ///
+  ///   * A SHORT read (0 < n < out.size()) is normal; the partial block is
+  ///     fanned out like any other and the pump simply asks again.
+  ///   * Returning 0 means CLEAN end of stream.  The pump stops asking, the
+  ///     feed drains, and every session finishes normally -- no gap markers,
+  ///     no fault state, bit-exact against a one-shot run of the same
+  ///     samples.  EOF is never an error.
+  ///   * THROWING means the feed broke.  The engine catches at the pump
+  ///     boundary, records a FaultCause::kSource FaultInfo (see
+  ///     StreamEngine::source_fault()), and then ends the feed exactly like
+  ///     EOF: sessions drain what was already pumped and finish.  Sessions
+  ///     are never faulted by a source failure -- the fault belongs to the
+  ///     engine, and the stream delivered so far stays valid.
   virtual std::size_t read(std::span<std::int64_t> out) = 0;
 };
 
