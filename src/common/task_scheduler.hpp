@@ -44,11 +44,44 @@ class TaskScheduler {
  public:
   using Task = std::function<void()>;
 
+  /// Elastic sizing.  The scheduler allocates (and spawns threads for)
+  /// max_workers slots up front; resize() flips how many are ACTIVE between
+  /// min_workers and max_workers at runtime.  A deactivated worker releases
+  /// its queues -- every queued node is forwarded to an active worker's
+  /// inbox -- and parks until reactivated, so shrink never strands work and
+  /// never blocks on a long-running task.  Parked threads cost one futex
+  /// wait each; the Chase-Lev arrays they retire stay owned by their deque
+  /// (the same retire path growth uses), so no reclamation race exists.
+  struct Options {
+    int initial = 0;      ///< starting active count (0 = default_worker_count)
+    int min_workers = 1;  ///< resize() floor (clamped >= 1)
+    int max_workers = 0;  ///< slot count (0 = max(initial, min_workers))
+    /// Pin each worker thread to its round-robin NUMA node
+    /// (topology::worker_node).  A no-op on single-node machines; workers
+    /// record their node id for stats either way.
+    bool pin_to_nodes = false;
+    /// Pin every worker to THIS node (kernel list index) instead of
+    /// round-robin -- the sharded-engine case where a whole scheduler
+    /// belongs to one node.  -1 = round-robin across nodes.
+    int preferred_node = -1;
+  };
+
   /// Counters for tests and stats_json (monotonic since construction).
   struct Stats {
     std::uint64_t executed = 0;  ///< tasks run to completion
     std::uint64_t stolen = 0;    ///< tasks taken from another queue's top
     std::uint64_t wakeups = 0;   ///< targeted eventcount bumps issued
+    std::uint64_t steal_failures = 0;  ///< full steal sweeps that found nothing
+    std::uint64_t resizes = 0;   ///< resize() calls that changed the count
+  };
+
+  /// Per-worker observability snapshot (approximate while work is in
+  /// flight): the queue depths the elastic policy feeds on, plus placement.
+  struct WorkerSnapshot {
+    std::size_t queue_depth = 0;  ///< deque + inbox entries
+    bool active = false;
+    bool sleeping = false;
+    int node = 0;  ///< NUMA node this worker is assigned (and maybe pinned) to
   };
 
   /// Fork-join completion tracker.  expect() the task count, have each task
@@ -105,7 +138,10 @@ class TaskScheduler {
     std::shared_ptr<State> state_;
   };
 
-  /// Spawns `threads` persistent workers (clamped to >= 1).
+  /// Spawns max_workers persistent worker threads, `initial` of them active.
+  explicit TaskScheduler(Options opts);
+  /// Fixed-size compatibility ctor: `threads` workers (clamped to >= 1),
+  /// min == max, so resize() is a no-op.  What ChannelBank wants.
   explicit TaskScheduler(int threads);
   /// Joins the workers.  Shutdown is a drain, not a drop: each worker
   /// finishes the tasks already visible in its queues before exiting (it
@@ -130,7 +166,26 @@ class TaskScheduler {
   TaskScheduler(const TaskScheduler&) = delete;
   TaskScheduler& operator=(const TaskScheduler&) = delete;
 
-  [[nodiscard]] int workers() const { return static_cast<int>(workers_.size()); }
+  /// Currently ACTIVE worker count (the submit_to routing modulus).
+  [[nodiscard]] int workers() const {
+    return active_.load(std::memory_order_acquire);
+  }
+  /// Total worker slots (threads spawned); the resize() ceiling.
+  [[nodiscard]] int max_workers() const {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] int min_workers() const { return min_workers_; }
+
+  /// Sets the active worker count, clamped to [min_workers, max_workers].
+  /// Returns the effective count.  Thread-safe; serialized against other
+  /// resize() calls.  Shrunk workers forward their queued work to the
+  /// remaining active workers and park; grown workers resume stealing
+  /// immediately.  Tasks already RUNNING on a shrunk worker finish there.
+  int resize(int n);
+
+  /// Approximate per-worker queue depths and placement for all slots
+  /// (index order).  Lock-free reads; depths race benignly with execution.
+  [[nodiscard]] std::vector<WorkerSnapshot> worker_snapshot() const;
 
   /// Queues `t` on worker `w` (inbox, FIFO against other submissions) and
   /// wakes only that worker.  Any thread.  After the scheduler started
@@ -164,6 +219,8 @@ class TaskScheduler {
     s.executed = executed_.load(std::memory_order_relaxed);
     s.stolen = stolen_.load(std::memory_order_relaxed);
     s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    s.steal_failures = steal_failures_.load(std::memory_order_relaxed);
+    s.resizes = resizes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -200,6 +257,13 @@ class TaskScheduler {
       const std::size_t t = top_.load(std::memory_order_acquire);
       return static_cast<std::ptrdiff_t>(b - t) > 0;
     }
+    /// Racy-but-bounded entry count (stats / elastic policy input).
+    [[nodiscard]] std::size_t size_approx() const {
+      const std::size_t b = bottom_.load(std::memory_order_acquire);
+      const std::size_t t = top_.load(std::memory_order_acquire);
+      const auto d = static_cast<std::ptrdiff_t>(b - t);
+      return d > 0 ? static_cast<std::size_t>(d) : 0;
+    }
 
    private:
     struct Array {
@@ -232,6 +296,7 @@ class TaskScheduler {
     alignas(64) std::atomic<std::uint32_t> wake{0};  // per-worker eventcount
     std::atomic<bool> sleeping{false};
     std::atomic<bool> running{false};  ///< inside a task (inbox-steal gate)
+    int node = 0;  ///< NUMA node (set before the thread spawns; immutable)
     std::thread thread;
   };
 
@@ -252,8 +317,17 @@ class TaskScheduler {
   /// (a chain push, a drained batch) is not serialised on its owner.
   void maybe_wake_sleeper();
   [[nodiscard]] bool any_work_visible(const Worker& me) const;
+  /// Deactivated worker's release step: moves every node queued on `me`
+  /// (deque then inbox, order preserved per queue) to active workers'
+  /// inboxes with wakes.  Called only by me's own thread.
+  void forward_queues(Worker& me);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<int> active_{1};
+  int min_workers_ = 1;
+  bool pin_to_nodes_ = false;
+  int preferred_node_ = -1;
+  std::mutex resize_mu_;  ///< serializes resize(); never held by workers
   std::atomic<std::uint32_t> round_robin_{0};
   std::atomic<bool> stop_{false};
   std::atomic<int> sleepers_{0};
@@ -266,6 +340,8 @@ class TaskScheduler {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> steal_failures_{0};
+  std::atomic<std::uint64_t> resizes_{0};
 };
 
 }  // namespace twiddc::common

@@ -5,6 +5,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
+#include "src/common/topology.hpp"
 #include "src/core/plan_compiler.hpp"
 
 namespace twiddc::stream {
@@ -15,7 +16,16 @@ StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options
       link_(std::make_shared<EngineLink>()),
       output_epoch_(std::make_shared<std::atomic<std::uint32_t>>(0)) {
   if (!source_) throw ConfigError("StreamEngine: needs a source");
-  options_.workers = std::max(1, options_.workers);
+  // workers <= 0 means auto: TWIDDC_WORKERS env, else hardware concurrency.
+  if (options_.workers <= 0) options_.workers = common::default_worker_count();
+  options_.min_workers = std::clamp(options_.min_workers, 1, options_.workers);
+  options_.max_workers = options_.max_workers <= 0
+                             ? options_.workers
+                             : std::max(options_.max_workers, options_.workers);
+  options_.elastic_grow_depth = std::max(0.0, options_.elastic_grow_depth);
+  options_.elastic_shrink_depth = std::clamp(options_.elastic_shrink_depth, 0.0,
+                                             options_.elastic_grow_depth);
+  options_.elastic_hysteresis_ticks = std::max(1, options_.elastic_hysteresis_ticks);
   options_.block_samples = std::max<std::size_t>(1, options_.block_samples);
   options_.session_queue_blocks = std::max<std::size_t>(2, options_.session_queue_blocks);
   options_.session_output_chunks =
@@ -51,6 +61,11 @@ std::shared_ptr<Session> StreamEngine::open(const core::ChainPlan& plan,
   session->home_.store(
       static_cast<int>(session->id() % static_cast<std::uint64_t>(options_.workers)),
       std::memory_order_release);
+  // The session's stream starts at the current feed position: a migration
+  // ticket taken before any block arrives backfills nothing earlier.
+  session->feed_next_seq_.store(blocks_pumped_.load(std::memory_order_acquire),
+                                std::memory_order_release);
+  place_session(*session);
   session->set_attached(workers_live_);
   session->set_restart_policy(options_.default_restart);
   sessions_.push_back(session);
@@ -58,11 +73,36 @@ std::shared_ptr<Session> StreamEngine::open(const core::ChainPlan& plan,
   return session;
 }
 
+void StreamEngine::place_session(Session& session) const {
+  if (!options_.pin_to_nodes && options_.preferred_node < 0) return;
+  namespace topo = common::topology;
+  const topo::Topology& t = topo::probe();
+  if (t.node_count() <= 1) return;
+  const int idx =
+      options_.preferred_node >= 0 &&
+              static_cast<std::size_t>(options_.preferred_node) < t.node_count()
+          ? options_.preferred_node
+          : topo::worker_node(session.home_.load(std::memory_order_acquire), t);
+  const int kernel_node = t.nodes[static_cast<std::size_t>(idx)].id;
+  // Best effort: rings fall back to first-touch placement when mbind is
+  // unavailable (the calls just return false).
+  session.in_ring_.bind_to_node(kernel_node);
+  session.out_ring_.bind_to_node(kernel_node);
+}
+
 void StreamEngine::start() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (running_.load(std::memory_order_acquire))
     throw SimulationError("StreamEngine: start() while already running");
-  sched_ = std::make_unique<common::TaskScheduler>(options_.workers);
+  common::TaskScheduler::Options sched_opts;
+  sched_opts.initial = options_.workers;
+  sched_opts.min_workers = options_.min_workers;
+  // Without elastic mode the slot count equals the active count, so
+  // resize() headroom (and its parked threads) costs nothing.
+  sched_opts.max_workers = options_.elastic ? options_.max_workers : options_.workers;
+  sched_opts.pin_to_nodes = options_.pin_to_nodes;
+  sched_opts.preferred_node = options_.preferred_node;
+  sched_ = std::make_unique<common::TaskScheduler>(sched_opts);
   stop_.store(false, std::memory_order_release);
   // run_start_time_ is non-atomic: publish it BEFORE the running_ release
   // store so a stats_json() that acquire-reads running_ == true sees it.
@@ -173,9 +213,159 @@ std::size_t StreamEngine::session_count() const {
   return sessions_.size();
 }
 
+int StreamEngine::set_workers(int n) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  n = std::max(1, n);
+  if (sched_) {
+    n = sched_->resize(n);  // clamped to the live scheduler's bounds
+    repin_homes(n);
+  }
+  options_.workers = n;
+  return n;
+}
+
+int StreamEngine::effective_workers() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return sched_ ? sched_->workers() : options_.workers;
+}
+
+void StreamEngine::repin_homes(int active) {
+  if (active <= 0) return;
+  for (const auto& s : snapshot()) {
+    const int home = s->home_.load(std::memory_order_acquire);
+    if (home >= active)
+      s->home_.store(home % active, std::memory_order_release);
+  }
+}
+
 std::vector<std::shared_ptr<Session>> StreamEngine::snapshot() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_;
+}
+
+// -------------------------------------------------------------- migration
+
+StreamEngine::MigrationTicket StreamEngine::eject(
+    const std::shared_ptr<Session>& session) {
+  if (!session) throw ConfigError("StreamEngine: eject() needs a session");
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = std::find(sessions_.begin(), sessions_.end(), session);
+    if (it == sessions_.end())
+      throw SimulationError(
+          "StreamEngine: eject() of a session this engine does not own");
+    sessions_.erase(it);
+    sessions_gen_.fetch_add(1, std::memory_order_release);
+  }
+  // Order is the Dekker mirror of run_session's claim gate: migrating_ is
+  // published (seq_cst) BEFORE in_service_ is read, so any service pass that
+  // missed the flag is counted and waited for, and any pass that starts
+  // later sees the flag and bails without touching the backend.
+  session->migrating_.store(true, std::memory_order_seq_cst);
+  // A kBlock pump push may be parked in this very ring; wake it so it
+  // observes migrating_ and releases the block to the new owner's debt.
+  session->in_ring_.wake();
+  {
+    // Barrier: any fan-out already in flight completes (or aborts) before
+    // the ticket position is read, so feed_next_seq_ is final.  The pump's
+    // next pass refreshes its cached list and drops the session.
+    std::lock_guard<std::mutex> gate(pump_gate_mu_);
+  }
+  while (session->in_service_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
+  MigrationTicket ticket;
+  ticket.session = session;
+  ticket.next_feed_seq = session->feed_next_seq_.load(std::memory_order_acquire);
+  return ticket;
+}
+
+void StreamEngine::adopt(const MigrationTicket& ticket,
+                         std::unique_ptr<Source> backfill) {
+  const std::shared_ptr<Session>& s = ticket.session;
+  if (!s) throw ConfigError("StreamEngine: adopt() needs a ticket session");
+  if (!s->migrating_.load(std::memory_order_acquire))
+    throw SimulationError("StreamEngine: adopt() of a session never ejected");
+  // The gate freezes this engine's pump position for the whole splice: no
+  // block fans out between the blocks_pumped_ read below and the moment the
+  // session is registered, so the handoff is gap-free by construction.
+  std::lock_guard<std::mutex> gate(pump_gate_mu_);
+  s->rebind(link_, output_epoch_);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s->home_.store(
+        static_cast<int>(s->id() % static_cast<std::uint64_t>(options_.workers)),
+        std::memory_order_release);
+    s->sched_state_.store(Session::kIdle, std::memory_order_release);
+    s->set_attached(workers_live_);
+    sessions_.push_back(s);
+    sessions_gen_.fetch_add(1, std::memory_order_release);
+  }
+  place_session(*s);
+  // Un-flag BEFORE the backfill pushes: service passes (nudged below) must
+  // be able to drain the ring while we refill it, or a span longer than the
+  // ring capacity could never complete.  The pump cannot interfere -- it is
+  // parked on the gate we hold.
+  s->migrating_.store(false, std::memory_order_seq_cst);
+  const std::uint64_t here = blocks_pumped_.load(std::memory_order_acquire);
+  if (here > ticket.next_feed_seq) {
+    // This feed is ahead of where the session left its old engine: replay
+    // the missed span from a fresh source.  Identical deterministic sources
+    // across engines are the migration contract -- seq N carries the same
+    // samples everywhere -- so the replay is bit-exact, not approximate.
+    if (!backfill)
+      throw ConfigError(
+          "StreamEngine: adopt() needs a backfill source (destination feed "
+          "is ahead of the ticket)");
+    std::vector<std::int64_t> buffer(options_.block_samples);
+    for (std::uint64_t seq = 0; seq < here; ++seq) {
+      if (s->closed()) break;
+      const std::size_t n = backfill->read(buffer);
+      if (n == 0)
+        throw SimulationError(
+            "StreamEngine: backfill source ended before the migration span");
+      if (seq < ticket.next_feed_seq) continue;  // old engine delivered these
+      FeedBlock block;
+      block.seq = seq;
+      block.samples = std::make_shared<const std::vector<std::int64_t>>(
+          buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
+      // A private enqueue: the public path's stop_/carry_ handling belongs
+      // to the pump, and a stopped engine has no worker to drain a full
+      // kBlock ring -- that case is a hard error, not a hang.
+      for (;;) {
+        const auto token = s->in_ring_.wake_token();
+        if (s->in_ring_.closed()) break;
+        if (s->in_ring_.try_push(FeedBlock(block))) break;
+        if (s->policy_ == BackpressurePolicy::kDropOldest) {
+          if (auto old = s->in_ring_.try_pop()) {
+            s->stats_.input_drop_blocks.fetch_add(1, std::memory_order_relaxed);
+            s->stats_.input_drop_samples.fetch_add(old->samples->size(),
+                                                   std::memory_order_relaxed);
+            s->pending_dropped_samples_.fetch_add(old->samples->size(),
+                                                  std::memory_order_relaxed);
+          }
+          continue;
+        }
+        if (!running_.load(std::memory_order_acquire))
+          throw SimulationError(
+              "StreamEngine: adopt() backfill overflows the input ring on a "
+              "stopped engine");
+        if (!s->paused()) s->request_service();  // a worker must drain
+        s->in_ring_.wait(token);
+      }
+      if (s->in_ring_.closed() || s->closed()) break;
+      s->stats_.blocks_enqueued.fetch_add(1, std::memory_order_relaxed);
+      s->stats_.samples_enqueued.fetch_add(block.samples->size(),
+                                           std::memory_order_relaxed);
+      s->feed_next_seq_.store(block.seq + 1, std::memory_order_release);
+      s->note_queue_depth(s->in_ring_.size());
+    }
+  } else if (here < ticket.next_feed_seq) {
+    // This feed is behind: the session already processed [here, ticket) on
+    // its old engine.  The pump skips those seqs instead of re-delivering.
+    s->min_feed_seq_.store(ticket.next_feed_seq, std::memory_order_release);
+  }
+  migrations_in_.fetch_add(1, std::memory_order_relaxed);
+  if (!s->paused()) s->request_service();
 }
 
 // ------------------------------------------------------------------- pump
@@ -233,47 +423,63 @@ void StreamEngine::pump_loop() {
       block.samples = std::make_shared<const std::vector<std::int64_t>>(
           buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
     }
-    const std::uint64_t gen = sessions_gen_.load(std::memory_order_acquire);
-    if (gen != seen_gen) {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
-      live = sessions_;
-      seen_gen = gen;
-    }
     bool aborted = false;
-    for (std::size_t k = 0; k < live.size(); ++k) {
-      Session& s = *live[k];
-      if (s.closed()) continue;  // may close mid-fan-out
-      // Quarantined/faulted sessions are out of the feed (their backlog was
-      // discarded); a kBackoff session keeps receiving -- its ring buffers
-      // the stream across the restart window.
-      const auto health = s.health();
-      if (health == SessionHealth::kQuarantined ||
-          health == SessionHealth::kFaulted)
-        continue;
-      if (resuming &&
-          std::find(carry_->served.begin(), carry_->served.end(), s.id()) !=
-              carry_->served.end())
-        continue;  // this session already got the block last run
-      if (!enqueue(s, block)) {
-        // stop() cut a kBlock wait short: record the fan-out position --
-        // everything before index k (that was eligible) got the block --
-        // so the next run resumes exactly.  Only this rare abort path
-        // pays for the bookkeeping; the steady-state pump allocates
-        // nothing per block.
-        std::vector<std::uint64_t> served =
-            resuming ? std::move(carry_->served) : std::vector<std::uint64_t>{};
-        for (std::size_t j = 0; j < k; ++j) served.push_back(live[j]->id());
-        carry_.emplace(PendingFanout{block, std::move(served)});
-        aborted = true;
-        break;
+    {
+      // The migration gate: adopt() splices a session in against a frozen
+      // pump position, so the whole fan-out + the pumped-count increment
+      // are one atomic step from its point of view.  Uncontended except
+      // during a migration.
+      std::lock_guard<std::mutex> gate(pump_gate_mu_);
+      const std::uint64_t gen = sessions_gen_.load(std::memory_order_acquire);
+      if (gen != seen_gen) {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
+        live = sessions_;
+        seen_gen = gen;
+      }
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        Session& s = *live[k];
+        if (s.closed()) continue;  // may close mid-fan-out
+        // An ejected session left this engine's feed (its new engine owes it
+        // everything from its ticket position on).
+        if (s.migrating_.load(std::memory_order_acquire)) continue;
+        // Quarantined/faulted sessions are out of the feed (their backlog was
+        // discarded); a kBackoff session keeps receiving -- its ring buffers
+        // the stream across the restart window.
+        const auto health = s.health();
+        if (health == SessionHealth::kQuarantined ||
+            health == SessionHealth::kFaulted)
+          continue;
+        // Destination-behind migration: the session already processed this
+        // span on its previous engine; skip until the feed catches up.
+        if (block.seq < s.min_feed_seq_.load(std::memory_order_acquire))
+          continue;
+        if (resuming &&
+            std::find(carry_->served.begin(), carry_->served.end(), s.id()) !=
+                carry_->served.end())
+          continue;  // this session already got the block last run
+        if (!enqueue(s, block)) {
+          // stop() cut a kBlock wait short: record the fan-out position --
+          // everything before index k (that was eligible) got the block --
+          // so the next run resumes exactly.  Only this rare abort path
+          // pays for the bookkeeping; the steady-state pump allocates
+          // nothing per block.
+          std::vector<std::uint64_t> served =
+              resuming ? std::move(carry_->served) : std::vector<std::uint64_t>{};
+          for (std::size_t j = 0; j < k; ++j) served.push_back(live[j]->id());
+          carry_.emplace(PendingFanout{block, std::move(served)});
+          aborted = true;
+          break;
+        }
+      }
+      if (!aborted) {
+        carry_.reset();
+        // Counted when the fan-out completes (an aborted block is not pumped
+        // yet -- its resumed completion on the next run counts it).
+        blocks_pumped_.fetch_add(1, std::memory_order_release);
       }
     }
     if (aborted) break;
-    carry_.reset();
-    // Counted when the fan-out completes (an aborted block is not pumped
-    // yet -- its resumed completion on the next run counts it).
-    blocks_pumped_.fetch_add(1, std::memory_order_release);
   }
   if (exhausted) feed_done_.store(true, std::memory_order_release);
   notify_output();
@@ -300,6 +506,10 @@ bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
         unpublish();
         return true;  // quarantined mid-wait: it left the feed
       }
+      if (s.migrating_.load(std::memory_order_acquire)) {
+        unpublish();
+        return true;  // ejected mid-wait: its new engine owes this block
+      }
       if (stop_.load(std::memory_order_acquire)) {
         unpublish();
         return false;  // run ended mid-push: the pump carries this block over
@@ -323,6 +533,7 @@ bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
     for (;;) {
       if (s.in_ring_.closed()) return true;
       if (s.health() == SessionHealth::kQuarantined) return true;
+      if (s.migrating_.load(std::memory_order_acquire)) return true;
       if (s.in_ring_.try_push(std::move(copy))) break;
       if (auto old = s.in_ring_.try_pop()) {
         s.stats_.input_drop_blocks.fetch_add(1, std::memory_order_relaxed);
@@ -343,6 +554,10 @@ bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
   s.stats_.blocks_enqueued.fetch_add(1, std::memory_order_relaxed);
   s.stats_.samples_enqueued.fetch_add(block.samples->size(),
                                       std::memory_order_relaxed);
+  // Migration bookkeeping: the pump has now delivered everything up to and
+  // including this seq (kDropOldest may evict some later, but those losses
+  // are marked in-stream, not owed by a future engine).
+  s.feed_next_seq_.store(block.seq + 1, std::memory_order_release);
   s.note_queue_depth(s.in_ring_.size());
   // The targeted wakeup: schedule THIS session on its home worker.  The
   // old WorkerPool design bumped a global epoch and notify_all()ed every
@@ -393,6 +608,26 @@ void StreamEngine::run_session(common::TaskScheduler& sched,
   if (!s.sched_state_.compare_exchange_strong(expected, Session::kRunning,
                                               std::memory_order_acq_rel))
     return;
+  // Migration handshake: in_service_ is raised BEFORE the migrating_ check
+  // (both seq_cst), the Dekker mirror of eject()'s migrating_-then-wait
+  // order -- either this pass sees migrating_ and bails without touching
+  // the backend, or eject() waits for it to finish.
+  s.in_service_.fetch_add(1, std::memory_order_seq_cst);
+  struct ServiceGuard {
+    std::atomic<int>& counter;
+    ~ServiceGuard() { counter.fetch_sub(1, std::memory_order_seq_cst); }
+  } service_guard{s.in_service_};
+  if (s.migrating_.load(std::memory_order_seq_cst)) {
+    s.sched_state_.store(Session::kIdle, std::memory_order_release);
+    return;
+  }
+  if (!s.owned_by(link_)) {
+    // A task queued before the session migrated away: release the claim and
+    // nudge the owning engine, which lost this scheduling request to us.
+    s.sched_state_.store(Session::kIdle, std::memory_order_release);
+    s.request_service();
+    return;
+  }
   const int w = sched.current_worker_index();
   if (w >= 0) s.home_.store(w, std::memory_order_release);  // migrate on steal
   s.stats_.service_passes.fetch_add(1, std::memory_order_relaxed);
@@ -480,6 +715,7 @@ bool StreamEngine::service(Session& s, std::size_t budget) {
   std::size_t processed = 0;
   for (;;) {
     if (stop_.load(std::memory_order_acquire) || s.closed() || s.paused() ||
+        s.migrating_.load(std::memory_order_acquire) ||
         s.health() != SessionHealth::kHealthy)
       return false;
     if (processed >= budget) return s.in_ring_.size() > 0;
@@ -758,6 +994,59 @@ void StreamEngine::watchdog_loop() {
         if (!shed_one(sessions)) break;
       }
     }
+
+    // 4. Elastic worker policy: one step per hysteresis window, driven by
+    //    aggregate queue depth (and the pump-stall signal, which means the
+    //    current worker set cannot keep up regardless of averages).
+    if (options_.elastic) elastic_tick(sessions);
+  }
+}
+
+void StreamEngine::elastic_tick(
+    const std::vector<std::shared_ptr<Session>>& sessions) {
+  // Watchdog-thread only: the streak counters are plain ints.  sched_ is
+  // safe to touch here -- stop() joins this thread before tearing it down.
+  std::size_t queued = 0;
+  for (const auto& s : sessions) {
+    if (s->closed()) continue;
+    const auto h = s->health();
+    if (h == SessionHealth::kQuarantined || h == SessionHealth::kFaulted)
+      continue;
+    queued += s->in_ring_.size();
+  }
+  const int active = sched_->workers();
+  const double per_worker =
+      static_cast<double>(queued) / static_cast<double>(std::max(1, active));
+  const bool pump_stalled =
+      pump_stalled_on_.load(std::memory_order_acquire) != 0;
+  const bool want_grow =
+      active < sched_->max_workers() &&
+      (per_worker >= options_.elastic_grow_depth || pump_stalled);
+  const bool want_shrink = active > sched_->min_workers() &&
+                           per_worker <= options_.elastic_shrink_depth &&
+                           !pump_stalled;
+  if (want_grow) {
+    elastic_shrink_streak_ = 0;
+    if (++elastic_grow_streak_ >= options_.elastic_hysteresis_ticks) {
+      elastic_grow_streak_ = 0;
+      if (sched_->resize(active + 1) != active)
+        grow_events_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (want_shrink) {
+    elastic_grow_streak_ = 0;
+    if (++elastic_shrink_streak_ >= options_.elastic_hysteresis_ticks) {
+      elastic_shrink_streak_ = 0;
+      const int n = sched_->resize(active - 1);
+      if (n != active) {
+        shrink_events_.fetch_add(1, std::memory_order_relaxed);
+        // Sessions homed on the parked worker re-pin onto the active set
+        // (their queued tasks were already forwarded by the worker itself).
+        repin_homes(n);
+      }
+    }
+  } else {
+    elastic_grow_streak_ = 0;
+    elastic_shrink_streak_ = 0;
   }
 }
 
@@ -771,6 +1060,9 @@ FaultInfo StreamEngine::source_fault() const {
 std::string StreamEngine::stats_json() const {
   double elapsed = streamed_elapsed_s_.load(std::memory_order_relaxed);
   common::TaskScheduler::Stats sched_stats;
+  int workers_active = 0;
+  int workers_max = 0;
+  std::vector<common::TaskScheduler::WorkerSnapshot> wsnap;
   {
     // run_start_time_ is rewritten by every start() now that the engine is
     // restartable, so it is only readable under the lifecycle mutex (the
@@ -781,10 +1073,15 @@ std::string StreamEngine::stats_json() const {
                                                run_start_time_)
                      .count();
     sched_stats = sched_ ? sched_->stats() : sched_stats_;
+    workers_active = sched_ ? sched_->workers() : options_.workers;
+    workers_max = sched_ ? sched_->max_workers() : options_.max_workers;
+    if (sched_) wsnap = sched_->worker_snapshot();
   }
   JsonLine engine_line;
   engine_line.field("sessions", session_count())
-      .field("workers", static_cast<std::size_t>(options_.workers))
+      .field("workers", static_cast<std::size_t>(workers_active))
+      .field("workers_max", static_cast<std::size_t>(workers_max))
+      .field("numa_nodes", common::topology::probe().node_count())
       .field("block_samples", options_.block_samples)
       .field("quantum_blocks", options_.session_quantum_blocks)
       .field("blocks_pumped", static_cast<std::size_t>(blocks_pumped()))
@@ -793,6 +1090,14 @@ std::string StreamEngine::stats_json() const {
       .field("elapsed_s", elapsed)
       .field("tasks_executed", static_cast<std::size_t>(sched_stats.executed))
       .field("tasks_stolen", static_cast<std::size_t>(sched_stats.stolen))
+      .field("steal_failures", static_cast<std::size_t>(sched_stats.steal_failures))
+      .field("sched_resizes", static_cast<std::size_t>(sched_stats.resizes))
+      .field("grow_events",
+             static_cast<std::size_t>(grow_events_.load(std::memory_order_relaxed)))
+      .field("shrink_events",
+             static_cast<std::size_t>(shrink_events_.load(std::memory_order_relaxed)))
+      .field("migrations_in",
+             static_cast<std::size_t>(migrations_in_.load(std::memory_order_relaxed)))
       .field("targeted_wakeups", static_cast<std::size_t>(sched_stats.wakeups));
   // Fault-containment counters.  faults/restarts aggregate the LIVE
   // sessions (a closed, pruned session takes its share with it); the
@@ -843,7 +1148,23 @@ std::string StreamEngine::stats_json() const {
       .field("compile_seconds", cache.compile_seconds)
       .field("entries", cache.entries)
       .field("capacity", cache.capacity);
+  // Per-worker detail rides as its own array (one object per scheduler
+  // slot, active or parked): queue depth feeds the elastic policy, node
+  // shows the NUMA placement that pinning chose.
+  std::string workers_detail = "[";
+  for (std::size_t i = 0; i < wsnap.size(); ++i) {
+    if (i) workers_detail += ", ";
+    JsonLine w;
+    w.field("worker", i)
+        .field("queue_depth", wsnap[i].queue_depth)
+        .field("active", wsnap[i].active)
+        .field("sleeping", wsnap[i].sleeping)
+        .field("node", static_cast<double>(wsnap[i].node));
+    workers_detail += w.str();
+  }
+  workers_detail += "]";
   std::string out = "{\"engine\": " + engine_line.str() +
+                    ", \"workers_detail\": " + workers_detail +
                     ", \"plan_cache\": " + cache_line.str() + ", \"sessions\": [";
   bool first = true;
   for (const auto& s : snapshot()) {
