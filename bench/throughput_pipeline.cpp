@@ -34,11 +34,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/topology.hpp"
+#include "src/common/trace.hpp"
 #include "src/stream/engine.hpp"
 #include "src/stream/engine_group.hpp"
 #include "src/stream/sink.hpp"
@@ -600,6 +603,79 @@ void bench_stream_overload() {
   }
 }
 
+// -------------------------------------------------------------- trace cost
+//
+// Runtime tracing overhead on the serving path: the identical N-session
+// end-to-end run with every trace category enabled vs the runtime kill
+// switch (mask 0).  The disabled number is what production pays for having
+// trace sites compiled in; the CI overhead gate compares it against a
+// TWIDDC_TRACE_COMPILED=OFF build's stream_engine:figure1 line instead --
+// this line tracks the cost of *recording*.
+//   {"bench": "throughput_pipeline", "chain": "stream_engine:trace",
+//    "disabled_msamples_per_s": ..., "enabled_msamples_per_s": ...,
+//    "enabled_overhead_pct": ..., "traced_events": ...}
+
+void bench_stream_trace_overhead() {
+  twiddc::backends::register_builtin();
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  const auto feed = figure1_stimulus(cfg, 2688 * 64);
+  const int hw = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  constexpr std::size_t kSessions = 16;
+
+  const std::uint32_t saved_mask = twiddc::trace::enabled_mask();
+  double rate[2] = {0.0, 0.0};
+  std::size_t traced_events = 0;
+  std::uint64_t traced_drops = 0;
+  for (const bool tracing : {false, true}) {
+    twiddc::trace::set_enabled(tracing ? twiddc::trace::kAllCategories : 0);
+    twiddc::stream::EngineOptions opts;
+    opts.workers = hw;
+    opts.block_samples = 4096;
+    twiddc::stream::StreamEngine engine(
+        std::make_unique<twiddc::stream::VectorSource>(feed), opts);
+    std::vector<std::shared_ptr<twiddc::stream::Session>> open;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      auto ch_cfg = cfg;
+      ch_cfg.nco_freq_hz = cfg.nco_freq_hz + 25.0e3 * static_cast<double>(s);
+      open.push_back(engine.open(twiddc::core::ChainPlan::figure1(ch_cfg, spec),
+                                 twiddc::backends::kNative));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    engine.start();
+    (void)twiddc::stream::drain_all(engine, open);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    engine.stop();
+    rate[tracing ? 1 : 0] =
+        static_cast<double>(feed.size() * kSessions) / elapsed / 1e6;
+    if (tracing) {
+      const auto snap = twiddc::trace::snapshot();
+      traced_events = snap.events.size();
+      traced_drops = snap.dropped;
+    }
+  }
+  twiddc::trace::set_enabled(saved_mask);
+  twiddc::trace::reset();
+
+  JsonLine j;
+  j.field("bench", std::string("throughput_pipeline"))
+      .field("chain", std::string("stream_engine:trace"))
+      .field("sessions", kSessions)
+      .field("workers", static_cast<std::size_t>(hw))
+      .field("block_samples", static_cast<std::size_t>(4096))
+      .field("disabled_msamples_per_s", rate[0])
+      .field("enabled_msamples_per_s", rate[1])
+      .field("enabled_overhead_pct",
+             rate[0] > 0.0 ? 100.0 * (1.0 - rate[1] / rate[0]) : 0.0)
+      .field("traced_events", traced_events)
+      .field("traced_drops", static_cast<std::size_t>(traced_drops))
+      .field("trace_compiled", TWIDDC_TRACE_COMPILED_MASK != 0u)
+      .field("simd", twiddc::simd::isa_name());
+  j.print();
+}
+
 // -------------------------------------------------------------- saturation
 //
 // Scale-out headline: aggregate serving rate and p99 inter-chunk gap at
@@ -701,6 +777,25 @@ void bench_stream_saturation() {
   }
 }
 
+/// TWIDDC_BENCH_ONLY: comma-separated substrings; a bench runs when any of
+/// them appears in its name (unset/empty = run everything).  The CI overhead
+/// gate uses it to run just the stream_engine lines on both trace builds.
+bool bench_selected(const std::string& name) {
+  const char* only = std::getenv("TWIDDC_BENCH_ONLY");
+  if (!only || !*only) return true;
+  const std::string spec(only);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string part =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!part.empty() && name.find(part) != std::string::npos) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main() {
@@ -708,20 +803,28 @@ int main() {
   std::printf("# one JSON object per line; speedup_block_over_push is the headline\n");
   std::printf("# kernel lines give block rates per vectorised kernel; channel_bank\n");
   std::printf("# lines give multi-channel aggregate (channel-samples/s) scaling\n");
-  bench_figure1(DatapathSpec::wide16());
-  bench_figure1(DatapathSpec::fpga());
-  bench_fused_vs_staged();
-  bench_plan_cache();
-  bench_gc4016();
-  bench_kernel_nco_mixer();
-  bench_kernel_cic("cic2", 2, 16);
-  bench_kernel_cic("cic5", 5, 21);
-  bench_kernel_fir125();
-  bench_backends();
-  bench_channel_bank();
-  bench_channel_bank_skewed();
-  bench_stream_sessions();
-  bench_stream_overload();
-  bench_stream_saturation();
+  const struct {
+    const char* name;
+    void (*fn)();
+  } kBenches[] = {
+      {"figure1:wide16", [] { bench_figure1(DatapathSpec::wide16()); }},
+      {"figure1:fpga", [] { bench_figure1(DatapathSpec::fpga()); }},
+      {"figure1:fused_vs_staged", bench_fused_vs_staged},
+      {"plan_cache", bench_plan_cache},
+      {"gc4016:figure4", bench_gc4016},
+      {"kernel:nco_mixer", bench_kernel_nco_mixer},
+      {"kernel:cic2", [] { bench_kernel_cic("cic2", 2, 16); }},
+      {"kernel:cic5", [] { bench_kernel_cic("cic5", 5, 21); }},
+      {"kernel:fir125", bench_kernel_fir125},
+      {"backends", bench_backends},
+      {"channel_bank:figure1", bench_channel_bank},
+      {"channel_bank:skewed", bench_channel_bank_skewed},
+      {"stream_engine:figure1", bench_stream_sessions},
+      {"stream_engine:overload", bench_stream_overload},
+      {"stream_engine:trace", bench_stream_trace_overhead},
+      {"stream_engine:saturation", bench_stream_saturation},
+  };
+  for (const auto& b : kBenches)
+    if (bench_selected(b.name)) b.fn();
   return 0;
 }

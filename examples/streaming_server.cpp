@@ -12,6 +12,11 @@
 //   * per-session stats exported as JSON.
 //
 //   $ ./streaming_server [sessions] [feed_frames]
+//
+// Tracing: TWIDDC_TRACE=sched,stream,cache,group (or "all") records the
+// run and writes streaming_server.trace.json at exit -- load it in
+// https://ui.perfetto.dev or chrome://tracing.  TWIDDC_TRACE_FILE
+// overrides the output path.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "src/backends/builtin.hpp"
+#include "src/common/trace.hpp"
 #include "src/core/backend.hpp"
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
@@ -111,5 +117,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sessions[0]->stats().retunes_applied));
 
   std::printf("\nper-session stats JSON:\n%s\n", engine.stats_json().c_str());
+
+  // $TWIDDC_TRACE was applied at load time; if any category is on, export
+  // the whole run as a Chrome trace.
+  if (trace::enabled_mask() != 0) {
+    const char* path_env = std::getenv("TWIDDC_TRACE_FILE");
+    const std::string path = path_env ? path_env : "streaming_server.trace.json";
+    if (trace::write_chrome_trace(path))
+      std::printf("trace written to %s (%llu events dropped)\n", path.c_str(),
+                  static_cast<unsigned long long>(trace::snapshot().dropped));
+    else
+      std::fprintf(stderr, "trace export to %s failed\n", path.c_str());
+  }
   return 0;
 }

@@ -1,8 +1,8 @@
 // twiddc -- minimal JSON object writer shared by machine-readable outputs
-// (the bench binaries' trajectory lines and the stream engine's
-// stats_json).  One flat object per instance; string values are escaped
-// (keys are trusted identifiers).  Compose nested structures by splicing
-// str() results.
+// (the bench binaries' trajectory lines, the stream engine's stats_json,
+// and the trace/metrics exporters).  One object per instance; string
+// values are escaped (keys are trusted identifiers).  Nested structure is
+// built with object()/array(), so callers never splice braces by hand.
 #pragma once
 
 #include <cstdio>
@@ -15,7 +15,10 @@ namespace twiddc {
 class JsonLine {
  public:
   JsonLine& field(const std::string& key, const std::string& value) {
-    return raw(key, "\"" + escape(value) + "\"");
+    std::string quoted = "\"";
+    quoted += escape(value);
+    quoted += '"';
+    return raw(key, std::move(quoted));
   }
   JsonLine& field(const std::string& key, const char* value) {
     return field(key, std::string(value));
@@ -30,6 +33,24 @@ class JsonLine {
   }
   JsonLine& field(const std::string& key, std::size_t value) {
     return raw(key, std::to_string(value));
+  }
+  /// Nested object: the value renders exactly as `value.str()`.
+  JsonLine& object(const std::string& key, const JsonLine& value) {
+    return raw(key, value.str());
+  }
+  /// Array of objects.
+  JsonLine& array(const std::string& key, const std::vector<JsonLine>& items) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) s += ", ";
+      s += items[i].str();
+    }
+    return raw(key, s + "]");
+  }
+  /// Pre-rendered JSON value (a number formatted by the caller, or an
+  /// object produced elsewhere).  The caller owns validity.
+  JsonLine& raw_field(const std::string& key, std::string json) {
+    return raw(key, std::move(json));
   }
   [[nodiscard]] std::string str() const {
     std::string s = "{";

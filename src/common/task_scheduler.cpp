@@ -4,9 +4,12 @@
 #include <utility>
 
 #include "src/common/topology.hpp"
+#include "src/common/trace.hpp"
 
 namespace twiddc::common {
 namespace {
+
+constexpr trace::Category kTraceCat = trace::Category::kSched;
 
 // Worker identity for submit_local()/yield()/current_worker_index().  Keyed
 // by scheduler pointer so nested schedulers (a ChannelBank running inside a
@@ -104,6 +107,7 @@ TaskScheduler::TaskScheduler(Options opts) {
   workers_.reserve(static_cast<std::size_t>(max_w));
   for (int w = 0; w < max_w; ++w) {
     auto worker = std::make_unique<Worker>();
+    worker->index = w;
     worker->node = preferred_ok ? preferred_node_ : topology::worker_node(w, topo);
     workers_.push_back(std::move(worker));
   }
@@ -127,6 +131,11 @@ int TaskScheduler::resize(int n) {
   if (n == old) return n;
   active_.store(n, std::memory_order_seq_cst);
   resizes_.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled(kTraceCat)) {
+    static const std::uint16_t kName = trace::intern("resize");
+    trace::emit(kTraceCat, kName, trace::Phase::kInstant,
+                static_cast<std::uint64_t>(old), static_cast<std::uint64_t>(n));
+  }
   // Wake every worker whose activation flipped: grown workers leave the
   // deactivated park and start stealing; shrunk workers leave the normal
   // park (or notice at their next loop top) and forward their queues.
@@ -272,6 +281,12 @@ TaskScheduler::TaskNode* TaskScheduler::try_steal(int self) {
     if (static_cast<int>(v) == self) continue;
     if (TaskNode* node = workers_[v]->deque.steal_top()) {
       stolen_.fetch_add(1, std::memory_order_relaxed);
+      if (trace::enabled(kTraceCat)) {
+        // arg0 = victim, arg1 = thief + 1 (0 = external fork-join waiter).
+        static const std::uint16_t kName = trace::intern("steal");
+        trace::emit(kTraceCat, kName, trace::Phase::kInstant, v,
+                    static_cast<std::uint64_t>(self + 1));
+      }
       return node;
     }
   }
@@ -306,6 +321,11 @@ TaskScheduler::TaskNode* TaskScheduler::try_steal(int self) {
     victim.inbox.erase(victim.inbox.begin());
     victim.inbox_size.store(victim.inbox.size(), std::memory_order_seq_cst);
     stolen_.fetch_add(1, std::memory_order_relaxed);
+    if (trace::enabled(kTraceCat)) {
+      static const std::uint16_t kName = trace::intern("steal_inbox");
+      trace::emit(kTraceCat, kName, trace::Phase::kInstant, v,
+                  static_cast<std::uint64_t>(self + 1));
+    }
     return node;
   }
   steal_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -314,6 +334,11 @@ TaskScheduler::TaskNode* TaskScheduler::try_steal(int self) {
 
 void TaskScheduler::wake_worker(Worker& w) {
   wakeups_.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled(kTraceCat)) {
+    static const std::uint16_t kName = trace::intern("wakeup");
+    trace::emit(kTraceCat, kName, trace::Phase::kInstant,
+                static_cast<std::uint64_t>(w.index), 0);
+  }
   w.wake.fetch_add(1, std::memory_order_seq_cst);
   w.wake.notify_all();
 }
@@ -362,6 +387,11 @@ void TaskScheduler::forward_queues(Worker& me) {
     wake_worker(target);
   }
   if (!moved.empty()) {
+    if (trace::enabled(kTraceCat)) {
+      static const std::uint16_t kName = trace::intern("forward_queues");
+      trace::emit(kTraceCat, kName, trace::Phase::kInstant,
+                  static_cast<std::uint64_t>(me.index), moved.size());
+    }
     maybe_wake_sleeper();
     note_activity();
   }
@@ -389,6 +419,7 @@ bool TaskScheduler::any_work_visible(const Worker& me) const {
 void TaskScheduler::worker_loop(int w) {
   tls_scheduler = this;
   tls_worker = w;
+  trace::set_thread_name("worker" + std::to_string(w));
   Worker& me = *workers_[static_cast<std::size_t>(w)];
   if (pin_to_nodes_)
     topology::pin_thread_to_node(me.node, topology::probe());

@@ -296,6 +296,7 @@ class TaskScheduler {
     alignas(64) std::atomic<std::uint32_t> wake{0};  // per-worker eventcount
     std::atomic<bool> sleeping{false};
     std::atomic<bool> running{false};  ///< inside a task (inbox-steal gate)
+    int index = 0;  ///< slot index (set before the thread spawns; immutable)
     int node = 0;  ///< NUMA node (set before the thread spawns; immutable)
     std::thread thread;
   };

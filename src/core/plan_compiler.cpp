@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <utility>
 
 #include "src/common/error.hpp"
 #include "src/common/simd.hpp"
+#include "src/common/trace.hpp"
 #include "src/dsp/mixer.hpp"
 #include "src/dsp/nco.hpp"
 
@@ -230,25 +232,52 @@ std::shared_ptr<const CompiledPlan> CompiledPlanCache::get_or_compile(
   plan.validate();
   const std::string key = canonical_plan_key(plan);
 
+  // Trace args carry a hash of the canonical key, so identical plans are
+  // correlatable across hit/miss/evict events without shipping the string.
+  const std::uint64_t key_hash = std::hash<std::string>{}(key);
+
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    if (trace::enabled(trace::Category::kCache)) {
+      static const std::uint16_t kName = trace::intern("plan_cache_hit");
+      trace::emit(trace::Category::kCache, kName, trace::Phase::kInstant,
+                  key_hash, stats_.hits);
+    }
     return lru_.front().second;
   }
   ++stats_.misses;
+  if (trace::enabled(trace::Category::kCache)) {
+    static const std::uint16_t kName = trace::intern("plan_cache_miss");
+    trace::emit(trace::Category::kCache, kName, trace::Phase::kInstant,
+                key_hash, stats_.misses);
+  }
   // Compile under the lock: concurrent configure() calls racing on the same
   // plan would otherwise each pay the compile; the artifact is tiny and the
   // compile is microseconds, so serialising here is the cheap choice.
+  trace::Span compile_span(trace::Category::kCache,
+                           [] {
+                             static const std::uint16_t kName =
+                                 trace::intern("plan_compile");
+                             return kName;
+                           }(),
+                           key_hash);
   const auto t0 = std::chrono::steady_clock::now();
   auto compiled = std::make_shared<const CompiledPlan>(plan);
   stats_.compile_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  compile_span.finish();
   lru_.emplace_front(key, compiled);
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
+    if (trace::enabled(trace::Category::kCache)) {
+      static const std::uint16_t kName = trace::intern("plan_cache_evict");
+      trace::emit(trace::Category::kCache, kName, trace::Phase::kInstant,
+                  std::hash<std::string>{}(lru_.back().first), lru_.size() - 1);
+    }
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;

@@ -6,9 +6,37 @@
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
 #include "src/common/topology.hpp"
+#include "src/common/trace.hpp"
 #include "src/core/plan_compiler.hpp"
 
 namespace twiddc::stream {
+
+namespace {
+
+constexpr trace::Category kStreamCat = trace::Category::kStream;
+
+/// Interned event-name ids for this file's trace sites, resolved once on
+/// first use (any site, any thread -- the static init is serialized).
+struct TraceNames {
+  std::uint16_t engine_start = trace::intern("engine_start");
+  std::uint16_t engine_stop = trace::intern("engine_stop");
+  std::uint16_t pump_block = trace::intern("pump_block");
+  std::uint16_t pump_stall = trace::intern("pump_stall");
+  std::uint16_t feed_end = trace::intern("feed_end");
+  std::uint16_t service = trace::intern("service");
+  std::uint16_t gap = trace::intern("gap");
+  std::uint16_t shed = trace::intern("shed");
+  std::uint16_t elastic_grow = trace::intern("elastic_grow");
+  std::uint16_t elastic_shrink = trace::intern("elastic_shrink");
+  std::uint16_t eject = trace::intern("eject");
+  std::uint16_t adopt = trace::intern("adopt");
+};
+const TraceNames& tn() {
+  static const TraceNames names;
+  return names;
+}
+
+}  // namespace
 
 StreamEngine::StreamEngine(std::unique_ptr<Source> source, EngineOptions options)
     : options_(options),
@@ -127,9 +155,17 @@ void StreamEngine::start() {
   // Kick every open session once so input queued across a stop, a stashed
   // chunk or a parked retune is serviced without waiting for fresh feed.
   for (auto& s : sessions) schedule_session(*s);
-  pump_thread_ = std::thread([this] { pump_loop(); });
+  trace::instant(kStreamCat, tn().engine_start, sessions.size(),
+                 static_cast<std::uint64_t>(options_.workers));
+  pump_thread_ = std::thread([this] {
+    trace::set_thread_name("pump");
+    pump_loop();
+  });
   if (options_.watchdog_interval_us > 0)
-    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+    watchdog_thread_ = std::thread([this] {
+      trace::set_thread_name("watchdog");
+      watchdog_loop();
+    });
 }
 
 void StreamEngine::stop() {
@@ -181,6 +217,8 @@ void StreamEngine::stop() {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     std::erase_if(sessions_, [](const auto& s) { return s->closed(); });
   }
+  trace::instant(kStreamCat, tn().engine_stop,
+                 blocks_pumped_.load(std::memory_order_relaxed), 0);
   notify_output();
 }
 
@@ -276,6 +314,8 @@ StreamEngine::MigrationTicket StreamEngine::eject(
   MigrationTicket ticket;
   ticket.session = session;
   ticket.next_feed_seq = session->feed_next_seq_.load(std::memory_order_acquire);
+  trace::instant(trace::Category::kGroup, tn().eject, session->id(),
+                 ticket.next_feed_seq);
   return ticket;
 }
 
@@ -365,6 +405,8 @@ void StreamEngine::adopt(const MigrationTicket& ticket,
     s->min_feed_seq_.store(ticket.next_feed_seq, std::memory_order_release);
   }
   migrations_in_.fetch_add(1, std::memory_order_relaxed);
+  trace::instant(trace::Category::kGroup, tn().adopt, s->id(),
+                 ticket.next_feed_seq);
   if (!s->paused()) s->request_service();
 }
 
@@ -424,11 +466,13 @@ void StreamEngine::pump_loop() {
           buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
     }
     bool aborted = false;
+    const std::uint64_t fanout_start_ns = trace::Span::now_ns();
     {
       // The migration gate: adopt() splices a session in against a frozen
       // pump position, so the whole fan-out + the pumped-count increment
       // are one atomic step from its point of view.  Uncontended except
       // during a migration.
+      trace::Span fanout_span(kStreamCat, tn().pump_block, block.seq);
       std::lock_guard<std::mutex> gate(pump_gate_mu_);
       const std::uint64_t gen = sessions_gen_.load(std::memory_order_acquire);
       if (gen != seen_gen) {
@@ -479,9 +523,15 @@ void StreamEngine::pump_loop() {
         blocks_pumped_.fetch_add(1, std::memory_order_release);
       }
     }
+    pump_block_ns_.record(trace::Span::now_ns() - fanout_start_ns);
     if (aborted) break;
   }
-  if (exhausted) feed_done_.store(true, std::memory_order_release);
+  if (exhausted) {
+    feed_done_.store(true, std::memory_order_release);
+    trace::instant(kStreamCat, tn().feed_end,
+                   blocks_pumped_.load(std::memory_order_relaxed),
+                   source_faults_.load(std::memory_order_relaxed));
+  }
   notify_output();
 }
 
@@ -523,6 +573,7 @@ bool StreamEngine::enqueue(Session& s, const FeedBlock& block) {
             std::memory_order_release);
         pump_stalled_on_.store(s.id() + 1, std::memory_order_release);
         stall_published = true;
+        trace::instant(kStreamCat, tn().pump_stall, s.id(), block.seq);
       }
       s.in_ring_.wait(token);
     }
@@ -636,8 +687,12 @@ void StreamEngine::run_session(common::TaskScheduler& sched,
     const std::size_t quantum =
         options_.session_quantum_blocks *
         static_cast<std::size_t>(s.weight_.load(std::memory_order_acquire));
+    const std::uint64_t pass_start_ns = trace::Span::now_ns();
+    trace::Span service_span(kStreamCat, tn().service, s.id());
     try {
       requeue = service(s, quantum);
+      service_span.finish();
+      service_pass_ns_.record(trace::Span::now_ns() - pass_start_ns);
     } catch (const std::exception& e) {
       // service() converts backend exceptions at their call sites; anything
       // that still escapes must not skip the epilogue below -- the scheduler
@@ -788,8 +843,11 @@ bool StreamEngine::service(Session& s, std::size_t budget) {
       chunk.dropped_feed_samples += s.pending_fault_lost_samples_;
       s.pending_fault_lost_samples_ = 0;
     }
-    if (chunk.gap_before != GapCause::kNone)
+    if (chunk.gap_before != GapCause::kNone) {
       s.stats_.gaps.fetch_add(1, std::memory_order_relaxed);
+      trace::instant(kStreamCat, tn().gap, s.id(),
+                     static_cast<std::uint64_t>(chunk.gap_before));
+    }
     try {
       s.backend_->process_block(*block->samples, chunk.iq);
     } catch (const std::exception& e) {
@@ -884,6 +942,7 @@ std::uint64_t StreamEngine::shed_backlog(Session& s) {
   shed_blocks_.fetch_add(blocks, std::memory_order_relaxed);
   shed_samples_.fetch_add(samples, std::memory_order_relaxed);
   s.note_shed(samples);
+  trace::instant(kStreamCat, tn().shed, s.id(), blocks);
   // The pump may be parked on this very ring (kBlock): the drain made room,
   // wake it.  Output waiters learn about the state change too.
   s.in_ring_.wake();
@@ -1029,8 +1088,13 @@ void StreamEngine::elastic_tick(
     elastic_shrink_streak_ = 0;
     if (++elastic_grow_streak_ >= options_.elastic_hysteresis_ticks) {
       elastic_grow_streak_ = 0;
-      if (sched_->resize(active + 1) != active)
+      const int n = sched_->resize(active + 1);
+      if (n != active) {
         grow_events_.fetch_add(1, std::memory_order_relaxed);
+        trace::instant(kStreamCat, tn().elastic_grow,
+                       static_cast<std::uint64_t>(active),
+                       static_cast<std::uint64_t>(n));
+      }
     }
   } else if (want_shrink) {
     elastic_grow_streak_ = 0;
@@ -1039,6 +1103,9 @@ void StreamEngine::elastic_tick(
       const int n = sched_->resize(active - 1);
       if (n != active) {
         shrink_events_.fetch_add(1, std::memory_order_relaxed);
+        trace::instant(kStreamCat, tn().elastic_shrink,
+                       static_cast<std::uint64_t>(active),
+                       static_cast<std::uint64_t>(n));
         // Sessions homed on the parked worker re-pin onto the active set
         // (their queued tasks were already forwarded by the worker itself).
         repin_homes(n);
@@ -1151,25 +1218,24 @@ std::string StreamEngine::stats_json() const {
   // Per-worker detail rides as its own array (one object per scheduler
   // slot, active or parked): queue depth feeds the elastic policy, node
   // shows the NUMA placement that pinning chose.
-  std::string workers_detail = "[";
+  std::vector<JsonLine> workers_detail;
+  workers_detail.reserve(wsnap.size());
   for (std::size_t i = 0; i < wsnap.size(); ++i) {
-    if (i) workers_detail += ", ";
     JsonLine w;
     w.field("worker", i)
         .field("queue_depth", wsnap[i].queue_depth)
         .field("active", wsnap[i].active)
         .field("sleeping", wsnap[i].sleeping)
         .field("node", static_cast<double>(wsnap[i].node));
-    workers_detail += w.str();
+    workers_detail.push_back(std::move(w));
   }
-  workers_detail += "]";
-  std::string out = "{\"engine\": " + engine_line.str() +
-                    ", \"workers_detail\": " + workers_detail +
-                    ", \"plan_cache\": " + cache_line.str() + ", \"sessions\": [";
-  bool first = true;
+  // Latency distributions: nanosecond samples, reported in milliseconds.
+  // Quantiles are log-bucket upper bounds (see metrics.hpp), not exact.
+  JsonLine latency_line;
+  latency_line.object("service_pass_ms", service_pass_ns_.to_json(1e-6))
+      .object("pump_block_ms", pump_block_ns_.to_json(1e-6));
+  std::vector<JsonLine> session_lines;
   for (const auto& s : snapshot()) {
-    if (!first) out += ", ";
-    first = false;
     const SessionStats st = s->stats();
     const FaultInfo fault = s->last_fault();
     JsonLine line;
@@ -1209,10 +1275,15 @@ std::string StreamEngine::stats_json() const {
                elapsed > 0.0
                    ? static_cast<double>(st.samples_processed) / elapsed / 1e6
                    : 0.0);
-    out += line.str();
+    session_lines.push_back(std::move(line));
   }
-  out += "]}";
-  return out;
+  JsonLine root;
+  root.object("engine", engine_line)
+      .array("workers_detail", workers_detail)
+      .object("plan_cache", cache_line)
+      .object("latency", latency_line)
+      .array("sessions", session_lines);
+  return root.str();
 }
 
 // ------------------------------------------------------------ drain helper

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/common/task_scheduler.hpp"
 #include "src/stream/session.hpp"
 #include "src/stream/source.hpp"
@@ -385,6 +386,12 @@ class StreamEngine {
   /// restartable, so there is no publish-once story for this field).
   std::chrono::steady_clock::time_point run_start_time_{};
   std::atomic<double> streamed_elapsed_s_{0.0};  ///< total across past runs
+
+  // Latency distributions (nanosecond samples; rendered in milliseconds by
+  // stats_json's "latency" object).  Always on: a record() is two relaxed
+  // fetch_adds against work that spans thousands of samples.
+  metrics::Histogram service_pass_ns_;  ///< one worker service pass
+  metrics::Histogram pump_block_ns_;    ///< one feed block's full fan-out
 };
 
 /// The standard client loop: polls every session until the feed is

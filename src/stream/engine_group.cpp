@@ -7,6 +7,7 @@
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
 #include "src/common/topology.hpp"
+#include "src/common/trace.hpp"
 
 namespace twiddc::stream {
 
@@ -102,6 +103,13 @@ void EngineGroup::migrate(const std::shared_ptr<Session>& session,
   shards_[to_shard]->adopt(ticket, factory_());
   it->second = to_shard;
   ++migrations_;
+  if (trace::enabled(trace::Category::kGroup)) {
+    static const std::uint16_t kMigrate = trace::intern("migrate");
+    // arg1 packs the route; eject/adopt events carry the ticket seq.
+    trace::emit(trace::Category::kGroup, kMigrate, trace::Phase::kInstant,
+                session->id(), (static_cast<std::uint64_t>(from) << 32) |
+                                   static_cast<std::uint64_t>(to_shard));
+  }
 }
 
 std::size_t EngineGroup::shard_of(const std::shared_ptr<Session>& session) const {
@@ -132,13 +140,15 @@ std::string EngineGroup::stats_json() const {
       .field("blocks_pumped", static_cast<std::size_t>(pumped))
       .field("migrations", static_cast<std::size_t>(migrations()))
       .field("numa_nodes", common::topology::probe().node_count());
-  std::string out = "{\"group\": " + group_line.str() + ", \"shards\": [";
+  std::string shard_array = "[";
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (i) out += ", ";
-    out += shards_[i]->stats_json();
+    if (i) shard_array += ", ";
+    shard_array += shards_[i]->stats_json();
   }
-  out += "]}";
-  return out;
+  shard_array += "]";
+  JsonLine root;
+  root.object("group", group_line).raw_field("shards", std::move(shard_array));
+  return root.str();
 }
 
 std::vector<std::vector<StreamChunk>> drain_all(

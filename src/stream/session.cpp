@@ -4,9 +4,14 @@
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/trace.hpp"
 #include "src/stream/engine.hpp"
 
 namespace twiddc::stream {
+
+namespace {
+constexpr trace::Category kTraceCat = trace::Category::kStream;
+}  // namespace
 
 const char* to_string(BackpressurePolicy policy) {
   return policy == BackpressurePolicy::kBlock ? "block" : "drop_oldest";
@@ -171,6 +176,12 @@ void Session::apply_swap_locked(const RetuneRequest& request) {
         std::memory_order_relaxed);
     if (request.mode == core::SwapMode::kFlush) pending_flush_gap_ = true;
     retune_result_ = true;
+    if (trace::enabled(kTraceCat)) {
+      // arg1: 0 = flush swap, 1 = splice swap.
+      static const std::uint16_t kName = trace::intern("retune");
+      trace::emit(kTraceCat, kName, trace::Phase::kInstant, id_,
+                  request.mode == core::SwapMode::kFlush ? 0 : 1);
+    }
   } catch (const ConfigError& e) {
     // A lowering/config rejection is the swap contract working, not a
     // fault: swap_plan guarantees the old configuration stays active and
@@ -178,6 +189,10 @@ void Session::apply_swap_locked(const RetuneRequest& request) {
     last_error_ = e.what();
     stats_.retunes_rejected.fetch_add(1, std::memory_order_relaxed);
     retune_result_ = false;
+    if (trace::enabled(kTraceCat)) {
+      static const std::uint16_t kName = trace::intern("retune_rejected");
+      trace::emit(kTraceCat, kName, trace::Phase::kInstant, id_, 0);
+    }
   } catch (const std::exception& e) {
     // Anything else means the backend broke mid-swap; the caller converts
     // the stash into a kBackendSwap fault after releasing control_mu_.
@@ -266,6 +281,13 @@ void Session::quarantine(FaultCause cause, std::string what) {
 }
 
 void Session::apply_fault_transition(FaultInfo info, RestartPolicy policy) {
+  if (trace::enabled(kTraceCat)) {
+    // arg1 carries the stable wire code (error_code), so a trace consumer
+    // matches causes without the enum header.
+    static const std::uint16_t kName = trace::intern("fault");
+    trace::emit(kTraceCat, kName, trace::Phase::kInstant, id_,
+                static_cast<std::uint64_t>(error_code(info.cause)));
+  }
   bool do_close = false;
   {
     std::lock_guard<std::mutex> lock(control_mu_);
@@ -307,6 +329,11 @@ void Session::apply_fault_transition(FaultInfo info, RestartPolicy policy) {
     return;
   }
   if (health() == SessionHealth::kQuarantined) {
+    if (trace::enabled(kTraceCat)) {
+      static const std::uint16_t kName = trace::intern("quarantine");
+      trace::emit(kTraceCat, kName, trace::Phase::kInstant, id_,
+                  static_cast<std::uint64_t>(error_code(last_fault().cause)));
+    }
     // Quarantine freezes the stream: free the queued feed blocks (the pump
     // stops feeding us, and nothing else would release the shared buffers).
     while (in_ring_.try_pop()) {
@@ -366,12 +393,18 @@ bool Session::restart_due(std::chrono::steady_clock::time_point now) const {
 }
 
 void Session::complete_restart() {
+  int restarts = 0;
   {
     std::lock_guard<std::mutex> lock(control_mu_);
-    ++restarts_done_;
+    restarts = ++restarts_done_;
     stats_.restarts.fetch_add(1, std::memory_order_relaxed);
     health_.store(static_cast<std::uint8_t>(SessionHealth::kHealthy),
                   std::memory_order_release);
+  }
+  if (trace::enabled(kTraceCat)) {
+    static const std::uint16_t kName = trace::intern("restart");
+    trace::emit(kTraceCat, kName, trace::Phase::kInstant, id_,
+                static_cast<std::uint64_t>(restarts));
   }
   pending_fault_gap_ = true;  // worker thread: mark the resume point in-stream
 }

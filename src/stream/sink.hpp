@@ -6,13 +6,13 @@
 // driven from the client's polling thread only.
 #pragma once
 
-#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/stream/engine.hpp"
 #include "src/stream/session.hpp"
 
@@ -53,16 +53,16 @@ class CollectingSink final : public Sink {
 /// overload bench's probe for "did my stream keep flowing while others were
 /// shed".  Timestamps are taken at delivery (the polling thread), so a gap
 /// covers the whole path: pump -> ring -> worker -> output ring -> poll.
+///
+/// Gaps go into a metrics::Histogram (microsecond buckets) instead of an
+/// unbounded vector, so memory stays constant however long the run -- a
+/// quantile is a bucket upper bound, exact to ~12.5% (see metrics.hpp).
 class LatencyRecorder final : public Sink {
  public:
   void on_chunk(std::uint64_t session_id, StreamChunk&& chunk) override {
     const auto now = std::chrono::steady_clock::now();
     auto& rec = records_[session_id];
-    if (rec.chunks > 0) {
-      const double gap_ms =
-          std::chrono::duration<double, std::milli>(now - rec.last).count();
-      rec.gaps_ms.push_back(gap_ms);
-    }
+    if (rec.chunks > 0) record_gap(rec, now);
     rec.last = now;
     rec.chunks++;
     rec.samples += chunk.iq.size();
@@ -85,8 +85,7 @@ class LatencyRecorder final : public Sink {
     const auto now = std::chrono::steady_clock::now();
     for (auto& [id, rec] : records_) {
       if (rec.chunks == 0) continue;
-      rec.gaps_ms.push_back(
-          std::chrono::duration<double, std::milli>(now - rec.last).count());
+      record_gap(rec, now);
       rec.last = now;
     }
   }
@@ -95,16 +94,24 @@ class LatencyRecorder final : public Sink {
   /// 0.0 when fewer than two chunks arrived anywhere.
   [[nodiscard]] double gap_quantile_ms(const std::vector<std::uint64_t>& session_ids,
                                        double p) const {
-    std::vector<double> pool;
+    metrics::HistogramSnapshot pool;
     for (const std::uint64_t id : session_ids) {
       const auto it = records_.find(id);
-      if (it != records_.end())
-        pool.insert(pool.end(), it->second.gaps_ms.begin(), it->second.gaps_ms.end());
+      if (it != records_.end()) pool.add(it->second.gaps_us.snapshot());
     }
-    if (pool.empty()) return 0.0;
-    std::sort(pool.begin(), pool.end());
-    const auto idx = static_cast<std::size_t>(p * static_cast<double>(pool.size() - 1));
-    return pool[std::min(idx, pool.size() - 1)];
+    return static_cast<double>(pool.quantile(p)) * 1e-3;
+  }
+
+  /// Pooled-across-all-sessions convenience quantiles, in milliseconds.
+  [[nodiscard]] double p50_ms() const { return pooled_quantile(0.50); }
+  [[nodiscard]] double p99_ms() const { return pooled_quantile(0.99); }
+
+  /// The pooled gap distribution of every session, for JSON rendering
+  /// through the shared metrics code path (scale 1e-3: us -> ms).
+  [[nodiscard]] metrics::HistogramSnapshot pooled_gaps_us() const {
+    metrics::HistogramSnapshot pool;
+    for (const auto& [id, rec] : records_) pool.add(rec.gaps_us.snapshot());
+    return pool;
   }
 
  private:
@@ -112,8 +119,19 @@ class LatencyRecorder final : public Sink {
     std::chrono::steady_clock::time_point last{};
     std::uint64_t chunks = 0;
     std::uint64_t samples = 0;
-    std::vector<double> gaps_ms;
+    metrics::Histogram gaps_us;
   };
+
+  static void record_gap(Record& rec, std::chrono::steady_clock::time_point now) {
+    rec.gaps_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - rec.last)
+            .count()));
+  }
+
+  [[nodiscard]] double pooled_quantile(double p) const {
+    return static_cast<double>(pooled_gaps_us().quantile(p)) * 1e-3;
+  }
+
   std::map<std::uint64_t, Record> records_;
 };
 

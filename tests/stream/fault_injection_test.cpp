@@ -22,6 +22,7 @@
 
 #include "src/backends/builtin.hpp"
 #include "src/common/error.hpp"
+#include "src/common/trace.hpp"
 #include "src/core/backend.hpp"
 #include "src/core/datapath_spec.hpp"
 #include "src/core/ddc_config.hpp"
@@ -740,6 +741,124 @@ TEST_F(FaultInjectionTest, OccupancyShedTakesTheLowestWeightSessionFirst) {
   EXPECT_EQ(keeper->stats().gaps, 0u);
   expect_equal(flatten(chunks[0]), one_shot(backends::kNative, figure1_plan(), feed),
                "heavy keeper under occupancy shedding");
+}
+
+// ------------------------------------------------------- fault tracing
+
+TEST_F(FaultInjectionTest, EveryScheduledFaultAppearsInTheTraceWithItsCause) {
+  // The observability contract on the supervision path: each fault the
+  // injector fires surfaces as a "fault" trace event carrying the victim's
+  // session id (arg0) and the stable error_code of its cause (arg1), and
+  // the recovery shows up as matching "restart" / "quarantine" events.
+  struct TraceGuard {
+    TraceGuard() {
+      trace::reset();
+      trace::set_enabled(trace::bit(trace::Category::kStream));
+    }
+    ~TraceGuard() {
+      trace::set_enabled(0);
+      trace::reset();
+    }
+  } guard;
+
+  // Scenario 1: two injected process throws, both recovered by backoff
+  // restarts.
+  const auto feed = make_feed(2048 * 12);
+  FaultInjector injector(fault_seed());
+  FaultSpec spec;
+  spec.kind = FaultKind::kThrow;
+  spec.site = FaultSite::kProcess;
+  spec.first = 3;
+  spec.period = 3;
+  spec.max_fires = 2;
+  const std::string faulty = injector.register_faulty_backend(backends::kNative, spec);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.block_samples = 2048;
+  opts.watchdog_interval_us = 500;
+  opts.default_restart.policy = RestartPolicy::kRestartWithBackoff;
+  opts.default_restart.initial_backoff = std::chrono::milliseconds(1);
+  StreamEngine engine(std::make_unique<VectorSource>(feed), opts);
+  auto keeper = engine.open(figure1_plan(), backends::kNative);
+  auto victim = engine.open(figure1_plan(25.0e3), faulty);
+  engine.start();
+  (void)drain_all(engine, {keeper, victim});
+  engine.stop();
+  ASSERT_EQ(injector.counters().throws_fired, 2u);
+
+  // Scenario 2: a stuck backend quarantined by the watchdog (kStall).
+  FaultInjector stall_injector(fault_seed());
+  FaultSpec stall_spec;
+  stall_spec.kind = FaultKind::kStall;
+  stall_spec.site = FaultSite::kProcess;
+  stall_spec.first = 0;
+  stall_spec.period = 1;
+  stall_spec.stall = std::chrono::milliseconds(300);
+  const std::string stuck =
+      stall_injector.register_faulty_backend(backends::kNative, stall_spec);
+  EngineOptions stall_opts;
+  stall_opts.workers = 2;
+  stall_opts.block_samples = 2048;
+  stall_opts.watchdog_interval_us = 500;
+  stall_opts.stall_timeout_ms = 50;
+  StreamEngine stall_engine(std::make_unique<VectorSource>(make_feed(2048 * 8)),
+                            stall_opts);
+  auto stalled = stall_engine.open(figure1_plan(), stuck,
+                                   BackpressurePolicy::kDropOldest);
+  stall_engine.start();
+  ASSERT_TRUE(
+      wait_until([&] { return stalled->health() == SessionHealth::kQuarantined; }));
+  stall_engine.stop();
+
+  const trace::Snapshot snap = trace::snapshot();
+  const auto name_id = [&snap](const std::string& name) {
+    for (std::size_t i = 0; i < snap.names.size(); ++i)
+      if (snap.names[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  const int fault_name = name_id("fault");
+  const int restart_name = name_id("restart");
+  const int quarantine_name = name_id("quarantine");
+  ASSERT_GE(fault_name, 0);
+  ASSERT_GE(restart_name, 0);
+  ASSERT_GE(quarantine_name, 0);
+
+  std::size_t victim_faults = 0;
+  std::size_t victim_restarts = 0;
+  std::size_t stalled_faults = 0;
+  std::size_t stalled_quarantines = 0;
+  for (const trace::TraceEvent& e : snap.events) {
+    if (e.name == static_cast<std::uint16_t>(fault_name)) {
+      if (e.arg0 == victim->id()) {
+        ++victim_faults;
+        EXPECT_EQ(e.arg1,
+                  static_cast<std::uint64_t>(error_code(FaultCause::kBackendProcess)));
+      } else if (e.arg0 == stalled->id()) {
+        ++stalled_faults;
+        EXPECT_EQ(e.arg1, static_cast<std::uint64_t>(error_code(FaultCause::kStall)));
+      } else {
+        ADD_FAILURE() << "fault event for unexpected session " << e.arg0;
+      }
+    } else if (e.name == static_cast<std::uint16_t>(restart_name)) {
+      EXPECT_EQ(e.arg0, victim->id());
+      ++victim_restarts;
+    } else if (e.name == static_cast<std::uint16_t>(quarantine_name)) {
+      EXPECT_EQ(e.arg0, stalled->id());
+      EXPECT_EQ(e.arg1, static_cast<std::uint64_t>(error_code(FaultCause::kStall)));
+      ++stalled_quarantines;
+    }
+  }
+  // Every scheduled fault traced, nothing invented: the injector fired 2
+  // process throws at the victim, and the watchdog quarantined the stuck
+  // session exactly once.
+  EXPECT_EQ(victim_faults, 2u);
+  EXPECT_EQ(victim_restarts, 2u);
+  EXPECT_EQ(stalled_faults, 1u);
+  EXPECT_EQ(stalled_quarantines, 1u);
+  // The engine's own lifecycle is on the same timeline.
+  EXPECT_GE(name_id("engine_start"), 0);
+  EXPECT_GE(name_id("service"), 0);
 }
 
 // ----------------------------------------------------- injector hygiene

@@ -1,0 +1,46 @@
+// trace_dump -- converts a binary trace ring dump (trace::write_binary_dump,
+// magic TWTRC1) into Chrome trace format or newline-delimited JSON.
+//
+//   trace_dump capture.bin capture.trace.json            # Chrome trace
+//   trace_dump --ndjson capture.bin capture.ndjson       # one event/line
+//
+// Load the .trace.json output in chrome://tracing or https://ui.perfetto.dev.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/trace.hpp"
+
+int main(int argc, char** argv) {
+  bool ndjson = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--ndjson") == 0) {
+    ndjson = true;
+    ++arg;
+  }
+  if (argc - arg != 2) {
+    std::fprintf(stderr, "usage: %s [--ndjson] <dump.bin> <out.json>\n", argv[0]);
+    return 2;
+  }
+  const std::string in = argv[arg];
+  const std::string out = argv[arg + 1];
+
+  twiddc::trace::Snapshot snap;
+  if (!twiddc::trace::read_binary_dump(in, snap)) {
+    std::fprintf(stderr, "trace_dump: %s is not a TWTRC1 dump\n", in.c_str());
+    return 1;
+  }
+  const std::string json = ndjson ? twiddc::trace::to_ndjson(snap)
+                                  : twiddc::trace::to_chrome_json(snap);
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    std::fprintf(stderr, "trace_dump: cannot write %s\n", out.c_str());
+    if (f != nullptr) std::fclose(f);
+    return 1;
+  }
+  std::fclose(f);
+  std::fprintf(stderr, "trace_dump: %zu events (%llu dropped) -> %s\n",
+               snap.events.size(),
+               static_cast<unsigned long long>(snap.dropped), out.c_str());
+  return 0;
+}
