@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -122,8 +124,61 @@ inline JsonLine channel_bank_json(const std::string& bench, const std::string& c
   return j;
 }
 
+// ------------------------------------------------------- record trajectory
+//
+// Machine-readable record tee.  Stdout keeps the bare one-JSON-object-per-
+// line format the existing trajectory consumers parse; when an output file
+// is configured (--out FILE or --out=FILE on the command line, else the
+// TWIDDC_BENCH_OUT environment variable), every emitted record is ALSO
+// appended to FILE as
+//   BENCH_<name>.json {"bench": ..., ...}
+// with <name> sanitised to [A-Za-z0-9_] so the tag doubles as a filename-
+// safe key.  Append mode on purpose: successive bench invocations (CI runs,
+// tier sweeps under different TWIDDC_* knobs) accumulate into one
+// trajectory log instead of clobbering each other.
+
+/// The configured record file path ("" = stdout only).
+inline std::string& out_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parses --out FILE / --out=FILE, falling back to TWIDDC_BENCH_OUT.  Call
+/// once from main before emitting records (run() below does it for the
+/// report+benchmark binaries).
+inline void init_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path() = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path() = arg.substr(6);
+    }
+  }
+  if (out_path().empty()) {
+    if (const char* env = std::getenv("TWIDDC_BENCH_OUT"); env && *env)
+      out_path() = env;
+  }
+}
+
+/// Prints the record to stdout (bare JSON line, unchanged format) and, when
+/// an out file is configured, appends the tagged BENCH_<name>.json record.
+inline void emit(const std::string& name, const JsonLine& j) {
+  j.print();
+  if (out_path().empty()) return;
+  std::string tag;
+  tag.reserve(name.size());
+  for (const char c : name)
+    tag += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  if (std::FILE* f = std::fopen(out_path().c_str(), "a")) {
+    std::fprintf(f, "BENCH_%s.json %s\n", tag.c_str(), j.str().c_str());
+    std::fclose(f);
+  }
+}
+
 /// Standard main body: print the report, then run registered benchmarks.
 inline int run(int argc, char** argv, void (*report)()) {
+  init_out(argc, argv);
   report();
   std::printf("\n-- kernel timings (google-benchmark) --\n");
   benchmark::Initialize(&argc, argv);

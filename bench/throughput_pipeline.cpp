@@ -31,6 +31,12 @@
 // (aggregate serving rate + p99 inter-chunk gap at 64..4096 sessions,
 // single engine vs sharded EngineGroup -- the scale-out headline) and the
 // "workers_effective" field (TWIDDC_WORKERS / set_workers land here).
+// PR 10 adds "figure1:packed_fir" (cross-channel packed kernels vs
+// monolithic per-channel chains at 64 channels, one line per kernel tier)
+// and "figure1:da_vs_mac" (distributed-arithmetic FIR lowering vs the MAC
+// kernels, bit-exact, with the energy model's multiplier-vs-ROM numbers),
+// and every line is teed through benchutil::emit, so --out FILE /
+// TWIDDC_BENCH_OUT appends BENCH_<name>.json records for the trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +64,7 @@
 #include "src/core/plan_compiler.hpp"
 #include "src/dsp/cic.hpp"
 #include "src/dsp/fir.hpp"
+#include "src/energy/da_model.hpp"
 #include "src/dsp/fir_design.hpp"
 #include "src/dsp/mixer.hpp"
 #include "src/dsp/nco.hpp"
@@ -101,10 +108,12 @@ void bench_figure1(const DatapathSpec& spec) {
     by_block.process_block(input, sink);
   });
 
-  twiddc::benchutil::throughput_json("throughput_pipeline", "figure1:" + spec.name,
-                                     push, block, input.size())
-      .field("simd", twiddc::simd::isa_name())
-      .print();
+  twiddc::benchutil::emit(
+      "figure1:" + spec.name,
+      twiddc::benchutil::throughput_json("throughput_pipeline",
+                                         "figure1:" + spec.name, push, block,
+                                         input.size())
+          .field("simd", twiddc::simd::isa_name()));
 }
 
 // -------------------------------------------------- fused vs staged chain
@@ -161,7 +170,81 @@ void bench_fused_vs_staged() {
       .field("bit_exact", bit_exact)
       .field("block_samples", input.size())
       .field("simd", twiddc::simd::isa_name());
-  j.print();
+  twiddc::benchutil::emit("figure1:fused_vs_staged", j);
+}
+
+// ----------------------------------------------------------- DA vs MAC FIR
+
+// Distributed-arithmetic lowering headline: the same compiled Figure-1 plan
+// executed with the FIR tail forced to the MAC kernels and forced to the
+// 4-bit-slice DA engine, bit-exactness asserted inline (the DA per-tile
+// fits-guard makes the lowering unconditionally exact).  Software
+// throughput usually favours MAC -- the SIMD dot kernels are the fast path
+// -- so the line exists to keep the DA path honest in the trajectory and to
+// surface the hardware-side trade the energy model quantifies: zero
+// multipliers vs ROM bits and W lookups per output (arXiv:1403.4554
+// direction).
+//   {"bench": "throughput_pipeline", "chain": "figure1:da_vs_mac",
+//    "mac_msamples_per_s": ..., "da_msamples_per_s": ..., "bit_exact": true,
+//    "da_stages": 1, "mac_multipliers": ..., "da_table_bits": ..., ...}
+
+void bench_da_vs_mac() {
+  using twiddc::core::FirLoweringPolicy;
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  const auto plan = ChainPlan::figure1(cfg, spec);
+  const auto input = figure1_stimulus(cfg, kBlock);
+  const auto compiled =
+      twiddc::core::CompiledPlanCache::instance().get_or_compile(plan);
+
+  const FirLoweringPolicy saved = twiddc::core::fir_lowering_policy();
+  double rate[2] = {0.0, 0.0};
+  std::vector<IqSample> out[2];
+  std::size_t da_stages = 0;
+  for (const bool da : {false, true}) {
+    twiddc::core::set_fir_lowering_policy(da ? FirLoweringPolicy::kForceDa
+                                             : FirLoweringPolicy::kForceMac);
+    twiddc::core::FusedChainExec exec(compiled);
+    if (da) {
+      for (std::size_t s = 0; s < plan.stages.size(); ++s)
+        if (exec.active_lowering(s) == twiddc::core::FirLowering::kDa)
+          ++da_stages;
+    }
+    std::vector<IqSample> sink;
+    const Throughput t = measure_throughput(input.size(), [&] {
+      sink.clear();
+      exec.process_block(input, sink);
+    });
+    rate[da ? 1 : 0] = t.msamples_per_s();
+    exec.reset();
+    exec.process_block(input, out[da ? 1 : 0]);
+  }
+  twiddc::core::set_fir_lowering_policy(saved);
+
+  // Hardware-side costs of the same FIR stages, from the shared cost model.
+  std::size_t multipliers = 0;
+  std::size_t table_bits = 0;
+  std::size_t lookups = 0;
+  for (const auto& c : twiddc::energy::plan_fir_costs(plan)) {
+    multipliers += c.multipliers;
+    table_bits += c.table_bits;
+    lookups += c.lookups_per_output;
+  }
+
+  JsonLine j;
+  j.field("bench", std::string("throughput_pipeline"))
+      .field("chain", std::string("figure1:da_vs_mac"))
+      .field("mac_msamples_per_s", rate[0])
+      .field("da_msamples_per_s", rate[1])
+      .field("da_over_mac", rate[0] > 0.0 ? rate[1] / rate[0] : 0.0)
+      .field("bit_exact", out[0] == out[1])
+      .field("da_stages", da_stages)
+      .field("mac_multipliers", multipliers)
+      .field("da_table_bits", table_bits)
+      .field("da_lookups_per_output", lookups)
+      .field("block_samples", input.size())
+      .field("simd", twiddc::simd::isa_name());
+  twiddc::benchutil::emit("figure1:da_vs_mac", j);
 }
 
 // ---------------------------------------------------------- plan cache
@@ -223,7 +306,7 @@ void bench_plan_cache() {
              static_cast<double>(after_shared.hits - before_shared.hits) /
                  static_cast<double>(kSessions))
       .field("simd", twiddc::simd::isa_name());
-  j.print();
+  twiddc::benchutil::emit("plan_cache", j);
 }
 
 void bench_gc4016() {
@@ -248,18 +331,20 @@ void bench_gc4016() {
     block_chip.channel(0).process_block(input, sink);
   });
 
-  twiddc::benchutil::throughput_json("throughput_pipeline", "gc4016:figure4", push,
-                                     block, input.size())
-      .field("simd", twiddc::simd::isa_name())
-      .print();
+  twiddc::benchutil::emit(
+      "gc4016:figure4",
+      twiddc::benchutil::throughput_json("throughput_pipeline", "gc4016:figure4",
+                                         push, block, input.size())
+          .field("simd", twiddc::simd::isa_name()));
 }
 
 // ------------------------------------------------------------- kernel rates
 
 void kernel_line(const std::string& kernel, const Throughput& t, std::size_t n) {
-  twiddc::benchutil::kernel_json("throughput_pipeline", kernel, t, n)
-      .field("simd", twiddc::simd::isa_name())
-      .print();
+  twiddc::benchutil::emit(
+      "kernel:" + kernel,
+      twiddc::benchutil::kernel_json("throughput_pipeline", kernel, t, n)
+          .field("simd", twiddc::simd::isa_name()));
 }
 
 void bench_kernel_nco_mixer() {
@@ -360,7 +445,7 @@ void bench_backends() {
         .field("block_msamples_per_s", t.msamples_per_s())
         .field("block_samples", input.size())
         .field("simd", twiddc::simd::isa_name());
-    j.print();
+    twiddc::benchutil::emit("backend:" + backend->name(), j);
   }
 }
 
@@ -405,11 +490,12 @@ void bench_channel_bank_skewed() {
       bank.process_block(input, planar);
     });
     if (workers == 1) serial_rate = t.msamples_per_s();
-    twiddc::benchutil::channel_bank_json("throughput_pipeline",
-                                         "channel_bank:skewed", plans.size(),
-                                         workers, t, serial_rate, input.size())
-        .field("simd", twiddc::simd::isa_name())
-        .print();
+    twiddc::benchutil::emit(
+        "channel_bank:skewed",
+        twiddc::benchutil::channel_bank_json("throughput_pipeline",
+                                             "channel_bank:skewed", plans.size(),
+                                             workers, t, serial_rate, input.size())
+            .field("simd", twiddc::simd::isa_name()));
   }
 }
 
@@ -443,12 +529,85 @@ void bench_channel_bank() {
         bank.process_block(input, planar);
       });
       if (channels == 1 && workers == 1) single_rate = t.msamples_per_s();
-      twiddc::benchutil::channel_bank_json("throughput_pipeline",
-                                           "channel_bank:figure1", channels, workers,
-                                           t, single_rate, input.size())
-          .field("simd", twiddc::simd::isa_name())
-          .print();
+      twiddc::benchutil::emit(
+          "channel_bank:figure1",
+          twiddc::benchutil::channel_bank_json("throughput_pipeline",
+                                               "channel_bank:figure1", channels,
+                                               workers, t, single_rate,
+                                               input.size())
+              .field("simd", twiddc::simd::isa_name()));
     }
+  }
+}
+
+// ------------------------------------------------------- packed FIR tiers
+
+// Cross-channel packing headline: 64 identical-geometry Figure-1 channels
+// (detuned NCOs, same CIC/FIR geometry, so the bank packs them 4 or 8 to a
+// register) on ONE worker, the packed cross-channel kernels (CIC
+// packed4/packed8 plus the FIR tail lane-packing) against the same bank
+// with set_packing(false) -- monolithic per-channel chains.  One line per
+// available kernel tier: the AVX-512 runtime cap is forced off for the
+// "avx2" line (on builds without AVX2 intrinsics that line degrades to the
+// scalar tier and the speedup sits near 1), and an "avx512" line is added
+// when the runtime tier is active on this host.  Packed-vs-monolithic
+// bit-exactness is asserted inline, same spirit as figure1:fused_vs_staged.
+// The CI bench gate reads the "avx2"-tier line and requires
+// speedup_packed_over_monolithic >= 1.2 at 64 channels.
+
+void bench_packed_fir() {
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto spec = DatapathSpec::wide16();
+  constexpr std::size_t kChannels = 64;
+  std::vector<ChainPlan> plans;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    auto ch_cfg = cfg;
+    ch_cfg.nco_freq_hz = cfg.nco_freq_hz + 25.0e3 * static_cast<double>(c);
+    plans.push_back(ChainPlan::figure1(ch_cfg, spec));
+  }
+  const auto input = figure1_stimulus(cfg, 2688 * 16);
+
+  struct Tier {
+    const char* label;
+    bool avx512;
+  };
+  std::vector<Tier> tiers{{"avx2", false}};
+  if (twiddc::simd::avx512_active()) tiers.push_back({"avx512", true});
+
+  for (const Tier& tier : tiers) {
+    twiddc::simd::ScopedAvx512 cap(tier.avx512);
+    double rate[2] = {0.0, 0.0};
+    std::vector<std::vector<IqSample>> out[2];
+    for (const bool packed : {false, true}) {
+      ChannelBank bank(plans, /*workers=*/1);
+      bank.set_packing(packed);
+      std::vector<std::vector<IqSample>> planar;
+      const std::size_t channel_samples = input.size() * kChannels;
+      const Throughput t = measure_throughput(channel_samples, [&] {
+        for (auto& p : planar) p.clear();
+        bank.process_block(input, planar);
+      });
+      rate[packed ? 1 : 0] = t.msamples_per_s();
+      // Fresh bank for the bit-exactness capture: the timed reps above left
+      // settled ring history behind.
+      ChannelBank check(plans, /*workers=*/1);
+      check.set_packing(packed);
+      check.process_block(input, out[packed ? 1 : 0]);
+    }
+    JsonLine j;
+    j.field("bench", std::string("throughput_pipeline"))
+        .field("chain", std::string("figure1:packed_fir"))
+        .field("channels", kChannels)
+        .field("workers", std::size_t{1})
+        .field("tier", std::string(tier.label))
+        .field("monolithic_msamples_per_s", rate[0])
+        .field("packed_msamples_per_s", rate[1])
+        .field("speedup_packed_over_monolithic",
+               rate[0] > 0.0 ? rate[1] / rate[0] : 0.0)
+        .field("bit_exact", out[0] == out[1])
+        .field("block_samples", input.size())
+        .field("simd", twiddc::simd::active_path());
+    twiddc::benchutil::emit("figure1:packed_fir", j);
   }
 }
 
@@ -506,7 +665,7 @@ void bench_stream_sessions() {
         .field("scaling_vs_single", single_rate > 0.0 ? aggregate / single_rate : 0.0)
         .field("chunks", chunks.front().size())
         .field("simd", twiddc::simd::isa_name());
-    j.print();
+    twiddc::benchutil::emit("stream_engine:figure1", j);
   }
 }
 
@@ -599,7 +758,7 @@ void bench_stream_overload() {
         .field("shed_events", static_cast<std::size_t>(engine.shed_events()))
         .field("shed_blocks", static_cast<std::size_t>(engine.shed_blocks()))
         .field("simd", twiddc::simd::isa_name());
-    j.print();
+    twiddc::benchutil::emit("stream_engine:overload", j);
   }
 }
 
@@ -673,7 +832,7 @@ void bench_stream_trace_overhead() {
       .field("traced_drops", static_cast<std::size_t>(traced_drops))
       .field("trace_compiled", TWIDDC_TRACE_COMPILED_MASK != 0u)
       .field("simd", twiddc::simd::isa_name());
-  j.print();
+  twiddc::benchutil::emit("stream_engine:trace", j);
 }
 
 // -------------------------------------------------------------- saturation
@@ -772,7 +931,7 @@ void bench_stream_saturation() {
           .field("p50_gap_ms", recorder.gap_quantile_ms(ids, 0.50))
           .field("p99_gap_ms", recorder.gap_quantile_ms(ids, 0.99))
           .field("simd", twiddc::simd::isa_name());
-      j.print();
+      twiddc::benchutil::emit("stream_engine:saturation", j);
     }
   }
 }
@@ -798,7 +957,8 @@ bool bench_selected(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  twiddc::benchutil::init_out(argc, argv);
   std::printf("# throughput_pipeline: block process_block() vs per-sample push()\n");
   std::printf("# one JSON object per line; speedup_block_over_push is the headline\n");
   std::printf("# kernel lines give block rates per vectorised kernel; channel_bank\n");
@@ -810,6 +970,8 @@ int main() {
       {"figure1:wide16", [] { bench_figure1(DatapathSpec::wide16()); }},
       {"figure1:fpga", [] { bench_figure1(DatapathSpec::fpga()); }},
       {"figure1:fused_vs_staged", bench_fused_vs_staged},
+      {"figure1:da_vs_mac", bench_da_vs_mac},
+      {"figure1:packed_fir", bench_packed_fir},
       {"plan_cache", bench_plan_cache},
       {"gc4016:figure4", bench_gc4016},
       {"kernel:nco_mixer", bench_kernel_nco_mixer},

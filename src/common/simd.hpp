@@ -37,6 +37,25 @@
 #include <arm_neon.h>
 #endif
 
+// AVX-512 kernels are compiled whenever the AVX2 tier is (the 512 paths are
+// supersets of the 256 ones) and the compiler supports per-function target
+// attributes: an x86-64-v3 binary then carries both tiers and dispatches at
+// runtime via cpuid, while an x86-64-v4 build (`__AVX512F__` et al. defined)
+// compiles them as plain functions.  The feature set is F+DQ+BW+VL -- the
+// Skylake-SP/x86-64-v4 baseline -- so `_mm512_mullo_epi64` (DQ) and the
+// 256-bit masked ops (VL) are available.
+#if defined(__AVX2__) && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIDDC_HAVE_AVX512_KERNELS 1
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512BW__) && \
+    defined(__AVX512VL__)
+#define TWIDDC_AVX512_NATIVE 1
+#define TWIDDC_AVX512_TARGET
+#else
+#define TWIDDC_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512dq,avx512bw,avx512vl")))
+#endif
+#endif
+
 namespace twiddc::simd {
 
 /// Name of the intrinsic path this build was compiled with ("avx2"/"neon"
@@ -72,11 +91,73 @@ inline void set_enabled(bool on) {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
 }
 
-/// The path the kernels take *right now*: isa_name() while the intrinsic
-/// kernels are live, "scalar" once the kill switch forced the fallback.
-/// Bench lines report this so a trajectory captured with the switch thrown
-/// cannot masquerade as an intrinsic-path measurement.
-inline const char* active_path() { return enabled() ? isa_name() : "scalar"; }
+// ------------------------------------------------------------ AVX-512 tier
+//
+// The 512-bit tier is selected at runtime: the kernels are compiled into any
+// AVX2 build (per-function target attributes), and dispatch checks cpuid
+// once.  Three switches stack: the master kill switch above (forces scalar
+// everywhere), the tier cap below (caps dispatch at the AVX2 tier so tests
+// can diff the two intrinsic tiers on one machine), and the hardware probe.
+
+namespace detail {
+inline std::atomic<bool>& avx512_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+/// True when this binary carries the AVX-512 kernels AND the CPU implements
+/// the required feature set (F+DQ+BW+VL).  Probed once via cpuid.
+inline bool avx512_supported() {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  static const bool supported = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512dq") &&
+                                __builtin_cpu_supports("avx512bw") &&
+                                __builtin_cpu_supports("avx512vl");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+/// Tier cap: when false, dispatch stops at the AVX2 tier even on AVX-512
+/// hardware.  Lets the test suite diff the two intrinsic tiers bit-exactly
+/// within one binary (the same role ScopedEnable plays for intrinsic-vs-
+/// scalar).  Defaults to on; the master kill switch overrides it.
+inline bool avx512_enabled() {
+  return detail::avx512_flag().load(std::memory_order_relaxed);
+}
+inline void set_avx512_enabled(bool on) {
+  detail::avx512_flag().store(on, std::memory_order_relaxed);
+}
+
+/// The 512-bit tier is live right now: kernels compiled in, CPU capable,
+/// neither the master kill switch nor the tier cap thrown.
+inline bool avx512_active() {
+  return enabled() && avx512_enabled() && avx512_supported();
+}
+
+/// RAII helper for tests: forces the AVX-512 tier cap within a scope.
+class ScopedAvx512 {
+ public:
+  explicit ScopedAvx512(bool on) : prev_(avx512_enabled()) { set_avx512_enabled(on); }
+  ~ScopedAvx512() { set_avx512_enabled(prev_); }
+  ScopedAvx512(const ScopedAvx512&) = delete;
+  ScopedAvx512& operator=(const ScopedAvx512&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// The path the kernels take *right now*: "avx512" when the 512-bit tier is
+/// live, isa_name() while the compile-time intrinsic kernels are live,
+/// "scalar" once the kill switch forced the fallback.  Bench lines report
+/// this so a trajectory captured with the switch thrown cannot masquerade as
+/// an intrinsic-path measurement.
+inline const char* active_path() {
+  if (!enabled()) return "scalar";
+  return avx512_active() ? "avx512" : isa_name();
+}
 
 /// RAII helper for tests: forces the given SIMD state within a scope.
 class ScopedEnable {
@@ -155,8 +236,47 @@ alignas(32) inline constexpr std::int64_t kTailMask[8] = {-1, -1, -1, -1,
 }  // namespace detail
 #endif
 
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+namespace detail {
+/// 8-lane dot product with a masked tail: the 1..7 leftover lanes load as
+/// zero under an __mmask8, contributing zero products, so the mod-2^64
+/// accumulation stays bit-exact with the scalar loop.
+TWIDDC_AVX512_TARGET inline std::int64_t dot_i64_avx512(const std::int64_t* a,
+                                                        const std::int64_t* b,
+                                                        std::size_t n,
+                                                        bool narrow_ok) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t j = 0;
+  if (narrow_ok) {
+    for (; j + 8 <= n; j += 8) {
+      const __m512i va = _mm512_loadu_si512(a + j);
+      const __m512i vb = _mm512_loadu_si512(b + j);
+      acc = _mm512_add_epi64(acc, _mm512_mul_epi32(va, vb));
+    }
+  } else {
+    for (; j + 8 <= n; j += 8) {
+      const __m512i va = _mm512_loadu_si512(a + j);
+      const __m512i vb = _mm512_loadu_si512(b + j);
+      acc = _mm512_add_epi64(acc, _mm512_mullo_epi64(va, vb));
+    }
+  }
+  if (j < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - j)) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(tail, a + j);
+    const __m512i vb = _mm512_maskz_loadu_epi64(tail, b + j);
+    acc = _mm512_add_epi64(acc, narrow_ok ? _mm512_mul_epi32(va, vb)
+                                          : _mm512_mullo_epi64(va, vb));
+  }
+  return _mm512_reduce_add_epi64(acc);
+}
+}  // namespace detail
+#endif
+
 inline std::int64_t dot_i64(const std::int64_t* a, const std::int64_t* b,
                             std::size_t n, bool narrow_ok) {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  if (n >= 16 && avx512_active()) return detail::dot_i64_avx512(a, b, n, narrow_ok);
+#endif
 #if defined(__AVX2__)
   if (enabled() && n >= 8) {
     __m256i acc = _mm256_setzero_si256();
@@ -248,10 +368,64 @@ inline std::uint32_t lut_sincos_block_scalar(std::uint32_t phase, std::uint32_t 
   return phase;
 }
 
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+namespace detail {
+/// 16 phases per iteration; same quadrant algebra as the AVX2 path, with the
+/// blend/negate selectors as __mmask16 predicates instead of byte masks.
+TWIDDC_AVX512_TARGET inline std::uint32_t lut_sincos_avx512(
+    std::uint32_t phase, std::uint32_t step, const std::int32_t* table,
+    int table_bits, std::size_t n, std::int32_t* cos_out, std::int32_t* sin_out) {
+  const std::uint32_t mask = (std::uint32_t{1} << table_bits) - 1;
+  const int shift = 30 - table_bits;
+  const __m512i vmask = _mm512_set1_epi32(static_cast<int>(mask));
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i two = _mm512_set1_epi32(2);
+  __m512i vphase = _mm512_add_epi32(
+      _mm512_set1_epi32(static_cast<int>(phase)),
+      _mm512_mullo_epi32(
+          _mm512_set1_epi32(static_cast<int>(step)),
+          _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                            15)));
+  const __m512i vstep16 = _mm512_set1_epi32(static_cast<int>(step * 16u));
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    const __m512i quadrant = _mm512_srli_epi32(vphase, 30);
+    const __m512i index = _mm512_and_si512(
+        _mm512_srl_epi32(vphase, _mm_cvtsi32_si128(shift)), vmask);
+    const __m512i fwd = _mm512_i32gather_epi32(index, table, 4);
+    const __m512i mir =
+        _mm512_i32gather_epi32(_mm512_sub_epi32(vmask, index), table, 4);
+    // Quadrant bit 0 swaps fwd/mir; sin negates in quadrants 2,3 (bit 1),
+    // cos in 1,2 (bit0 ^ bit1) -- the scalar switch, predicated.
+    const __mmask16 bit0 = _mm512_test_epi32_mask(quadrant, one);
+    const __mmask16 bit1 = _mm512_test_epi32_mask(quadrant, two);
+    const __m512i sin_base = _mm512_mask_blend_epi32(bit0, fwd, mir);
+    const __m512i cos_base = _mm512_mask_blend_epi32(bit0, mir, fwd);
+    const __m512i sin_v = _mm512_mask_sub_epi32(sin_base, bit1, zero, sin_base);
+    const __mmask16 cos_neg = bit0 ^ bit1;
+    const __m512i cos_v =
+        _mm512_mask_sub_epi32(cos_base, cos_neg, zero, cos_base);
+    _mm512_storeu_si512(sin_out + k, sin_v);
+    _mm512_storeu_si512(cos_out + k, cos_v);
+    vphase = _mm512_add_epi32(vphase, vstep16);
+  }
+  phase += static_cast<std::uint32_t>(k) * step;
+  return lut_sincos_block_scalar(phase, step, table, table_bits, n - k,
+                                 cos_out + k, sin_out + k);
+}
+}  // namespace detail
+#endif
+
 inline std::uint32_t lut_sincos_block(std::uint32_t phase, std::uint32_t step,
                                       const std::int32_t* table, int table_bits,
                                       std::size_t n, std::int32_t* cos_out,
                                       std::int32_t* sin_out) {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  if (n >= 32 && avx512_active())
+    return detail::lut_sincos_avx512(phase, step, table, table_bits, n, cos_out,
+                                     sin_out);
+#endif
 #if defined(__AVX2__)
   if (enabled() && n >= 16) {
     const std::uint32_t mask = (std::uint32_t{1} << table_bits) - 1;
@@ -315,10 +489,58 @@ inline void mul_shift_narrow_scalar(const std::int64_t* x, const std::int32_t* m
   }
 }
 
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+namespace detail {
+/// 8-lane mixer rail kernel.  AVX-512F has the 64-bit arithmetic right shift
+/// and 64-bit min/max that AVX2 lacks, so both the rounding shift and the
+/// saturation are single instructions per step.
+TWIDDC_AVX512_TARGET inline void mul_shift_narrow_avx512(
+    const std::int64_t* x, const std::int32_t* m, std::size_t n, int shift,
+    int bits, fixed::Rounding rounding, fixed::Overflow overflow,
+    std::int64_t* out) {
+  const __m512i round_add = rounding == fixed::Rounding::kNearest && shift > 0
+                                ? _mm512_set1_epi64(std::int64_t{1} << (shift - 1))
+                                : _mm512_setzero_si512();
+  const bool saturate = bits != 0 && overflow == fixed::Overflow::kSaturate;
+  const bool wrap = bits != 0 && overflow == fixed::Overflow::kWrap;
+  const __m512i sat_hi = _mm512_set1_epi64(bits ? fixed::max_for_bits(bits) : 0);
+  const __m512i sat_lo = _mm512_set1_epi64(bits ? fixed::min_for_bits(bits) : 0);
+  const __m128i vshift = _mm_cvtsi32_si128(shift);
+  const __m128i vwrap = _mm_cvtsi32_si128(bits ? 64 - bits : 0);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512i vx = _mm512_loadu_si512(x + k);
+    const __m512i vm = _mm512_cvtepi32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + k)));
+    __m512i v = _mm512_mul_epi32(vx, vm);
+    if (shift > 0) {
+      v = _mm512_add_epi64(v, round_add);
+      v = _mm512_sra_epi64(v, vshift);
+    }
+    if (saturate) {
+      v = _mm512_min_epi64(v, sat_hi);
+      v = _mm512_max_epi64(v, sat_lo);
+    } else if (wrap) {
+      v = _mm512_sra_epi64(_mm512_sll_epi64(v, vwrap), vwrap);
+    }
+    _mm512_storeu_si512(out + k, v);
+  }
+  mul_shift_narrow_scalar(x + k, m + k, n - k, shift, bits, rounding, overflow,
+                          out + k);
+}
+}  // namespace detail
+#endif
+
 inline void mul_shift_narrow_block(const std::int64_t* x, const std::int32_t* m,
                                    std::size_t n, int shift, int bits,
                                    fixed::Rounding rounding, fixed::Overflow overflow,
                                    bool narrow_ok, std::int64_t* out) {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  if (narrow_ok && n >= 16 && avx512_active()) {
+    detail::mul_shift_narrow_avx512(x, m, n, shift, bits, rounding, overflow, out);
+    return;
+  }
+#endif
 #if defined(__AVX2__)
   if (enabled() && narrow_ok && n >= 8) {
     const __m256i round_add =
@@ -393,6 +615,107 @@ inline void mul_shift_narrow_block(const std::int64_t* x, const std::int32_t* m,
 #endif
   (void)narrow_ok;
   mul_shift_narrow_scalar(x, m, n, shift, bits, rounding, overflow, out);
+}
+
+// ----------------------------------------------- cross-channel packed dots
+//
+// out[l] = sum_j taps[j] * win[j*L + l] for L lanes -- L channels' FIR
+// windows interleaved at stride L, sharing one tap set.  Each tap costs one
+// broadcast amortised over all L lanes plus one unit-stride register load,
+// which is what makes cross-channel FIR packing pay: the monolithic path
+// re-streams the taps per channel.  Accumulation is per-lane mod 2^64, so
+// the result is bit-exact with L independent dot_i64 calls (and with the
+// scalar loop) regardless of ISA.  `narrow_ok` asserts every tap and window
+// element fits int32, same contract as dot_i64.
+
+inline void dot_i64_x4_scalar(const std::int64_t* taps, const std::int64_t* win,
+                              std::size_t ntaps, std::int64_t out[4]) {
+  std::uint64_t acc[4] = {0, 0, 0, 0};
+  for (std::size_t j = 0; j < ntaps; ++j) {
+    const std::uint64_t t = static_cast<std::uint64_t>(taps[j]);
+    for (int l = 0; l < 4; ++l)
+      acc[l] += t * static_cast<std::uint64_t>(win[j * 4 + static_cast<std::size_t>(l)]);
+  }
+  for (int l = 0; l < 4; ++l) out[l] = static_cast<std::int64_t>(acc[l]);
+}
+
+inline void dot_i64_x8_scalar(const std::int64_t* taps, const std::int64_t* win,
+                              std::size_t ntaps, std::int64_t out[8]) {
+  std::uint64_t acc[8] = {};
+  for (std::size_t j = 0; j < ntaps; ++j) {
+    const std::uint64_t t = static_cast<std::uint64_t>(taps[j]);
+    for (int l = 0; l < 8; ++l)
+      acc[l] += t * static_cast<std::uint64_t>(win[j * 8 + static_cast<std::size_t>(l)]);
+  }
+  for (int l = 0; l < 8; ++l) out[l] = static_cast<std::int64_t>(acc[l]);
+}
+
+/// 4 lanes per AVX2 register; scalar fallback elsewhere (bit-exact).
+inline void dot_i64_x4(const std::int64_t* taps, const std::int64_t* win,
+                       std::size_t ntaps, bool narrow_ok, std::int64_t out[4]) {
+#if defined(__AVX2__)
+  if (enabled()) {
+    __m256i acc = _mm256_setzero_si256();
+    if (narrow_ok) {
+      for (std::size_t j = 0; j < ntaps; ++j) {
+        const __m256i vt = _mm256_set1_epi64x(taps[j]);
+        const __m256i vw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(win + j * 4));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(vt, vw));
+      }
+    } else {
+      for (std::size_t j = 0; j < ntaps; ++j) {
+        const __m256i vt = _mm256_set1_epi64x(taps[j]);
+        const __m256i vw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(win + j * 4));
+        acc = _mm256_add_epi64(acc, detail::mullo_epi64(vt, vw));
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), acc);
+    return;
+  }
+#endif
+  (void)narrow_ok;
+  dot_i64_x4_scalar(taps, win, ntaps, out);
+}
+
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+namespace detail {
+TWIDDC_AVX512_TARGET inline void dot_i64_x8_avx512(const std::int64_t* taps,
+                                                   const std::int64_t* win,
+                                                   std::size_t ntaps,
+                                                   bool narrow_ok,
+                                                   std::int64_t out[8]) {
+  __m512i acc = _mm512_setzero_si512();
+  if (narrow_ok) {
+    for (std::size_t j = 0; j < ntaps; ++j) {
+      const __m512i vt = _mm512_set1_epi64(taps[j]);
+      const __m512i vw = _mm512_loadu_si512(win + j * 8);
+      acc = _mm512_add_epi64(acc, _mm512_mul_epi32(vt, vw));
+    }
+  } else {
+    for (std::size_t j = 0; j < ntaps; ++j) {
+      const __m512i vt = _mm512_set1_epi64(taps[j]);
+      const __m512i vw = _mm512_loadu_si512(win + j * 8);
+      acc = _mm512_add_epi64(acc, _mm512_mullo_epi64(vt, vw));
+    }
+  }
+  _mm512_storeu_si512(out, acc);
+}
+}  // namespace detail
+#endif
+
+/// 8 lanes per AVX-512 register; scalar fallback elsewhere (bit-exact).
+inline void dot_i64_x8(const std::int64_t* taps, const std::int64_t* win,
+                       std::size_t ntaps, bool narrow_ok, std::int64_t out[8]) {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  if (avx512_active()) {
+    detail::dot_i64_x8_avx512(taps, win, ntaps, narrow_ok, out);
+    return;
+  }
+#endif
+  (void)narrow_ok;
+  dot_i64_x8_scalar(taps, win, ntaps, out);
 }
 
 // --------------------------------------------------------------- block scans

@@ -9,6 +9,7 @@
 #include "src/common/error.hpp"
 #include "src/common/simd.hpp"
 #include "src/dsp/cic.hpp"
+#include "src/dsp/fir.hpp"
 #include "src/fixed/qformat.hpp"
 
 namespace twiddc::core {
@@ -80,8 +81,8 @@ std::vector<ChannelBank::Unit> ChannelBank::make_units() {
       groups;
   for (std::size_t c = 0; c < channels_.size(); ++c) {
     if (!enabled_[c]) continue;
-    if (!packable(c)) {
-      units.push_back(Unit{{c, 0, 0, 0}, 1});
+    if (!packing_ || !packable(c)) {
+      units.push_back(Unit{{c}, 1});
       continue;
     }
     dsp::CicDecimator* k = channels_[c].rail(0).stage(0).cic_kernel();
@@ -90,11 +91,23 @@ std::vector<ChannelBank::Unit> ChannelBank::make_units() {
             k->samples_in() % static_cast<std::uint64_t>(cfg.decimation)}]
         .push_back(c);
   }
+  // Octets only when the AVX-512 tier is actually up right now; an octet on
+  // an AVX2-only box would decline packed8 and split into packed4 halves,
+  // which quads already express directly.
+  const bool octets = simd::avx512_active();
   for (auto& [key, chs] : groups) {
     std::size_t i = 0;
+    if (octets) {
+      for (; i + 8 <= chs.size(); i += 8) {
+        Unit u;
+        u.lanes = 8;
+        for (int l = 0; l < 8; ++l) u.ch[l] = chs[i + static_cast<std::size_t>(l)];
+        units.push_back(u);
+      }
+    }
     for (; i + 4 <= chs.size(); i += 4)
       units.push_back(Unit{{chs[i], chs[i + 1], chs[i + 2], chs[i + 3]}, 4});
-    for (; i < chs.size(); ++i) units.push_back(Unit{{chs[i], 0, 0, 0}, 1});
+    for (; i < chs.size(); ++i) units.push_back(Unit{{chs[i]}, 1});
   }
   // Submit in channel order, not group-key order: scheduling (and therefore
   // the work-stealing interleave the bank's tests pin down) stays identical
@@ -104,17 +117,83 @@ std::vector<ChannelBank::Unit> ChannelBank::make_units() {
   return units;
 }
 
+void ChannelBank::run_packed_tail(const Unit& unit, int r,
+                                  std::vector<std::int64_t>* cur[],
+                                  std::vector<std::int64_t>* spare[],
+                                  std::vector<std::int64_t>* fin[]) {
+  const int L = unit.lanes;
+  StageChain<std::int64_t>* rails[8];
+  const std::size_t nstages = channels_[unit.ch[0]].rail(r).size();
+  bool lockstep = true;
+  for (int l = 0; l < L; ++l) {
+    rails[l] = &channels_[unit.ch[l]].rail(r);
+    lockstep = lockstep && rails[l]->size() == nstages;
+  }
+  std::size_t s = 1;
+  for (; lockstep && s < nstages; ++s) {
+    // A stage packs when every lane exposes the same FIR kernel kind and the
+    // lanes' sample streams are still in lockstep; the kernel itself checks
+    // the rest (shared taps, decimation, phase, SIMD tier) and declines
+    // without touching state otherwise.
+    dsp::FirDecimator<std::int64_t>* fk[8];
+    dsp::PolyphaseFirDecimator<std::int64_t>* pk[8];
+    bool all_fir = true;
+    bool all_poly = true;
+    bool sizes_ok = true;
+    for (int l = 0; l < L; ++l) {
+      fk[l] = rails[l]->stage(s).fir_kernel();
+      pk[l] = rails[l]->stage(s).polyphase_kernel();
+      all_fir = all_fir && fk[l] != nullptr;
+      all_poly = all_poly && pk[l] != nullptr;
+      sizes_ok = sizes_ok && cur[l]->size() == cur[0]->size();
+    }
+    if ((!all_fir && !all_poly) || !sizes_ok) break;
+    const std::size_t n = cur[0]->size();
+    const std::int64_t* ins[8];
+    std::vector<std::int64_t>* outs[8];
+    for (int l = 0; l < L; ++l) {
+      ins[l] = cur[l]->data();
+      spare[l]->clear();
+      outs[l] = spare[l];
+    }
+    const bool packed =
+        all_fir ? dsp::FirDecimator<std::int64_t>::process_block_packed(fk, L, ins,
+                                                                        n, outs)
+                : dsp::PolyphaseFirDecimator<std::int64_t>::process_block_packed(
+                      pk, L, ins, n, outs);
+    if (!packed) break;
+    // The kernels bypass the stage's output conditioning; apply it here,
+    // identically to the stage's own block path.
+    for (int l = 0; l < L; ++l) {
+      const StageSpec& st = channels_[unit.ch[l]].plan().stages[s];
+      for (std::int64_t& v : *outs[l]) {
+        v = fixed::shift_right(v, st.post_shift, st.rounding);
+        if (st.narrow_bits != 0)
+          v = fixed::narrow(v, st.narrow_bits, fixed::Overflow::kSaturate);
+      }
+      std::swap(cur[l], spare[l]);
+    }
+  }
+  for (int l = 0; l < L; ++l) {
+    if (lockstep && s >= nstages)
+      fin[l]->swap(*cur[l]);  // every stage packed; cur holds the rail output
+    else
+      rails[l]->process_block_from(s, *cur[l], *fin[l]);
+  }
+}
+
 void ChannelBank::run_packed_tile(const Unit& unit,
                                   std::span<const std::int64_t> tile,
                                   std::vector<std::vector<IqSample>>& out,
                                   PackScratch& s) {
   const std::size_t m = tile.size();
+  const int L = unit.lanes;
   // Same all-or-nothing contract as DdcPipeline::process_block: range-check
   // the tile against every lane's input width before any state advances.
   std::int64_t lo = 0;
   std::int64_t hi = 0;
   simd::minmax_i64(tile.data(), m, lo, hi);
-  for (int l = 0; l < unit.lanes; ++l) {
+  for (int l = 0; l < L; ++l) {
     const int bits = channels_[unit.ch[l]].plan().front_end.input_bits;
     if (!fixed::fits_bits(lo, bits) || !fixed::fits_bits(hi, bits)) {
       const std::int64_t bad = fixed::fits_bits(lo, bits) ? hi : lo;
@@ -125,13 +204,13 @@ void ChannelBank::run_packed_tile(const Unit& unit,
 
   // Front end per lane: the NCO and mixer already vectorise along time
   // through the simd shim, so cross-channel packing buys nothing there.
-  dsp::CicDecimator* kern_i[4];
-  dsp::CicDecimator* kern_q[4];
-  const std::int64_t* in_i[4];
-  const std::int64_t* in_q[4];
-  std::vector<std::int64_t>* out_i[4];
-  std::vector<std::int64_t>* out_q[4];
-  for (int l = 0; l < 4; ++l) {
+  dsp::CicDecimator* kern_i[8];
+  dsp::CicDecimator* kern_q[8];
+  const std::int64_t* in_i[8];
+  const std::int64_t* in_q[8];
+  std::vector<std::int64_t>* out_i[8];
+  std::vector<std::int64_t>* out_q[8];
+  for (int l = 0; l < L; ++l) {
     DdcPipeline& p = channels_[unit.ch[l]];
     s.cs[l].resize(m);
     s.sn[l].resize(m);
@@ -149,23 +228,31 @@ void ChannelBank::run_packed_tile(const Unit& unit,
     out_q[l] = &s.cic_q[l];
   }
 
-  // The packed leg: 4 lanes' integrator cascades per AVX2 register, one call
-  // for the I rails and one for the Q rails.  The kernel declines (without
-  // touching state) when the lanes drifted out of phase or the simd kill
-  // switch is off; the per-lane block kernel is bit-exact either way.
-  if (!dsp::CicDecimator::process_block_packed4(kern_i, in_i, m, out_i)) {
-    for (int l = 0; l < 4; ++l)
-      kern_i[l]->process_block(std::span(in_i[l], m), *out_i[l]);
-  }
-  if (!dsp::CicDecimator::process_block_packed4(kern_q, in_q, m, out_q)) {
-    for (int l = 0; l < 4; ++l)
-      kern_q[l]->process_block(std::span(in_q[l], m), *out_q[l]);
-  }
+  // The packed CIC leg: all lanes' integrator cascades per register, one
+  // pass for the I rails and one for the Q rails.  Octets try the AVX-512
+  // kernel first and degrade to AVX2 quad pairs, then to per-lane blocks;
+  // every kernel declines without touching state, so any mix is bit-exact.
+  const auto run_cic = [m, L](dsp::CicDecimator* const kern[],
+                              const std::int64_t* const in[],
+                              std::vector<std::int64_t>* const outp[]) {
+    if (L == 8 && dsp::CicDecimator::process_block_packed8(kern, in, m, outp))
+      return;
+    for (int base = 0; base < L; base += 4) {
+      if (base + 4 <= L &&
+          dsp::CicDecimator::process_block_packed4(kern + base, in + base, m,
+                                                   outp + base))
+        continue;
+      const int end = std::min(base + 4, L);
+      for (int l = base; l < end; ++l)
+        kern[l]->process_block(std::span(in[l], m), *outp[l]);
+    }
+  };
+  run_cic(kern_i, in_i, out_i);
+  run_cic(kern_q, in_q, out_q);
 
-  // Stage-0 conditioning + the rest of each lane's chain, per lane.
-  for (int l = 0; l < 4; ++l) {
-    DdcPipeline& p = channels_[unit.ch[l]];
-    const StageSpec& st0 = p.plan().stages[0];
+  // Stage-0 conditioning per lane.
+  for (int l = 0; l < L; ++l) {
+    const StageSpec& st0 = channels_[unit.ch[l]].plan().stages[0];
     for (std::vector<std::int64_t>* rail : {&s.cic_i[l], &s.cic_q[l]}) {
       for (std::int64_t& v : *rail) {
         v = fixed::shift_right(v, st0.post_shift, st0.rounding);
@@ -173,10 +260,25 @@ void ChannelBank::run_packed_tile(const Unit& unit,
           v = fixed::narrow(v, st0.narrow_bits, fixed::Overflow::kSaturate);
       }
     }
-    s.rail_i[l].clear();
-    s.rail_q[l].clear();
-    p.rail(0).process_block_from(1, s.cic_i[l], s.rail_i[l]);
-    p.rail(1).process_block_from(1, s.cic_q[l], s.rail_q[l]);
+  }
+
+  // Tail stages: packed FIR across lanes while legal, per-lane otherwise.
+  std::vector<std::int64_t>* cur[8];
+  std::vector<std::int64_t>* spare[8];
+  std::vector<std::int64_t>* fin[8];
+  for (int r = 0; r < 2; ++r) {
+    for (int l = 0; l < L; ++l) {
+      cur[l] = r == 0 ? &s.cic_i[l] : &s.cic_q[l];
+      s.tail[l].clear();
+      spare[l] = &s.tail[l];
+      fin[l] = r == 0 ? &s.rail_i[l] : &s.rail_q[l];
+      fin[l]->clear();
+    }
+    run_packed_tail(unit, r, cur, spare, fin);
+  }
+
+  for (int l = 0; l < L; ++l) {
+    DdcPipeline& p = channels_[unit.ch[l]];
     if (s.rail_i[l].size() != s.rail_q[l].size())
       throw SimulationError("ChannelBank: I/Q rails lost rate lock");
     std::vector<IqSample>& o = out[unit.ch[l]];
@@ -277,7 +379,7 @@ void ChannelBank::process_block(std::span<const std::int64_t> in,
   // bit-exact with serial execution; the only shared read is `in`.
   std::vector<std::unique_ptr<PackScratch>> scratches;
   for (const Unit& u : units)
-    if (u.lanes == 4) scratches.push_back(std::make_unique<PackScratch>());
+    if (u.lanes > 1) scratches.push_back(std::make_unique<PackScratch>());
   common::TaskScheduler::Group group;
   group.expect(units.size());
   std::size_t si = 0;

@@ -23,17 +23,22 @@
 // scratch buffers stay hot instead of streaming the full block per channel.
 //
 // Cross-channel SIMD packing: channels whose first stage is a CIC with
-// identical geometry are grouped four at a time, and the group's eight
-// integrator cascades (4 channels x I/Q) run through
-// dsp::CicDecimator::process_block_packed4 -- four lanes' integrator state
-// per AVX2 register.  The cascade is a loop-carried dependency chain, so it
-// cannot vectorise along time within one channel; across channels it packs
-// perfectly.  The NCO and mixer stay per-lane (they already vectorise along
-// time through the simd shim), and every remaining stage runs per lane via
-// StageChain::process_block_from.  Packed execution is bit-exact with the
-// per-channel path, falls back to it when AVX2 is absent or
-// simd::set_enabled(false) is in force, and skips channels with observation
-// taps installed (a split chain cannot feed them).
+// identical geometry are grouped four (AVX2) or eight (AVX-512) at a time,
+// and the group's integrator cascades (channels x I/Q) run through
+// dsp::CicDecimator::process_block_packed4/packed8 -- one register holding
+// every lane's integrator state per cascade stage.  The cascade is a
+// loop-carried dependency chain, so it cannot vectorise along time within
+// one channel; across channels it packs perfectly.  The NCO and mixer stay
+// per-lane (they already vectorise along time through the simd shim).  The
+// FIR/polyphase tail stages also pack: stages whose lanes share tap values,
+// decimation and phase run through the multi-lane dot kernels
+// (dsp::FirDecimator::process_block_packed), so each tap broadcast feeds 4
+// or 8 channels' MACs; at the first tail stage that cannot pack
+// (mixed geometry, drifted phase, non-FIR kind) the remaining stages run
+// per lane via StageChain::process_block_from.  Packed execution is
+// bit-exact with the per-channel path, falls back to it when the SIMD tier
+// is absent or simd::set_enabled(false) is in force, and skips channels
+// with observation taps installed (a split chain cannot feed them).
 //
 // The GC4016 quad-channel model (src/asic/gc4016.cpp) is a shim over this
 // class; the throughput bench sweeps channel counts through it to track
@@ -93,23 +98,33 @@ class ChannelBank {
 
   void reset();
 
+  /// Disables cross-channel packing (every unit becomes a single channel);
+  /// benches and tests use it to compare packed vs monolithic execution on
+  /// one bank.  Bit-exact either way.
+  void set_packing(bool on) { packing_ = on; }
+  [[nodiscard]] bool packing() const { return packing_; }
+
  private:
-  /// Scratch for one packed quad's tile: per-lane cos/sin, mixed rails, raw
-  /// CIC outputs and tail-chain outputs.  Tile-sized, reused across tiles.
+  /// Scratch for one packed unit's tile: per-lane cos/sin, mixed rails, raw
+  /// CIC outputs, tail ping-pong and tail-chain outputs.  Tile-sized, reused
+  /// across tiles; lanes beyond unit.lanes stay empty.
   struct PackScratch {
-    std::vector<std::int32_t> cs[4], sn[4];
-    std::vector<std::int64_t> mix_i[4], mix_q[4];
-    std::vector<std::int64_t> cic_i[4], cic_q[4];
-    std::vector<std::int64_t> rail_i[4], rail_q[4];
+    std::vector<std::int32_t> cs[8], sn[8];
+    std::vector<std::int64_t> mix_i[8], mix_q[8];
+    std::vector<std::int64_t> cic_i[8], cic_q[8];
+    std::vector<std::int64_t> tail[8];
+    std::vector<std::int64_t> rail_i[8], rail_q[8];
   };
-  /// One execution unit of a block pass: either a single channel (size 1,
-  /// the per-channel path) or a packed quad (size 4, lockstep CIC lanes).
+  /// One execution unit of a block pass: a single channel (lanes == 1, the
+  /// per-channel path) or a packed group (lanes == 4 or 8, lockstep CIC
+  /// lanes).
   struct Unit {
-    std::size_t ch[4] = {0, 0, 0, 0};
+    std::size_t ch[8] = {};
     int lanes = 1;
   };
 
-  /// Partitions the enabled channels into packed quads + singles.
+  /// Partitions the enabled channels into packed groups + singles (octets
+  /// only when the runtime AVX-512 tier is up, then quads, then singles).
   [[nodiscard]] std::vector<Unit> make_units();
   /// True when `c` can join a packed quad (first stage is an unpruned CIC,
   /// no observation taps anywhere on the channel).
@@ -130,15 +145,24 @@ class ChannelBank {
                         std::vector<std::vector<IqSample>>& out,
                         common::TaskScheduler::Group group, Unit unit,
                         std::size_t offset, PackScratch* scratch);
-  /// Advances the quad through one tile; bit-exact with running each lane's
+  /// Advances the group through one tile; bit-exact with running each lane's
   /// DdcPipeline::process_block over the same tile.
   void run_packed_tile(const Unit& unit, std::span<const std::int64_t> tile,
                        std::vector<std::vector<IqSample>>& out,
                        PackScratch& scratch);
+  /// Runs rail `r`'s stages [1, end) for every lane of a packed unit,
+  /// packing FIR stages across lanes while legal and falling back to
+  /// per-lane chains at the first stage that cannot pack.  `cur` holds each
+  /// lane's stage-0-conditioned samples, `spare` is ping-pong scratch, and
+  /// the rail outputs land in `fin`.
+  void run_packed_tail(const Unit& unit, int r, std::vector<std::int64_t>* cur[],
+                       std::vector<std::int64_t>* spare[],
+                       std::vector<std::int64_t>* fin[]);
 
   std::vector<DdcPipeline> channels_;
   std::vector<char> enabled_;  // vector<bool> has no per-element data()
   int workers_ = 1;
+  bool packing_ = true;
   std::unique_ptr<common::TaskScheduler> sched_;  // workers_ - 1 threads
 };
 

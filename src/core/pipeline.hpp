@@ -38,7 +38,11 @@
 
 namespace twiddc::dsp {
 class CicDecimator;
-}
+template <typename T>
+class FirDecimator;
+template <typename T>
+class PolyphaseFirDecimator;
+}  // namespace twiddc::dsp
 
 namespace twiddc::core {
 
@@ -194,6 +198,19 @@ class Stage {
   /// the kernel through this pointer is equivalent to feeding the stage the
   /// same samples minus the stage's output conditioning.
   [[nodiscard]] virtual dsp::CicDecimator* cic_kernel() { return nullptr; }
+
+  /// Packed-execution hooks for the FIR tail: the stage's fixed-point
+  /// decimating-FIR (resp. polyphase) kernel when the stage wraps one, else
+  /// nullptr.  ChannelBank uses them to run 4/8 channels' tap sets through
+  /// the multi-lane dot kernels (FirDecimator::process_block_packed); as with
+  /// cic_kernel, driving the kernel directly bypasses the stage's output
+  /// conditioning, which the packed caller must then apply itself.
+  [[nodiscard]] virtual dsp::FirDecimator<std::int64_t>* fir_kernel() {
+    return nullptr;
+  }
+  [[nodiscard]] virtual dsp::PolyphaseFirDecimator<std::int64_t>* polyphase_kernel() {
+    return nullptr;
+  }
 };
 
 /// Builds the fixed-point (int64) realisation of a stage spec.

@@ -264,4 +264,114 @@ bool CicDecimator::process_block_packed4(CicDecimator* const lanes[4],
 #endif
 }
 
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+namespace {
+
+/// The __m512i body of packed8, operating on raw views of the lanes' state
+/// (collected by the member below, which owns the private access).  Only
+/// runs after the caller verified simd::avx512_active().
+TWIDDC_AVX512_TARGET void cic_packed8_kernel(
+    std::int64_t* const integ[8], std::int64_t* const combs[8],
+    std::uint64_t* const samples_out[8], const std::int64_t* const in[8],
+    std::size_t n, std::vector<std::int64_t>* const out[8], int stages,
+    int decimation, int diff_delay, int register_bits, int& count) {
+  const int wrap_shift = 64 - register_bits;
+  const __m128i vwrap = _mm_cvtsi32_si128(wrap_shift);
+  // Same unwrapped-accumulator trick as run_block / packed4: adds commute
+  // with truncation to the low register_bits, so the eight lanes' state
+  // rides in one register per stage and the wrap happens only on read/store.
+  __m512i acc[8];
+  for (int s = 0; s < stages; ++s)
+    acc[s] = _mm512_set_epi64(integ[7][s], integ[6][s], integ[5][s], integ[4][s],
+                              integ[3][s], integ[2][s], integ[1][s], integ[0][s]);
+  for (int l = 0; l < 8; ++l)
+    out[l]->reserve(out[l]->size() + n / static_cast<std::size_t>(decimation) + 1);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const __m512i x =
+        _mm512_set_epi64(in[7][t], in[6][t], in[5][t], in[4][t], in[3][t],
+                         in[2][t], in[1][t], in[0][t]);
+    acc[0] = _mm512_add_epi64(acc[0], x);
+    for (int s = 1; s < stages; ++s) acc[s] = _mm512_add_epi64(acc[s], acc[s - 1]);
+    if (++count < decimation) continue;
+    count = 0;
+    // Decimation boundary: wrap the cascade output once for all eight lanes,
+    // then run the (1/R-rate) comb chains scalar per lane.
+    alignas(64) std::int64_t v8[8];
+    _mm512_store_si512(
+        v8, _mm512_sra_epi64(_mm512_sll_epi64(acc[stages - 1], vwrap), vwrap));
+    for (int l = 0; l < 8; ++l) {
+      std::int64_t v = v8[l];
+      for (int s = 0; s < stages; ++s) {
+        const std::size_t base = static_cast<std::size_t>(s * diff_delay);
+        const std::int64_t delayed =
+            combs[l][base + static_cast<std::size_t>(diff_delay - 1)];
+        for (int d = diff_delay - 1; d > 0; --d)
+          combs[l][base + static_cast<std::size_t>(d)] =
+              combs[l][base + static_cast<std::size_t>(d - 1)];
+        combs[l][base] = v;
+        v = twiddc::fixed::wrap_sub(v, delayed, register_bits);
+      }
+      ++*samples_out[l];
+      out[l]->push_back(v);
+    }
+  }
+
+  for (int s = 0; s < stages; ++s) {
+    alignas(64) std::int64_t a8[8];
+    _mm512_store_si512(a8, acc[s]);
+    for (int l = 0; l < 8; ++l)
+      integ[l][s] = static_cast<std::int64_t>(static_cast<std::uint64_t>(a8[l])
+                                              << wrap_shift) >>
+                    wrap_shift;
+  }
+}
+
+}  // namespace
+#endif  // TWIDDC_HAVE_AVX512_KERNELS
+
+bool CicDecimator::process_block_packed8(CicDecimator* const lanes[8],
+                                         const std::int64_t* const in[8],
+                                         std::size_t n,
+                                         std::vector<std::int64_t>* const out[8]) {
+#if defined(TWIDDC_HAVE_AVX512_KERNELS)
+  const CicDecimator& l0 = *lanes[0];
+  if (!l0.config_.prune_shifts.empty()) return false;
+  for (int l = 1; l < 8; ++l) {
+    const CicDecimator& ll = *lanes[l];
+    if (ll.config_.stages != l0.config_.stages ||
+        ll.config_.decimation != l0.config_.decimation ||
+        ll.config_.diff_delay != l0.config_.diff_delay ||
+        ll.register_bits_ != l0.register_bits_ ||
+        !ll.config_.prune_shifts.empty() || ll.decim_count_ != l0.decim_count_)
+      return false;
+  }
+  if (!simd::avx512_active() || n == 0) return simd::avx512_active();
+
+  std::int64_t* integ[8];
+  std::int64_t* combs[8];
+  std::uint64_t* souts[8];
+  for (int l = 0; l < 8; ++l) {
+    integ[l] = lanes[l]->integrators_.data();
+    combs[l] = lanes[l]->comb_delays_.data();
+    souts[l] = &lanes[l]->samples_out_;
+  }
+  int count = l0.decim_count_;
+  cic_packed8_kernel(integ, combs, souts, in, n, out, l0.config_.stages,
+                     l0.config_.decimation, l0.config_.diff_delay,
+                     l0.register_bits_, count);
+  for (int l = 0; l < 8; ++l) {
+    lanes[l]->decim_count_ = count;
+    lanes[l]->samples_in_ += n;
+  }
+  return true;
+#else
+  (void)lanes;
+  (void)in;
+  (void)n;
+  (void)out;
+  return false;
+#endif
+}
+
 }  // namespace twiddc::dsp

@@ -58,6 +58,16 @@ class CicDecimator {
                                     const std::int64_t* const in[4], std::size_t n,
                                     std::vector<std::int64_t>* const out[4]);
 
+  /// AVX-512 tier of the cross-channel kernel: EIGHT lanes' integrator state
+  /// per 512-bit register.  Same packing contract and bit-exactness as
+  /// process_block_packed4; additionally declines (returns false, no state
+  /// touched) when the runtime AVX-512 tier is unavailable -- kernels not
+  /// compiled in, CPU without F+DQ+BW+VL, or simd::set_avx512_enabled(false)
+  /// -- so callers fall back to packed4 pairs or per-lane blocks.
+  static bool process_block_packed8(CicDecimator* const lanes[8],
+                                    const std::int64_t* const in[8], std::size_t n,
+                                    std::vector<std::int64_t>* const out[8]);
+
   void reset();
 
   /// DC gain (R*M)^N before any pruning shifts.

@@ -112,6 +112,38 @@ void EngineGroup::migrate(const std::shared_ptr<Session>& session,
   }
 }
 
+void EngineGroup::migrate_batch(const std::vector<std::shared_ptr<Session>>& sessions,
+                                std::size_t to_shard) {
+  if (to_shard >= shards_.size())
+    throw ConfigError("EngineGroup: migrate_batch() target shard out of range");
+  // One serializer hold for the whole batch.  Validate everything first so a
+  // bad entry throws before any session has moved (all-or-nothing).
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::vector<std::unordered_map<const Session*, std::size_t>::iterator> entries;
+  entries.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    if (!session) throw ConfigError("EngineGroup: migrate_batch() needs sessions");
+    const auto it = session_shard_.find(session.get());
+    if (it == session_shard_.end())
+      throw SimulationError("EngineGroup: migrate_batch() of an unknown session");
+    entries.push_back(it);
+  }
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const std::size_t from = entries[i]->second;
+    if (from == to_shard) continue;
+    const StreamEngine::MigrationTicket ticket = shards_[from]->eject(sessions[i]);
+    shards_[to_shard]->adopt(ticket, factory_());
+    entries[i]->second = to_shard;
+    ++migrations_;
+    if (trace::enabled(trace::Category::kGroup)) {
+      static const std::uint16_t kMigrate = trace::intern("migrate");
+      trace::emit(trace::Category::kGroup, kMigrate, trace::Phase::kInstant,
+                  sessions[i]->id(), (static_cast<std::uint64_t>(from) << 32) |
+                                         static_cast<std::uint64_t>(to_shard));
+    }
+  }
+}
+
 std::size_t EngineGroup::shard_of(const std::shared_ptr<Session>& session) const {
   std::lock_guard<std::mutex> lock(map_mu_);
   const auto it = session_shard_.find(session.get());

@@ -85,6 +85,17 @@ class EngineGroup {
   /// when the session is already there.
   void migrate(const std::shared_ptr<Session>& session, std::size_t to_shard);
 
+  /// Batched migration: moves every session in `sessions` to `to_shard`
+  /// under ONE hold of the migration serializer, so a rebalance of M
+  /// sessions pays one lock acquisition instead of M and no foreign
+  /// migration can interleave mid-batch.  Sessions already on the target
+  /// are skipped.  Validation is all-or-nothing up front (null/unknown
+  /// sessions or an out-of-range target throw before anything moves);
+  /// per-session the move is the same eject/adopt handoff as migrate(), so
+  /// the batch is gap-free and bit-exact with M sequential migrate() calls.
+  void migrate_batch(const std::vector<std::shared_ptr<Session>>& sessions,
+                     std::size_t to_shard);
+
   /// Current shard index of a session open()ed or migrate()d through this
   /// group.  Throws SimulationError for an unknown session.
   [[nodiscard]] std::size_t shard_of(const std::shared_ptr<Session>& session) const;

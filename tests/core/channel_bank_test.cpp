@@ -381,5 +381,106 @@ TEST(ChannelBank, PackedRejectsOutOfRangeInputPerLane) {
   EXPECT_THROW(bank.process_block(input, got), twiddc::SimulationError);
 }
 
+// ------------------------------------------ FIR-tail packing & octet units
+//
+// PR 10 extends packing past the first CIC stage: whole FIR/polyphase tails
+// run through the multi-lane dot kernels, and on an active AVX-512 tier the
+// bank forms 8-channel octets instead of quads.  These tests pin the new
+// seams: octet remainder lanes, the AVX-512 runtime cap, the set_packing
+// knob, mid-stream kill-switch flips, and full-scale per-lane values (the
+// widest intermediates the packed tail's narrow_ok fallback must survive).
+
+TEST(ChannelBank, PackedOctetsWithRemainderLanesMatchSolo) {
+  // 11 channels: one octet + 3 singles on an active AVX-512 tier, two quads
+  // + 3 singles otherwise.  Either grouping must stay solo-exact; the
+  // uneven block size exercises the packed tile loop's partial final tile.
+  expect_bank_matches_solo(detuned_plans(11), stimulus(2688 * 3 + 1337), 1);
+}
+
+TEST(ChannelBank, PackedOctetRemainderQuadMatchesSolo) {
+  // 13 channels: octet + quad + single under AVX-512, three quads + single
+  // under AVX2 -- every unit size in one bank, parallel workers included.
+  expect_bank_matches_solo(detuned_plans(13), stimulus(2688 * 3 + 19), 3);
+}
+
+TEST(ChannelBank, PackedAvx512CapToggleStaysBitExact) {
+  // The same population with the AVX-512 runtime cap forced off (quads
+  // only) and left at the host default (octets where the tier is live) must
+  // agree bit for bit.  On hosts without AVX-512 both runs take the quad
+  // path and the test degenerates to a self-comparison.
+  const auto plans = detuned_plans(9);
+  const auto input = stimulus(2688 * 3 + 41);
+  std::vector<std::vector<IqSample>> want;
+  {
+    simd::ScopedAvx512 cap(false);
+    ChannelBank bank(plans, 1);
+    bank.process_block(input, want);
+  }
+  std::vector<std::vector<IqSample>> got;
+  {
+    ChannelBank bank(plans, 1);
+    bank.process_block(input, got);
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
+}
+
+TEST(ChannelBank, SetPackingOffMatchesPackedBitExact) {
+  // The packing knob is the bench's monolithic baseline: disabling it must
+  // change the execution strategy only, never a single output bit.
+  const auto plans = detuned_plans(8);
+  const auto input = stimulus(2688 * 2 + 77);
+
+  ChannelBank mono(plans, 1);
+  mono.set_packing(false);
+  EXPECT_FALSE(mono.packing());
+  std::vector<std::vector<IqSample>> want;
+  mono.process_block(input, want);
+
+  ChannelBank packed(plans, 1);
+  EXPECT_TRUE(packed.packing());
+  std::vector<std::vector<IqSample>> got;
+  packed.process_block(input, got);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < want.size(); ++c) expect_equal(got[c], want[c], c);
+}
+
+TEST(ChannelBank, PackedKillSwitchMidStreamStaysBitExact) {
+  // Flip the kill switch off and back on across block seams: units regroup
+  // per block, per-lane state (CIC integrators, FIR rings, NCO phase) must
+  // carry across the strategy changes.
+  const auto plans = detuned_plans(9);
+  const auto input = stimulus(2688 * 3 + 100);
+
+  ChannelBank toggled(plans, 1);
+  std::vector<std::vector<IqSample>> got;
+  const std::size_t cut1 = 1234;
+  const std::size_t cut2 = 2688 + 613;
+  toggled.process_block({input.data(), cut1}, got);
+  {
+    simd::ScopedEnable guard(false);
+    toggled.process_block({input.data() + cut1, cut2 - cut1}, got);
+  }
+  toggled.process_block({input.data() + cut2, input.size() - cut2}, got);
+
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    DdcPipeline solo(plans[c]);
+    std::vector<IqSample> want;
+    solo.process_block(input, want);
+    expect_equal(got[c], want, c);
+  }
+}
+
+TEST(ChannelBank, PackedFullScaleInputStaysBitExact) {
+  // Near-full-scale 12-bit drive produces the widest intermediates in the
+  // FIR tail: whether a lane takes the narrow-multiply or the exact wide
+  // path, outputs must equal the per-channel reference.
+  const auto cfg = DdcConfig::reference(10.0e6);
+  const auto input = dsp::quantize_signal(
+      dsp::make_tone(10.0025e6, cfg.input_rate_hz, 2688 * 2 + 31, 0.999), 12);
+  expect_bank_matches_solo(detuned_plans(8), input, 1);
+}
+
 }  // namespace
 }  // namespace twiddc::core

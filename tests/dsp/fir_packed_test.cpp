@@ -1,0 +1,215 @@
+// Cross-channel packed FIR kernels: FirDecimator/PolyphaseFirDecimator
+// ::process_block_packed must be bit-exact with per-lane process_block calls
+// over ragged block seams, and must DECLINE (return false, no state or
+// output touched) on mismatched lane geometry, unsupported lane counts,
+// float instantiations, and when the SIMD tier for the lane count is
+// unavailable (kill switch / AVX-512 cap).  On builds without the intrinsic
+// paths the packed call declines and the harness falls back per-lane, so the
+// comparison still runs everywhere; the CI x86-64-v3 job exercises the
+// packed side.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/simd.hpp"
+#include "src/dsp/fir.hpp"
+
+namespace twiddc::dsp {
+namespace {
+
+using I64 = std::int64_t;
+
+std::vector<I64> random_taps(Rng& rng, std::size_t n) {
+  std::vector<I64> taps(n);
+  for (auto& t : taps) t = rng.uniform_int(-32768, 32767);
+  return taps;
+}
+
+std::vector<I64> random_signal(Rng& rng, std::size_t n, int bits = 14) {
+  const I64 amp = (I64{1} << (bits - 1)) - 1;
+  std::vector<I64> v(n);
+  for (auto& x : v) x = rng.uniform_int(-amp, amp);
+  return v;
+}
+
+/// Streams `nlanes` distinct signals through packed and per-lane paths in
+/// ragged chunks; when the packed call declines (tier unavailable on this
+/// build) the same lanes run process_block so the streams stay comparable.
+template <typename Filter>
+void expect_packed_matches_per_lane(Rng& rng, int nlanes,
+                                    const std::vector<I64>& taps, int d,
+                                    std::size_t total) {
+  std::vector<std::unique_ptr<Filter>> packed;
+  std::vector<std::unique_ptr<Filter>> ref;
+  std::vector<std::vector<I64>> sig;
+  for (int l = 0; l < nlanes; ++l) {
+    packed.push_back(std::make_unique<Filter>(taps, d));
+    ref.push_back(std::make_unique<Filter>(taps, d));
+    sig.push_back(random_signal(rng, total));
+  }
+  std::vector<std::vector<I64>> got(static_cast<std::size_t>(nlanes));
+  std::vector<std::vector<I64>> want(static_cast<std::size_t>(nlanes));
+  std::size_t pos = 0;
+  while (pos < total) {
+    const auto len = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform_int(1, 257)), total - pos);
+    Filter* lanes[8];
+    const I64* ins[8];
+    std::vector<I64>* outs[8];
+    for (int l = 0; l < nlanes; ++l) {
+      lanes[l] = packed[static_cast<std::size_t>(l)].get();
+      ins[l] = sig[static_cast<std::size_t>(l)].data() + pos;
+      outs[l] = &got[static_cast<std::size_t>(l)];
+    }
+    if (!Filter::process_block_packed(lanes, nlanes, ins, len, outs)) {
+      for (int l = 0; l < nlanes; ++l)
+        lanes[l]->process_block(std::span<const I64>(ins[l], len),
+                                *outs[static_cast<std::size_t>(l)]);
+    }
+    for (int l = 0; l < nlanes; ++l)
+      ref[static_cast<std::size_t>(l)]->process_block(
+          std::span<const I64>(sig[static_cast<std::size_t>(l)].data() + pos, len),
+          want[static_cast<std::size_t>(l)]);
+    pos += len;
+  }
+  for (int l = 0; l < nlanes; ++l)
+    EXPECT_EQ(got[static_cast<std::size_t>(l)], want[static_cast<std::size_t>(l)])
+        << "lane " << l << " of " << nlanes << " d=" << d
+        << " taps=" << taps.size();
+}
+
+TEST(FirPackedKernels, DecimatorPackedMatchesPerLaneAcrossSeams) {
+  Rng rng(0xf14);
+  for (const int nlanes : {4, 8}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto ntaps = static_cast<std::size_t>(rng.uniform_int(1, 40));
+      const int d = static_cast<int>(rng.uniform_int(1, 9));
+      const auto total =
+          static_cast<std::size_t>(512 + rng.uniform_int(0, 300));
+      expect_packed_matches_per_lane<FirDecimator<I64>>(
+          rng, nlanes, random_taps(rng, ntaps), d, total);
+    }
+  }
+}
+
+TEST(FirPackedKernels, PolyphasePackedMatchesPerLaneAcrossSeams) {
+  Rng rng(0xf18);
+  for (const int nlanes : {4, 8}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto ntaps = static_cast<std::size_t>(rng.uniform_int(1, 40));
+      const int d = static_cast<int>(rng.uniform_int(1, 9));
+      const auto total =
+          static_cast<std::size_t>(512 + rng.uniform_int(0, 300));
+      expect_packed_matches_per_lane<PolyphaseFirDecimator<I64>>(
+          rng, nlanes, random_taps(rng, ntaps), d, total);
+    }
+  }
+}
+
+TEST(FirPackedKernels, PolyphasePackedPaperGeometry) {
+  // The Figure 1 tail: 125 taps, decimate by 8 -- the shape ChannelBank
+  // actually packs.  Remainder blocks (N % 8 != 0) exercise the phase carry.
+  Rng rng(0x125);
+  expect_packed_matches_per_lane<PolyphaseFirDecimator<I64>>(
+      rng, 4, random_taps(rng, 125), 8, 2688 + 133);
+  expect_packed_matches_per_lane<PolyphaseFirDecimator<I64>>(
+      rng, 8, random_taps(rng, 125), 8, 2688 + 133);
+}
+
+TEST(FirPackedKernels, PackedDeclinesOnMismatchedLanes) {
+  const std::vector<I64> taps = {3, -1, 4, -1, 5};
+  const std::vector<I64> in(64, 7);
+  const I64* ins[4] = {in.data(), in.data(), in.data(), in.data()};
+
+  const auto expect_decline = [&](FirDecimator<I64>* l0, FirDecimator<I64>* l1,
+                                  FirDecimator<I64>* l2, FirDecimator<I64>* l3,
+                                  const char* label) {
+    FirDecimator<I64>* lanes[4] = {l0, l1, l2, l3};
+    std::vector<I64> o[4];
+    std::vector<I64>* outs[4] = {&o[0], &o[1], &o[2], &o[3]};
+    EXPECT_FALSE(
+        FirDecimator<I64>::process_block_packed(lanes, 4, ins, in.size(), outs))
+        << label;
+    for (const auto& v : o) EXPECT_TRUE(v.empty()) << label;
+  };
+
+  FirDecimator<I64> a(taps, 4), b(taps, 4), c(taps, 4);
+  FirDecimator<I64> other_d(taps, 2);
+  expect_decline(&a, &b, &c, &other_d, "mismatched decimation");
+
+  FirDecimator<I64> skewed(taps, 4);
+  skewed.push(1);  // phase 1 vs 0 on the others
+  expect_decline(&a, &b, &c, &skewed, "mismatched phase");
+
+  auto taps2 = taps;
+  taps2[0] += 1;
+  FirDecimator<I64> other_taps(taps2, 4);
+  expect_decline(&a, &b, &c, &other_taps, "mismatched tap values");
+
+  // Unsupported lane counts decline outright.
+  FirDecimator<I64>* three[3] = {&a, &b, &c};
+  std::vector<I64> o0, o1, o2;
+  std::vector<I64>* outs3[3] = {&o0, &o1, &o2};
+  EXPECT_FALSE(
+      FirDecimator<I64>::process_block_packed(three, 3, ins, in.size(), outs3));
+
+  // Declines leave state untouched: the same lanes then stream per-lane and
+  // still match fresh references exactly.
+  std::vector<I64> got, want;
+  a.process_block(in, got);
+  FirDecimator<I64> fresh(taps, 4);
+  fresh.process_block(in, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(FirPackedKernels, FloatLanesAlwaysDecline) {
+  const std::vector<double> taps = {0.5, 0.25, -0.125};
+  FirDecimator<double> a(taps, 2), b(taps, 2), c(taps, 2), d(taps, 2);
+  FirDecimator<double>* lanes[4] = {&a, &b, &c, &d};
+  const std::vector<double> in(32, 1.0);
+  const double* ins[4] = {in.data(), in.data(), in.data(), in.data()};
+  std::vector<double> o[4];
+  std::vector<double>* outs[4] = {&o[0], &o[1], &o[2], &o[3]};
+  EXPECT_FALSE(FirDecimator<double>::process_block_packed(lanes, 4, ins,
+                                                          in.size(), outs));
+}
+
+TEST(FirPackedKernels, KillSwitchAndAvx512CapDecline) {
+  const std::vector<I64> taps = {1, 2, 3, 4};
+  const std::vector<I64> in(32, 5);
+
+  std::vector<std::unique_ptr<FirDecimator<I64>>> lanes8;
+  FirDecimator<I64>* lp[8];
+  const I64* ins[8];
+  std::vector<I64> o[8];
+  std::vector<I64>* outs[8];
+  for (int l = 0; l < 8; ++l) {
+    lanes8.push_back(std::make_unique<FirDecimator<I64>>(taps, 2));
+    lp[l] = lanes8.back().get();
+    ins[l] = in.data();
+    outs[l] = &o[l];
+  }
+  {
+    // The global kill switch gates every packed tier.
+    simd::ScopedEnable guard(false);
+    EXPECT_FALSE(
+        FirDecimator<I64>::process_block_packed(lp, 4, ins, in.size(), outs));
+    EXPECT_FALSE(
+        FirDecimator<I64>::process_block_packed(lp, 8, ins, in.size(), outs));
+  }
+  {
+    // The AVX-512 cap alone disables the 8-lane tier (even on hosts that
+    // support it) while leaving the 4-lane tier to the build's ISA.
+    simd::ScopedAvx512 cap(false);
+    EXPECT_FALSE(
+        FirDecimator<I64>::process_block_packed(lp, 8, ins, in.size(), outs));
+  }
+  for (const auto& v : o) EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace twiddc::dsp

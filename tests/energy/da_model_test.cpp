@@ -1,0 +1,81 @@
+// energy::da_model -- the multiplier-vs-LUT trade of DA-lowered FIR stages:
+// the per-stage numbers must mirror dsp::DaFirEngine::cost, track stage
+// input widths exactly as the plan compiler does, and flip with the energy
+// weights.
+#include "src/energy/da_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/datapath_spec.hpp"
+#include "src/core/ddc_config.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace twiddc::energy {
+namespace {
+
+core::ChainPlan figure1_plan() {
+  return core::ChainPlan::figure1(core::DdcConfig::reference(10.0e6),
+                                  core::DatapathSpec::wide16());
+}
+
+TEST(DaModel, Figure1PolyphaseTailCosts) {
+  const auto costs = plan_fir_costs(figure1_plan());
+  ASSERT_EQ(costs.size(), 1u);  // one FIR stage: the 125-tap polyphase tail
+  const FirImplCost& c = costs[0];
+  EXPECT_EQ(c.taps, 125u);
+  EXPECT_EQ(c.input_bits, 16);  // the CIC narrows pin the interstage bus
+  EXPECT_EQ(c.multipliers, 125u);
+  EXPECT_TRUE(c.da_eligible);
+  EXPECT_EQ(c.lut4_tables, 32u);                     // ceil(125 / 4)
+  EXPECT_EQ(c.table_bits, 32u * 16u * 64u);          // entries * int64 bits
+  EXPECT_EQ(c.lookups_per_output, 16u * 32u);        // W * slices
+  // Default FPGA-flavoured weights: 512 lookups at 1 vs 125 multiplies at
+  // 10 -- the DA realisation wins on energy even though it loses on
+  // software throughput (the kAuto cost model's separate call).
+  EXPECT_DOUBLE_EQ(c.mac_energy_per_output, 1250.0);
+  EXPECT_DOUBLE_EQ(c.da_energy_per_output, 512.0);
+  EXPECT_TRUE(c.da_wins);
+}
+
+TEST(DaModel, WeightsFlipTheDecision) {
+  DaEnergyParams cheap_multiply;
+  cheap_multiply.multiply_energy = 1.0;
+  cheap_multiply.lookup_energy = 1.0;
+  const FirImplCost c = da_fir_cost("tail", 125, 16, cheap_multiply);
+  EXPECT_TRUE(c.da_eligible);
+  EXPECT_FALSE(c.da_wins);  // 512 lookups > 125 equally-priced multiplies
+}
+
+TEST(DaModel, UnknownOrWideWidthIsIneligible) {
+  const FirImplCost unknown = da_fir_cost("x", 125, 0);
+  EXPECT_FALSE(unknown.da_eligible);
+  EXPECT_FALSE(unknown.da_wins);
+  EXPECT_DOUBLE_EQ(unknown.da_energy_per_output, 0.0);
+  // MAC side still reported: the stage costs K multiplies regardless.
+  EXPECT_EQ(unknown.multipliers, 125u);
+
+  const FirImplCost wide = da_fir_cost("x", 125, 32);
+  EXPECT_FALSE(wide.da_eligible);
+}
+
+TEST(DaModel, WidthTrackingLosesUnNarrowedStages) {
+  // A second FIR stage after one that widens without narrowing must be
+  // reported width-unknown (ineligible) -- mirroring CompiledPlan's chain.
+  auto plan = figure1_plan();
+  auto& fir = plan.stages.back();
+  const int saved_narrow = fir.narrow_bits;
+  fir.narrow_bits = 0;  // tail no longer pins its output width
+  core::StageSpec extra = fir;
+  extra.label = "tail2";
+  extra.narrow_bits = saved_narrow;
+  plan.stages.push_back(extra);
+
+  const auto costs = plan_fir_costs(plan);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_TRUE(costs[0].da_eligible);    // still fed the 16-bit CIC bus
+  EXPECT_FALSE(costs[1].da_eligible);   // fed an unknown-width bus
+  EXPECT_EQ(costs[1].input_bits, 0);
+}
+
+}  // namespace
+}  // namespace twiddc::energy

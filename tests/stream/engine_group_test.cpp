@@ -216,6 +216,52 @@ TEST_F(EngineGroupTest, StatsJsonAggregatesShards) {
   EXPECT_NE(json.find("\"numa_nodes\": "), std::string::npos);
 }
 
+TEST_F(EngineGroupTest, MigrateBatchMatchesSequentialAndSkipsResidents) {
+  const auto feed = make_feed(2688 * 8);
+  EngineGroup group([&feed] { return std::make_unique<VectorSource>(feed); },
+                    small_group(2));
+  const std::uint64_t key0 = key_for_shard(group, 0);
+  const std::uint64_t key1 = key_for_shard(group, 1);
+  // Three movers plus one session already resident on the target: the batch
+  // must move the movers, skip the resident, and count only real moves.
+  std::vector<std::shared_ptr<Session>> batch;
+  for (int i = 0; i < 3; ++i)
+    batch.push_back(group.open(key0, figure1_plan(), backends::kNative));
+  batch.push_back(group.open(key1, figure1_plan(), backends::kNative));
+  group.start();
+  ASSERT_TRUE(wait_until([&] { return batch[0]->stats().blocks_processed >= 2; }));
+  group.migrate_batch(batch, 1);
+  EXPECT_EQ(group.migrations(), 3u);
+  for (const auto& s : batch) EXPECT_EQ(group.shard_of(s), 1u);
+  auto chunks = drain_all(group, batch);
+  group.stop();
+
+  // Bit-exact with M sequential migrate() calls == bit-exact with the
+  // unmigrated one-shot reference (migrate() itself is pinned above).
+  const auto want = one_shot(backends::kNative, figure1_plan(), feed);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_equal(flatten(chunks[i]), want, "batch session " + std::to_string(i));
+    EXPECT_EQ(batch[i]->stats().gaps, 0u) << "batch session " << i;
+  }
+}
+
+TEST_F(EngineGroupTest, MigrateBatchValidatesBeforeMoving) {
+  const auto feed = make_feed(2048);
+  EngineGroup group([&feed] { return std::make_unique<VectorSource>(feed); },
+                    small_group(2));
+  const std::uint64_t key0 = key_for_shard(group, 0);
+  auto session = group.open(key0, figure1_plan(), backends::kNative);
+  // Out-of-range target, a null entry, and a foreign session each throw; the
+  // all-or-nothing contract means the valid session must not have moved.
+  EXPECT_THROW(group.migrate_batch({session}, 7), ConfigError);
+  EXPECT_THROW(group.migrate_batch({session, nullptr}, 1), ConfigError);
+  StreamEngine lone(std::make_unique<VectorSource>(feed));
+  auto foreign = lone.open(figure1_plan(), backends::kNative);
+  EXPECT_THROW(group.migrate_batch({session, foreign}, 1), SimulationError);
+  EXPECT_EQ(group.shard_of(session), 0u);
+  EXPECT_EQ(group.migrations(), 0u);
+}
+
 TEST_F(EngineGroupTest, MigrateRejectsUnknownSessionAndBadShard) {
   const auto feed = make_feed(2048);
   EngineGroup group([&feed] { return std::make_unique<VectorSource>(feed); },
